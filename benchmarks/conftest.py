@@ -1,0 +1,33 @@
+"""Shared benchmark configuration.
+
+Scale: every paper database size is multiplied by ``REPRO_SCALE``
+(default 1/100; export e.g. ``REPRO_SCALE=0.02`` for a heavier run).
+Scenario construction is session-scoped — databases are generated and
+published once per benchmark session.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+SCALE = float(os.environ.get("REPRO_SCALE", 1 / 100))
+REPETITIONS = int(os.environ.get("REPRO_REPETITIONS", 2))
+
+
+def pytest_report_header(config):
+    return (
+        f"PartiX reproduction benchmarks — scale={SCALE:g}"
+        f" (paper sizes x {SCALE:g}), repetitions={REPETITIONS}"
+    )
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return SCALE
+
+
+@pytest.fixture(scope="session")
+def repetitions():
+    return REPETITIONS

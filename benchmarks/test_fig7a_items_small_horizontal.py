@@ -1,0 +1,79 @@
+"""Figure 7(a): ItemsSHor — horizontal fragmentation, ~2KB documents.
+
+Regenerates the paper's panel: the 8-query workload over the small-item
+database, centralized vs 2/4/8 Section-based fragments. Expected shape
+(paper §5): fragmentation reduces response time for most queries, and the
+text-search / aggregation queries (Q5-Q8) benefit most.
+"""
+
+import pytest
+
+from repro.bench import build_items_scenario, format_scenario_table, summarize_wins
+
+PAPER_MB = 100
+
+
+@pytest.fixture(scope="module")
+def scenarios(scale):
+    return {
+        count: build_items_scenario(
+            "small", paper_mb=PAPER_MB, fragment_count=count, scale=scale
+        )
+        for count in (2, 4, 8)
+    }
+
+
+@pytest.fixture(scope="module")
+def results(scenarios, repetitions):
+    return {
+        count: scenario.run(repetitions=repetitions)
+        for count, scenario in scenarios.items()
+    }
+
+
+@pytest.mark.parametrize("fragment_count", [2, 4, 8])
+def test_fragmented_workload(benchmark, scenarios, fragment_count):
+    """Wall time of the whole 8-query workload over the fragments."""
+    scenario = scenarios[fragment_count]
+
+    def run_workload():
+        for query in scenario.queries:
+            scenario.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_centralized_workload(benchmark, scenarios):
+    scenario = scenarios[2]
+
+    def run_workload():
+        for query in scenario.queries:
+            scenario.partix.execute_centralized(query.text, "central")
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_shape_fragmentation_wins(results):
+    """Paper: "fragmentation reduces the response time for most queries"."""
+    for count, result in results.items():
+        print()
+        print(format_scenario_table(result))
+        summary = summarize_wins(result)
+        assert summary["wins"] >= 6, (
+            f"{count} fragments: only {summary['wins']}/8 queries sped up"
+        )
+        assert all(run.results_match for run in result.runs)
+
+
+def test_shape_text_search_benefits_most(results):
+    """Paper: text search + aggregation (Q5-Q8) gain significantly."""
+    result = results[8]
+    heavy = [result.run_by_id(q).speedup for q in ("Q5", "Q6", "Q7", "Q8")]
+    assert min(heavy) > 1.5, f"Q5-Q8 speedups too small: {heavy}"
+
+
+def test_shape_more_fragments_help_scan_queries(results):
+    """Scan-bound queries speed up further from 2 to 8 fragments."""
+    q8_series = {count: results[count].run_by_id("Q8").speedup for count in results}
+    print(f"\nQ8 speedup by fragment count: {q8_series}")
+    assert q8_series[8] > q8_series[2]

@@ -1,0 +1,79 @@
+"""Figure 7(b): ItemsLHor — horizontal fragmentation, ~80KB documents.
+
+Same design as Fig. 7(a) over large documents. Additional paper shapes:
+"the eXist DBMS presents better results when dealing with large documents"
+(per-document pre-processing amortizes), and "ItemsLHor presents better
+results with few fragments, while ItemsSHor presents better results with
+many fragments".
+"""
+
+import pytest
+
+from repro.bench import (
+    build_items_scenario,
+    format_scenario_table,
+    summarize_wins,
+)
+
+PAPER_MB = 100
+
+
+@pytest.fixture(scope="module")
+def scenarios(scale):
+    return {
+        count: build_items_scenario(
+            "large", paper_mb=PAPER_MB, fragment_count=count, scale=scale
+        )
+        for count in (2, 4, 8)
+    }
+
+
+@pytest.fixture(scope="module")
+def results(scenarios, repetitions):
+    return {
+        count: scenario.run(repetitions=repetitions)
+        for count, scenario in scenarios.items()
+    }
+
+
+@pytest.mark.parametrize("fragment_count", [2, 4, 8])
+def test_fragmented_workload(benchmark, scenarios, fragment_count):
+    scenario = scenarios[fragment_count]
+
+    def run_workload():
+        for query in scenario.queries:
+            scenario.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_shape_fragmentation_wins(results):
+    for count, result in results.items():
+        print()
+        print(format_scenario_table(result))
+        summary = summarize_wins(result)
+        assert summary["wins"] >= 5, (
+            f"{count} fragments: only {summary['wins']}/8 queries sped up"
+        )
+        assert all(run.results_match for run in result.runs)
+
+
+def test_shape_large_documents_scan_faster_per_byte(scale, repetitions):
+    """Paper: at equal total size, the small-document database is much
+    slower than the large-document one (per-document overheads)."""
+    small = build_items_scenario(
+        "small", paper_mb=20, fragment_count=2, scale=scale
+    ).run(repetitions=repetitions)
+    large = build_items_scenario(
+        "large", paper_mb=20, fragment_count=2, scale=scale
+    ).run(repetitions=repetitions)
+    # Compare the full-scan text-search + count query (Q8), centralized.
+    small_q8 = small.run_by_id("Q8").centralized_seconds
+    large_q8 = large.run_by_id("Q8").centralized_seconds
+    print(
+        f"\nQ8 centralized at equal size: ItemsSHor {small_q8 * 1000:.1f}ms"
+        f" vs ItemsLHor {large_q8 * 1000:.1f}ms"
+    )
+    assert large_q8 < small_q8, (
+        "large-document database should outperform many-small-documents"
+    )

@@ -1,0 +1,87 @@
+"""Figure 7(c): XBenchVer — vertical fragmentation of article documents.
+
+Three fragments (prolog / body / epilog). Expected shapes (paper §5):
+"the main benefits occur for queries that use a single fragment"; queries
+needing several fragments "can be slowed down by fragmentation" (the join
+reconstruction is much more expensive than a union).
+"""
+
+import pytest
+
+from repro.bench import build_xbench_scenario, format_scenario_table
+
+PAPER_MB = 100
+
+SINGLE_FRAGMENT = ("Q1", "Q2", "Q3", "Q5", "Q6")
+MULTI_FRAGMENT = ("Q4", "Q7", "Q8", "Q9")
+# Queries confined to the *small* fragments (prolog/epilog): the clean
+# vertical win. The body fragment is ~95% of every article, so Q5 (single
+# fragment but body-bound) gains little — also a paper observation.
+SMALL_FRAGMENT_ONLY = ("Q1", "Q2", "Q3", "Q6")
+# Multi-fragment queries that must fetch the dominant body fragment and
+# pay the ID-join over it.
+BODY_JOIN = ("Q4", "Q8", "Q9")
+
+
+@pytest.fixture(scope="module")
+def scenario(scale):
+    return build_xbench_scenario(paper_mb=PAPER_MB, scale=scale)
+
+
+@pytest.fixture(scope="module")
+def result(scenario, repetitions):
+    return scenario.run(repetitions=repetitions)
+
+
+def test_single_fragment_queries(benchmark, scenario):
+    queries = [q for q in scenario.queries if q.qid in SINGLE_FRAGMENT]
+
+    def run_workload():
+        for query in queries:
+            scenario.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_multi_fragment_queries(benchmark, scenario):
+    queries = [q for q in scenario.queries if q.qid in MULTI_FRAGMENT]
+
+    def run_workload():
+        for query in queries:
+            scenario.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=1, iterations=1, warmup_rounds=1)
+
+
+def test_shape_single_fragment_queries_win(result):
+    print()
+    print(format_scenario_table(result))
+    speedups = [result.run_by_id(q).speedup for q in SMALL_FRAGMENT_ONLY]
+    assert all(s > 1.0 for s in speedups), (
+        f"small-fragment speedups: {speedups}"
+    )
+    assert all(run.results_match for run in result.runs)
+
+
+def test_shape_multi_fragment_queries_pay_the_join(result):
+    """Queries that fetch the dominant body fragment and pay the ID-join
+    do far worse than the clean single-small-fragment queries; at least
+    one falls behind the centralized baseline (paper: multi-fragment
+    queries "can be slowed down by fragmentation")."""
+    small = [result.run_by_id(q).speedup for q in SMALL_FRAGMENT_ONLY]
+    joins = [result.run_by_id(q).speedup for q in BODY_JOIN]
+    print(f"\nsmall-fragment speedups: {small}")
+    print(f"body-join speedups: {joins}")
+    assert max(joins) < min(small), (
+        "body-join queries should do worse than small-fragment queries"
+    )
+    assert min(joins) < 1.0, "the join should cost more than centralized"
+
+
+def test_shape_body_bound_single_fragment_gains_little(result):
+    """Q5 lives in one fragment, but that fragment is ~the whole database:
+    its speedup stays well below the small-fragment queries'."""
+    q5 = result.run_by_id("Q5").speedup
+    small = min(result.run_by_id(q).speedup for q in SMALL_FRAGMENT_ONLY)
+    print(f"\nbody-bound Q5 speedup {q5:.2f}x vs min small-fragment {small:.2f}x")
+    assert q5 < small

@@ -1,0 +1,113 @@
+"""Figure 7(d): StoreHyb — hybrid fragmentation, FragMode1 vs FragMode2.
+
+The SD store splits into a remainder fragment plus four Section-based
+item fragments, materialized as independent per-item documents
+(FragMode1) or as one pruned document per fragment (FragMode2). Expected
+shapes (paper §5):
+
+* FragMode1 "has proved to be very inefficient" — parsing hundreds of
+  small documents is slower than parsing one large document;
+* FragMode2 "beats the centralized approach in most of the cases" once
+  transmission time is excluded;
+* the Items-pruning queries (Q9, Q10) always beat centralized;
+* with transmission counted, the whole-Item result sizes erode the win.
+"""
+
+import pytest
+
+from repro.bench import build_store_scenario, format_scenario_table
+from repro.partix import FragMode
+
+PAPER_MB = 100
+
+
+@pytest.fixture(scope="module")
+def scenario_mode1(scale):
+    return build_store_scenario(
+        paper_mb=PAPER_MB, frag_mode=FragMode.INDEPENDENT_DOCUMENTS, scale=scale
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario_mode2(scale):
+    return build_store_scenario(
+        paper_mb=PAPER_MB, frag_mode=FragMode.SINGLE_DOCUMENT, scale=scale
+    )
+
+
+@pytest.fixture(scope="module")
+def result_mode1(scenario_mode1, repetitions):
+    return scenario_mode1.run(repetitions=repetitions)
+
+
+@pytest.fixture(scope="module")
+def result_mode2(scenario_mode2, repetitions):
+    return scenario_mode2.run(repetitions=repetitions)
+
+
+def test_fragmode1_workload(benchmark, scenario_mode1):
+    def run_workload():
+        for query in scenario_mode1.queries:
+            scenario_mode1.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_fragmode2_workload(benchmark, scenario_mode2):
+    def run_workload():
+        for query in scenario_mode2.queries:
+            scenario_mode2.partix.execute(query.text)
+
+    benchmark.pedantic(run_workload, rounds=2, iterations=1, warmup_rounds=1)
+
+
+def test_shape_fragmode2_beats_fragmode1(result_mode1, result_mode2):
+    """Item-region queries run faster under FragMode2 (paper's FragMode
+    finding, with document-level index pruning off as in eXist 2005)."""
+    print("\nFragMode1 (independent item documents):")
+    print(format_scenario_table(result_mode1))
+    print("\nFragMode2 (single pruned document):")
+    print(format_scenario_table(result_mode2))
+    item_queries = [f"Q{i}" for i in range(1, 9)] + ["Q11"]
+    mode1_total = sum(
+        result_mode1.run_by_id(q).fragmented_seconds for q in item_queries
+    )
+    mode2_total = sum(
+        result_mode2.run_by_id(q).fragmented_seconds for q in item_queries
+    )
+    print(
+        f"\nitem-query totals: FragMode1 {mode1_total * 1000:.0f}ms,"
+        f" FragMode2 {mode2_total * 1000:.0f}ms"
+    )
+    assert mode2_total < mode1_total
+
+
+def test_shape_items_pruning_queries_always_win(result_mode1, result_mode2):
+    """Q9/Q10 prune the Items element and win in both modes (paper)."""
+    for result in (result_mode1, result_mode2):
+        for qid in ("Q9", "Q10"):
+            assert result.run_by_id(qid).speedup > 1.0, (
+                f"{result.name} {qid} should beat centralized"
+            )
+
+
+def test_shape_fragmode2_wins_without_transmission(result_mode2):
+    """Paper: "Without considering [transmission] time, FragMode2 wins in
+    all databases, in all queries" (modulo one small-database anomaly)."""
+    wins = sum(run.speedup > 1.0 for run in result_mode2.runs)
+    assert wins >= 9, f"FragMode2 wins only {wins}/11 without transmission"
+    assert all(run.results_match for run in result_mode2.runs)
+
+
+def test_shape_transmission_erodes_big_results(result_mode2):
+    """Whole-Item queries lose more of their margin to transmission than
+    code/name-only queries (the paper's decisive observation)."""
+    big = result_mode2.run_by_id("Q5")  # whole Items
+    small = result_mode2.run_by_id("Q8")  # names only
+    big_erosion = big.speedup / big.speedup_with_transmission
+    small_erosion = small.speedup / small.speedup_with_transmission
+    print(
+        f"\ntransmission erosion: whole-Item {big_erosion:.3f}x vs"
+        f" names-only {small_erosion:.3f}x"
+    )
+    assert big.fragmented_result_bytes > small.fragmented_result_bytes

@@ -1,0 +1,96 @@
+"""Database-size sweep (§5): 5/20/100/250MB grid.
+
+Expected shapes: "in small databases (i.e., 5Mb) the performance gain
+obtained is not enough to justify the use of fragmentation"; gains grow
+with database size for horizontal fragmentation; for vertical
+fragmentation "as the database size grows, the performance gains
+decrease" (single-fragment wins shrink relative to the join costs).
+"""
+
+import pytest
+
+from repro.bench import build_items_scenario, build_xbench_scenario
+
+SIZES = (5, 20, 100, 250)
+
+
+@pytest.fixture(scope="module")
+def horizontal_results(scale, repetitions):
+    results = {}
+    for paper_mb in SIZES:
+        scenario = build_items_scenario(
+            "small", paper_mb=paper_mb, fragment_count=4, scale=scale
+        )
+        results[paper_mb] = scenario.run(repetitions=repetitions)
+    return results
+
+
+@pytest.mark.parametrize("paper_mb", SIZES)
+def test_workload_by_size(benchmark, scale, paper_mb):
+    scenario = build_items_scenario(
+        "small", paper_mb=paper_mb, fragment_count=4, scale=scale
+    )
+    q8 = next(q for q in scenario.queries if q.qid == "Q8")
+    benchmark.pedantic(
+        lambda: scenario.partix.execute(q8.text),
+        rounds=2,
+        iterations=1,
+        warmup_rounds=1,
+    )
+
+
+def test_shape_speedup_tracks_fragment_skew(horizontal_results):
+    """Fragmented time is bounded by the largest fragment: with the
+    non-uniform Section distribution (4 fragments, largest share ≈0.48)
+    the scan-query speedup sits near 1/0.48 ≈ 2.1x at every size.
+
+    This is where our reproduction *deviates knowingly* from the paper:
+    the paper's relative gains grew with database size because eXist's
+    centralized times grew superlinearly (a 250MB database against 512MB
+    of RAM); a linear in-memory engine cannot reproduce that, so the
+    reproducible invariant is the skew bound (see EXPERIMENTS.md, S-DBS).
+    """
+    speedups = {
+        mb: result.run_by_id("Q8").speedup
+        for mb, result in horizontal_results.items()
+    }
+    print(f"\nQ8 speedup by paper size: {speedups}")
+    for mb in (20, 100, 250):
+        assert 1.5 <= speedups[mb] <= 3.5, (
+            f"{mb}MB speedup {speedups[mb]:.2f} strays from the skew bound"
+        )
+
+
+def test_shape_absolute_gains_grow_with_size(horizontal_results):
+    """The *absolute* time saved by fragmentation grows with database
+    size — the operational content of the paper's "small databases do not
+    justify fragmentation" observation."""
+    saved = {
+        mb: (
+            result.run_by_id("Q8").centralized_seconds
+            - result.run_by_id("Q8").fragmented_seconds
+        )
+        for mb, result in horizontal_results.items()
+    }
+    print(f"\nQ8 absolute saving by paper size (s): "
+          f"{ {mb: round(v, 3) for mb, v in saved.items()} }")
+    assert saved[250] > saved[100] > saved[5]
+    assert saved[5] < 0.15, "the 5MB-point saving should be tiny in absolute terms"
+
+
+def test_shape_vertical_gains_shrink_with_size(scale, repetitions):
+    """Vertical fragmentation: single-fragment speedups decrease as the
+    database grows (paper: by 250MB some queries match centralized)."""
+    small = build_xbench_scenario(paper_mb=20, scale=scale).run(
+        repetitions=repetitions
+    )
+    large = build_xbench_scenario(paper_mb=250, scale=scale).run(
+        repetitions=repetitions
+    )
+    # Q5 scans the dominant body fragment: its advantage cannot grow with
+    # size (the fragment is ~the whole database).
+    q5_small = small.run_by_id("Q5").speedup
+    q5_large = large.run_by_id("Q5").speedup
+    print(f"\nvertical Q5 speedup: 20MB-point {q5_small:.2f}x,"
+          f" 250MB-point {q5_large:.2f}x")
+    assert q5_large < q5_small * 1.5, "body-bound vertical gain should not grow"

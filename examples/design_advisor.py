@@ -1,0 +1,55 @@
+"""Automatic fragmentation design (the paper's future-work methodology).
+
+Feeds the advisor a collection and a weighted workload; it picks the
+fragmentation type, derives the fragments, verifies the §3.3 correctness
+rules, and explains itself. The recommended design is then published and
+exercised against a centralized baseline.
+
+Run with:  python examples/design_advisor.py
+"""
+
+from repro.bench.scenarios import CENTRAL_SITE
+from repro.cluster import Cluster, Site
+from repro.partix import FragmentationAdvisor, Partix, WorkloadQuery
+from repro.workloads import build_items_collection, items_queries
+
+
+def main() -> None:
+    items = build_items_collection(150, seed=11)
+    # Weight the workload: the Section-selective queries dominate.
+    workload = [
+        WorkloadQuery(q.text, frequency=4.0 if q.has("matches-fragmentation") else 1.0)
+        for q in items_queries()
+    ]
+
+    advisor = FragmentationAdvisor(items, workload, site_count=4)
+    design = advisor.recommend()
+
+    print(f"recommended design: {design.kind}")
+    print(design.fragmentation.describe())
+    print("rationale:")
+    for line in design.rationale:
+        print(f"  - {line}")
+
+    cluster = Cluster.with_sites(4)
+    cluster.add(Site(CENTRAL_SITE))
+    partix = Partix(cluster)
+    partix.publish(items, design.fragmentation, allocations=design.allocations)
+    partix.publish_centralized(items, CENTRAL_SITE)
+
+    print("\nworkload over the recommended design:")
+    for query in items_queries():
+        distributed = partix.execute(query.text)
+        centralized = partix.execute_centralized(query.text, CENTRAL_SITE)
+        speedup = centralized.parallel_seconds / max(
+            distributed.parallel_seconds, 1e-9
+        )
+        fragments = ",".join(distributed.plan.fragment_names) or "(none)"
+        print(
+            f"  {query.qid}: {speedup:5.2f}x"
+            f"  fragments={fragments}"
+        )
+
+
+if __name__ == "__main__":
+    main()

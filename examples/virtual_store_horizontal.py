@@ -1,0 +1,33 @@
+"""The ItemsSHor experiment in miniature (paper Figure 7a).
+
+Builds the small-document items database at a scaled size, fragments it
+by Section into 2, 4 and 8 fragments, and prints the per-query speedups
+against a centralized site — the shape the paper reports: text-search and
+aggregation queries (Q5-Q8) benefit the most, and more fragments help the
+parallelizable queries.
+
+Run with:  python examples/virtual_store_horizontal.py
+"""
+
+from repro.bench import build_items_scenario, format_scenario_table
+
+
+def main() -> None:
+    for fragment_count in (2, 4, 8):
+        scenario = build_items_scenario(
+            kind="small",
+            paper_mb=20,  # the paper's 20MB point, scaled down
+            fragment_count=fragment_count,
+            scale=1 / 100,
+        )
+        result = scenario.run(repetitions=2)
+        print(format_scenario_table(result))
+        best = max(result.runs, key=lambda run: run.speedup)
+        print(
+            f"best speedup: {best.qid} at {best.speedup:.2f}x"
+            f" ({best.description})\n"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Vertical fragmentation of XBench articles (paper Figure 7c).
+
+The articles split into prolog / body / epilog fragments. Queries touching
+a single fragment are rewritten to run on that fragment alone (cheap);
+queries spanning fragments force the ID-join reconstruction (expensive) —
+exactly the trade-off the paper's §5 discusses.
+
+Run with:  python examples/xbench_vertical.py
+"""
+
+from repro.bench.scenarios import CENTRAL_SITE
+from repro.cluster import Cluster, Site
+from repro.partix import Partix
+from repro.workloads import (
+    build_xbench_collection,
+    xbench_queries,
+    xbench_vertical_fragmentation,
+)
+
+
+def main() -> None:
+    papers = build_xbench_collection(8, doc_bytes=40_000, seed=7)
+    cluster = Cluster.with_sites(3)
+    cluster.add(Site(CENTRAL_SITE))
+    partix = Partix(cluster)
+    partix.publish(papers, xbench_vertical_fragmentation())
+    partix.publish_centralized(papers, CENTRAL_SITE)
+
+    print(f"{len(papers)} articles published into 3 vertical fragments\n")
+    print(f"{'query':<5} {'plan':<28} {'central':>9} {'fragmented':>11}")
+    for query in xbench_queries():
+        distributed = partix.execute(query.text)
+        centralized = partix.execute_centralized(query.text, CENTRAL_SITE)
+        if distributed.plan.composition.kind == "reconstruct":
+            plan = f"join over {len(distributed.plan.subqueries)} fragments"
+        else:
+            plan = ", ".join(distributed.plan.fragment_names)
+        print(
+            f"{query.qid:<5} {plan:<28}"
+            f" {centralized.parallel_seconds * 1000:>7.1f}ms"
+            f" {distributed.parallel_seconds * 1000:>9.1f}ms"
+            f"   {query.description}"
+        )
+    print(
+        "\nsingle-fragment queries run on one small fragment; multi-fragment"
+        "\nqueries pay the ID-join — the paper's vertical trade-off."
+    )
+
+
+if __name__ == "__main__":
+    main()

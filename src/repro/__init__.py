@@ -1,0 +1,29 @@
+"""PartiX reproduction: XML query processing over fragmented repositories.
+
+Reproduces Andrade, Ruberg, Baiao, Braganholo & Mattoso, *Efficiently
+Processing XML Queries over Fragmented Repositories with PartiX* (EDBT
+2006 workshops). See DESIGN.md for the system inventory and EXPERIMENTS.md
+for paper-vs-measured results.
+
+Quickstart::
+
+    from repro.cluster import Cluster
+    from repro.partix import Partix, FragmentationSchema, HorizontalFragment
+    from repro.paths import eq, ne
+    from repro.workloads import build_items_collection
+
+    items = build_items_collection(100)
+    cluster = Cluster.with_sites(2)
+    partix = Partix(cluster)
+    partix.publish(items, FragmentationSchema("Citems", [
+        HorizontalFragment("F1", "Citems", predicate=eq("/Item/Section", "CD")),
+        HorizontalFragment("F2", "Citems", predicate=ne("/Item/Section", "CD")),
+    ], root_label="Item"), verify=True)
+    result = partix.execute(
+        'for $i in collection("Citems")/Item'
+        ' where $i/Section = "CD" return $i/Name/text()'
+    )
+    print(result.result_text)
+"""
+
+__version__ = "1.0.0"

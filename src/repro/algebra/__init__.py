@@ -1,0 +1,47 @@
+"""TLC-style document algebra: σ, π, ∪, ⋈ and composition (paper §3.2-3.3)."""
+
+from repro.algebra.annotations import (
+    ANNOTATION_NAMES,
+    PXID,
+    PXORIGIN,
+    PXPARENT,
+    annotate,
+    is_annotation,
+    read_annotation,
+    read_origin,
+    strip_annotations,
+)
+from repro.algebra.join import reconstruct_documents, reconstruct_one
+from repro.algebra.operators import (
+    Composition,
+    DocumentOperator,
+    Projection,
+    Selection,
+    compose,
+    projection,
+    selection,
+)
+from repro.algebra.union import union_collections, union_documents
+
+__all__ = [
+    "ANNOTATION_NAMES",
+    "Composition",
+    "DocumentOperator",
+    "PXID",
+    "PXORIGIN",
+    "PXPARENT",
+    "Projection",
+    "Selection",
+    "annotate",
+    "compose",
+    "is_annotation",
+    "projection",
+    "read_annotation",
+    "read_origin",
+    "reconstruct_documents",
+    "reconstruct_one",
+    "selection",
+    "strip_annotations",
+    "union_collections",
+    "union_documents",
+]

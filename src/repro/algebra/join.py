@@ -1,0 +1,182 @@
+"""ID-join — the reconstruction operator of vertical fragmentation.
+
+§3.3: "for vertical fragmentation, the join (⋈) operator is used. We keep
+an ID in each vertical fragment for reconstruction purposes."
+
+Vertical fragments of one source document are projected subtrees carrying
+``pxid``/``pxparent`` annotations (see :mod:`repro.algebra.annotations`).
+Reconstruction grafts every annotated subtree back under the node whose
+``pxid`` equals its ``pxparent``, restoring document order by comparing
+the (pre-order) ids of annotated siblings.
+
+Two situations arise for the document root:
+
+* some fragment contains the original root (a *remainder* fragment such as
+  ``F4items := π/Store, {/Store/Items}``) — it becomes the skeleton;
+* no fragment contains the root (the paper's XBench design
+  ``π/article/prolog ⋈ π/article/body ⋈ π/article/epilog`` covers only the
+  root's children) — the root element is synthesized from the collection's
+  declared root label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.algebra.annotations import (
+    PXID,
+    PXPARENT,
+    read_annotation,
+    strip_annotations,
+)
+from repro.datamodel.document import XMLDocument
+from repro.datamodel.tree import NodeKind, XMLNode
+from repro.errors import FragmentationError
+
+
+def reconstruct_documents(
+    fragments: Iterable[XMLDocument],
+    root_label: Optional[str] = None,
+    strip: bool = True,
+) -> list[XMLDocument]:
+    """Join vertical fragment documents back into their source documents.
+
+    ``fragments`` may mix parts of several source documents; parts are
+    grouped by their ``origin``. ``root_label`` names the element to
+    synthesize when no part contains the source root. Results are sorted
+    by origin.
+    """
+    by_origin: dict[str, list[XMLDocument]] = {}
+    for part in fragments:
+        key = part.origin or part.name or ""
+        by_origin.setdefault(key, []).append(part)
+    return [
+        reconstruct_one(parts, root_label=root_label, origin=origin, strip=strip)
+        for origin, parts in sorted(by_origin.items())
+    ]
+
+
+def reconstruct_one(
+    parts: list[XMLDocument],
+    root_label: Optional[str] = None,
+    origin: Optional[str] = None,
+    strip: bool = True,
+) -> XMLDocument:
+    """Join the vertical parts of a single source document."""
+    if not parts:
+        raise FragmentationError("cannot reconstruct a document from no parts")
+    skeletons = [p for p in parts if read_annotation(p.root, PXPARENT) is None]
+    grafts = [p for p in parts if read_annotation(p.root, PXPARENT) is not None]
+    if len(skeletons) > 1:
+        raise FragmentationError(
+            f"{len(skeletons)} fragments claim the document root of"
+            f" {origin!r}; vertical fragments must be disjoint"
+        )
+    if skeletons:
+        skeleton = skeletons[0].root.clone(deep=True)
+    else:
+        if root_label is None:
+            raise FragmentationError(
+                "no fragment contains the document root and no root label"
+                " was provided for synthesis"
+            )
+        skeleton = XMLNode.element(root_label)
+        # The synthesized root adopts the common parent id of the grafts.
+        parent_ids = {read_annotation(p.root, PXPARENT) for p in grafts}
+        if len(parent_ids) > 1:
+            # Nested prunes exist; the root is the smallest parent id.
+            root_id = min(pid for pid in parent_ids if pid is not None)
+        elif parent_ids:
+            root_id = next(iter(parent_ids))
+        else:
+            root_id = 0
+        from repro.algebra.annotations import annotate
+
+        annotate(skeleton, PXID, int(root_id or 0))
+
+    targets = _index_targets(skeleton)
+    # Outer subtrees first so nested grafts find their (just-grafted) parents.
+    for part in sorted(grafts, key=_graft_sort_key):
+        part_root = part.root.clone(deep=True)
+        part_id = read_annotation(part_root, PXID)
+        parent_id = read_annotation(part_root, PXPARENT)
+        assert parent_id is not None
+        stub = targets.get(part_id) if part_id is not None else None
+        if stub is not None and _is_stub(stub):
+            # A stub-keeping prune left an empty placeholder for exactly
+            # this node: fill it in place rather than grafting a duplicate.
+            _replace_node(stub, part_root)
+        else:
+            target = targets.get(parent_id)
+            if target is None:
+                raise FragmentationError(
+                    f"fragment of {origin!r} grafts under node id"
+                    f" {parent_id}, which no other fragment provides"
+                    " (completeness violation)"
+                )
+            _insert_in_order(target, part_root)
+        for node_id, node in _index_targets(part_root).items():
+            targets[node_id] = node
+    if strip:
+        skeleton = strip_annotations(skeleton)
+    return XMLDocument(skeleton, name=origin, assign_ids=True, origin=origin)
+
+
+def _is_stub(node: XMLNode) -> bool:
+    """An empty placeholder left by a stub-keeping prune."""
+    return node.kind is NodeKind.ELEMENT and all(
+        child.kind is NodeKind.ATTRIBUTE for child in node.children
+    )
+
+
+def _replace_node(old: XMLNode, new: XMLNode) -> None:
+    """Swap ``old`` for ``new`` in ``old``'s parent, keeping its position."""
+    parent = old.parent
+    if parent is None:
+        raise FragmentationError("cannot replace a detached stub")
+    index = parent.children.index(old)
+    new.parent = parent
+    parent.children[index] = new
+    old.parent = None
+
+
+def _graft_sort_key(part: XMLDocument) -> int:
+    node_id = read_annotation(part.root, PXID)
+    return node_id if node_id is not None else 1 << 60
+
+
+def _index_targets(root: XMLNode) -> dict[int, XMLNode]:
+    """Map pxid → node over every annotated node of a subtree."""
+    targets: dict[int, XMLNode] = {}
+    for node in root.descendants_or_self():
+        if node.kind is not NodeKind.ELEMENT:
+            continue
+        node_id = read_annotation(node, PXID)
+        if node_id is not None:
+            targets[node_id] = node
+    return targets
+
+
+def _insert_in_order(parent: XMLNode, child: XMLNode) -> None:
+    """Insert ``child`` among ``parent``'s children by pre-order id.
+
+    Pre-order ids grow in document order, so a grafted subtree belongs
+    before the first element sibling with a larger ``pxid``. Siblings
+    without an id (not cut-point-annotated) sort before — they were left
+    in place by the projection, and cut-point annotation marks every
+    retained sibling, so unannotated siblings only occur in synthesized
+    roots where append order (graft id order) is already correct.
+    """
+    child_id = read_annotation(child, PXID)
+    child.parent = parent
+    if child_id is None:
+        parent.children.append(child)
+        return
+    for index, sibling in enumerate(parent.children):
+        if sibling.kind is not NodeKind.ELEMENT:
+            continue
+        sibling_id = read_annotation(sibling, PXID)
+        if sibling_id is not None and sibling_id > child_id:
+            parent.children.insert(index, child)
+            return
+    parent.children.append(child)

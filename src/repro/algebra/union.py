@@ -1,0 +1,63 @@
+"""Union — the reconstruction operator of horizontal fragmentation.
+
+§3.3: "For horizontal fragmentation, the union (∪) operator is used."
+Horizontal fragments partition the *documents* of a collection, so union
+is document-set union keyed by document identity (origin name).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.datamodel.collection import Collection, RepositoryKind
+from repro.datamodel.document import XMLDocument
+from repro.errors import CorrectnessViolation
+
+
+def union_documents(
+    groups: Sequence[Iterable[XMLDocument]],
+    check_disjoint: bool = True,
+) -> list[XMLDocument]:
+    """Union the document sets of several horizontal fragments.
+
+    Documents are identified by name (falling back to origin). With
+    ``check_disjoint`` a duplicate identity raises
+    :class:`CorrectnessViolation` — overlapping horizontal fragments would
+    silently duplicate query answers otherwise.
+
+    The result is sorted by identity so reconstruction is deterministic
+    regardless of fragment arrival order.
+    """
+    merged: dict[str, XMLDocument] = {}
+    for group in groups:
+        for document in group:
+            key = document.name or document.origin or f"anon-{id(document)}"
+            if key in merged:
+                if check_disjoint:
+                    raise CorrectnessViolation(
+                        "disjointness",
+                        f"document {key!r} appears in more than one fragment",
+                    )
+                continue
+            merged[key] = document
+    return [merged[key] for key in sorted(merged)]
+
+
+def union_collections(
+    name: str,
+    fragments: Sequence[Collection],
+    check_disjoint: bool = True,
+) -> Collection:
+    """Union fragment collections into a new collection called ``name``."""
+    documents = union_documents(
+        [fragment.documents() for fragment in fragments],
+        check_disjoint=check_disjoint,
+    )
+    first = fragments[0] if fragments else None
+    return Collection(
+        name,
+        documents=[d.clone() for d in documents],
+        schema=first.schema if first else None,
+        root_type=first.root_type if first else None,
+        kind=first.kind if first else RepositoryKind.MULTIPLE_DOCUMENTS,
+    )

@@ -1,0 +1,107 @@
+"""Command-line entry point: regenerate a paper figure.
+
+Usage::
+
+    python -m repro.bench --figure 7a --scale 0.01
+    python -m repro.bench --figure 7c
+    python -m repro.bench --figure 7d --transmission
+    python -m repro.bench --figure headline
+
+Prints the same per-query tables the benchmark suite asserts on.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.bench.reporting import format_scenario_table, format_speedup_series
+from repro.bench.scale import DEFAULT_SCALE
+from repro.bench.scenarios import (
+    build_items_scenario,
+    build_store_scenario,
+    build_xbench_scenario,
+)
+from repro.partix.publisher import FragMode
+
+
+def run_figure_7a(scale: float, repetitions: int, transmission: bool) -> None:
+    for count in (2, 4, 8):
+        scenario = build_items_scenario(
+            "small", paper_mb=100, fragment_count=count, scale=scale
+        )
+        print(format_scenario_table(scenario.run(repetitions), transmission))
+        print()
+
+
+def run_figure_7b(scale: float, repetitions: int, transmission: bool) -> None:
+    for count in (2, 4, 8):
+        scenario = build_items_scenario(
+            "large", paper_mb=100, fragment_count=count, scale=scale
+        )
+        print(format_scenario_table(scenario.run(repetitions), transmission))
+        print()
+
+
+def run_figure_7c(scale: float, repetitions: int, transmission: bool) -> None:
+    scenario = build_xbench_scenario(paper_mb=100, scale=scale)
+    print(format_scenario_table(scenario.run(repetitions), transmission))
+
+
+def run_figure_7d(scale: float, repetitions: int, transmission: bool) -> None:
+    for mode in (FragMode.INDEPENDENT_DOCUMENTS, FragMode.SINGLE_DOCUMENT):
+        scenario = build_store_scenario(
+            paper_mb=100, frag_mode=mode, scale=scale
+        )
+        print(format_scenario_table(scenario.run(repetitions), transmission))
+        print()
+
+
+def run_headline(scale: float, repetitions: int, transmission: bool) -> None:
+    results = []
+    for count in (2, 4, 8):
+        scenario = build_items_scenario(
+            "small", paper_mb=250, fragment_count=count, scale=scale
+        )
+        results.append(scenario.run(repetitions))
+    print(format_speedup_series(results, "Q8", transmission))
+    best = max(r.run_by_id("Q8").speedup for r in results)
+    print(f"\nbest Q8 speedup: {best:.1f}x (paper reports up to 72x)")
+
+
+FIGURES = {
+    "7a": run_figure_7a,
+    "7b": run_figure_7b,
+    "7c": run_figure_7c,
+    "7d": run_figure_7d,
+    "headline": run_headline,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate a figure of the PartiX evaluation.",
+    )
+    parser.add_argument(
+        "--figure", choices=sorted(FIGURES), required=True,
+        help="which paper artefact to regenerate",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=DEFAULT_SCALE,
+        help=f"fraction of the paper's database sizes (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument(
+        "--repetitions", type=int, default=2,
+        help="timed repetitions per query (first run is always discarded)",
+    )
+    parser.add_argument(
+        "--transmission", action="store_true",
+        help="include estimated transmission times (the paper's -T series)",
+    )
+    args = parser.parse_args(argv)
+    FIGURES[args.figure](args.scale, args.repetitions, args.transmission)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,72 @@
+"""Scaling the paper's evaluation grid to laptop-sized runs.
+
+The paper's databases were 5/20/100/250 MB (plus 500 MB for ItemsLHor and
+StoreHyb). A pure-Python engine parses roughly two orders of magnitude
+slower than eXist's C/Java stack, so the harness scales every size by a
+*scale factor* (default 1/100) and keeps the grid's relative proportions.
+Shape claims (who wins, where crossovers happen) survive scaling because
+every configuration shrinks by the same factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MB = 1_000_000
+
+#: The paper's database-size grid (§5).
+PAPER_SIZES_MB = (5, 20, 100, 250)
+PAPER_SIZES_LARGE_MB = (5, 20, 100, 250, 500)
+
+#: Default scale factor applied to every paper size.
+DEFAULT_SCALE = 1 / 100
+
+#: Empirical serialized sizes of generated documents (see workloads).
+SMALL_ITEM_BYTES = 1_750
+LARGE_ITEM_BYTES = 80_000
+ARTICLE_BYTES = 100_000  # paper: 5-15MB each; scaled to ~0.1MB
+
+
+@dataclass(frozen=True)
+class ScaledSize:
+    """One point of the scaled grid."""
+
+    paper_mb: int
+    target_bytes: int
+
+    @property
+    def label(self) -> str:
+        return f"{self.paper_mb}MB(paper)≈{self.target_bytes / MB:.2f}MB"
+
+
+def scaled_grid(
+    scale: float = DEFAULT_SCALE, large: bool = False
+) -> list[ScaledSize]:
+    """The scaled database-size grid."""
+    sizes = PAPER_SIZES_LARGE_MB if large else PAPER_SIZES_MB
+    return [
+        ScaledSize(paper_mb=mb, target_bytes=int(mb * MB * scale))
+        for mb in sizes
+    ]
+
+
+def scaled_point(paper_mb: int, scale: float = DEFAULT_SCALE) -> ScaledSize:
+    """One scaled grid point (e.g. the 250MB headline configuration)."""
+    return ScaledSize(paper_mb=paper_mb, target_bytes=int(paper_mb * MB * scale))
+
+
+def items_count_for(target_bytes: int, kind: str) -> int:
+    """Number of Item documents approximating ``target_bytes``."""
+    per_doc = SMALL_ITEM_BYTES if kind == "small" else LARGE_ITEM_BYTES
+    return max(4, target_bytes // per_doc)
+
+
+def articles_count_for(target_bytes: int, doc_bytes: int = ARTICLE_BYTES) -> int:
+    """Number of article documents approximating ``target_bytes``."""
+    return max(2, target_bytes // doc_bytes)
+
+
+def store_items_for(target_bytes: int, kind: str = "small") -> int:
+    """Item count of the single Store document approximating the target."""
+    per_doc = SMALL_ITEM_BYTES if kind == "small" else LARGE_ITEM_BYTES
+    return max(8, target_bytes // per_doc)

@@ -1,0 +1,14 @@
+"""Simulated cluster: sites, network model, parallel-round accounting."""
+
+from repro.cluster.network import FREE_NETWORK, GIGABIT_PER_SECOND, NetworkModel
+from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
+
+__all__ = [
+    "Cluster",
+    "FREE_NETWORK",
+    "GIGABIT_PER_SECOND",
+    "NetworkModel",
+    "ParallelRound",
+    "Site",
+    "SubQueryExecution",
+]

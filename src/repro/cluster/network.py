@@ -1,0 +1,52 @@
+"""Network model of the simulated cluster.
+
+The paper measured communication "by calculating the average size of the
+result and dividing it by the Gigabit Ethernet transmission speed" (§5).
+:class:`NetworkModel` generalizes that: a per-message latency plus a
+bandwidth term, with the coordinator's inbound link shared by all sites
+(partial results serialize into the coordinator, so their transfer times
+add up — the conservative reading of the paper's methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+GIGABIT_PER_SECOND = 1_000_000_000.0
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Transmission-time estimator.
+
+    Parameters
+    ----------
+    bandwidth_bits_per_second:
+        Link speed (default: Gigabit Ethernet, as in the paper).
+    latency_seconds:
+        Fixed per-message cost (query dispatch / result envelope).
+    """
+
+    bandwidth_bits_per_second: float = GIGABIT_PER_SECOND
+    latency_seconds: float = 0.0001
+
+    def transfer_seconds(self, payload_bytes: int) -> float:
+        """Time to move one payload over the link."""
+        return self.latency_seconds + (payload_bytes * 8.0) / self.bandwidth_bits_per_second
+
+    def gather_seconds(self, result_sizes: list[int], query_bytes: int = 256) -> float:
+        """Time to dispatch sub-queries and gather all partial results.
+
+        Dispatch is one small message per site (counted as latency +
+        ``query_bytes``); results funnel through the coordinator's single
+        inbound link, so their transfer times accumulate.
+        """
+        dispatch = sum(
+            self.transfer_seconds(query_bytes) for _ in result_sizes
+        )
+        gather = sum(self.transfer_seconds(size) for size in result_sizes)
+        return dispatch + gather
+
+
+#: A zero-cost network, used for the paper's "-NT" (no transmission) series.
+FREE_NETWORK = NetworkModel(bandwidth_bits_per_second=float("inf"), latency_seconds=0.0)

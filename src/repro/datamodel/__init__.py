@@ -1,0 +1,17 @@
+"""XML data model: data trees, documents and collections (paper §3.1)."""
+
+from repro.datamodel.builder import doc, elem
+from repro.datamodel.collection import Collection, RepositoryKind
+from repro.datamodel.document import XMLDocument
+from repro.datamodel.tree import NodeKind, XMLNode, assign_node_ids
+
+__all__ = [
+    "Collection",
+    "NodeKind",
+    "RepositoryKind",
+    "XMLDocument",
+    "XMLNode",
+    "assign_node_ids",
+    "doc",
+    "elem",
+]

@@ -1,0 +1,43 @@
+"""Fluent construction of XML data trees.
+
+The :func:`elem` helper builds trees in one expression, which keeps tests
+and generators readable::
+
+    root = elem(
+        "Item",
+        elem("Code", "I-001"),
+        elem("Section", "CD"),
+        elem("Name", "Abbey Road"),
+        price="12.99",
+    )
+
+Positional arguments are children: ``XMLNode`` instances are appended as-is,
+strings become text nodes. Keyword arguments become attributes.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.datamodel.document import XMLDocument
+from repro.datamodel.tree import XMLNode
+
+Child = Union[XMLNode, str, int, float]
+
+
+def elem(label: str, *children: Child, **attributes: Union[str, int, float]) -> XMLNode:
+    """Build an element with the given children and attributes."""
+    node = XMLNode.element(label)
+    for name, value in attributes.items():
+        node.append(XMLNode.attribute(name, str(value)))
+    for child in children:
+        if isinstance(child, XMLNode):
+            node.append(child)
+        else:
+            node.append(XMLNode.text(str(child)))
+    return node
+
+
+def doc(root: XMLNode, name: str | None = None) -> XMLDocument:
+    """Wrap a root element into a document (assigning node ids)."""
+    return XMLDocument(root, name=name)

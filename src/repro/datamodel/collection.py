@@ -1,0 +1,150 @@
+"""Collections of XML documents.
+
+The paper (§3.1) defines a collection ``C`` as a set of data trees, and a
+*homogeneous* collection as one whose instances all satisfy the same XML
+type: ``C := ⟨S, τroot⟩`` where ``τroot`` is a type of schema ``S``.
+
+Two repository shapes are distinguished (after XBench):
+
+* ``MD`` — *multiple documents*: many (typically small) documents, e.g.
+  ``Citems := ⟨Svirtual_store, /Store/Items/Item⟩``.
+* ``SD`` — *single document*: one large document holding everything, e.g.
+  ``Cstore := ⟨Svirtual_store, /Store⟩``.
+
+The distinction matters for fragmentation: horizontal fragmentation is
+defined over documents, hence SD repositories admit only hybrid
+fragmentation (§3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
+
+from repro.datamodel.document import XMLDocument
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.xschema.schema import Schema
+
+
+class RepositoryKind(enum.Enum):
+    """Shape of an XML repository (§3.1, after XBench)."""
+
+    SINGLE_DOCUMENT = "SD"
+    MULTIPLE_DOCUMENTS = "MD"
+
+
+class Collection:
+    """A (possibly homogeneous) collection of XML documents.
+
+    Parameters
+    ----------
+    name:
+        Collection name; the identity used in catalogs and queries
+        (``collection("name")``).
+    documents:
+        Initial documents.
+    schema / root_type:
+        When both are given the collection is *declared homogeneous* with
+        respect to ``⟨schema, root_type⟩``; :meth:`is_homogeneous` then
+        validates every document against the type.
+    kind:
+        SD or MD. SD collections hold at most one document.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        documents: Iterable[XMLDocument] = (),
+        schema: Optional["Schema"] = None,
+        root_type: Optional[str] = None,
+        kind: RepositoryKind = RepositoryKind.MULTIPLE_DOCUMENTS,
+    ):
+        self.name = name
+        self.schema = schema
+        self.root_type = root_type
+        self.kind = kind
+        self._documents: dict[str, XMLDocument] = {}
+        self._counter = 0
+        for document in documents:
+            self.add(document)
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    def add(self, document: XMLDocument) -> XMLDocument:
+        """Add a document, naming it if anonymous; returns it."""
+        if self.kind is RepositoryKind.SINGLE_DOCUMENT and len(self._documents) >= 1:
+            raise ValueError(
+                f"SD collection {self.name!r} already holds its single document"
+            )
+        if document.name is None:
+            document.name = f"{self.name}-{self._counter:06d}.xml"
+            if document.origin is None:
+                document.origin = document.name
+        self._counter += 1
+        if document.name in self._documents:
+            raise ValueError(f"duplicate document name {document.name!r}")
+        self._documents[document.name] = document
+        return document
+
+    def remove(self, name: str) -> XMLDocument:
+        """Remove and return the document called ``name``."""
+        return self._documents.pop(name)
+
+    def get(self, name: str) -> Optional[XMLDocument]:
+        """Document called ``name``, or None."""
+        return self._documents.get(name)
+
+    def documents(self) -> list[XMLDocument]:
+        """All documents, in insertion order."""
+        return list(self._documents.values())
+
+    def names(self) -> list[str]:
+        return list(self._documents.keys())
+
+    def __iter__(self) -> Iterator[XMLDocument]:
+        return iter(self._documents.values())
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._documents
+
+    # ------------------------------------------------------------------
+    # Homogeneity (§3.1)
+    # ------------------------------------------------------------------
+    @property
+    def is_declared_homogeneous(self) -> bool:
+        """True when the collection was declared as ⟨S, τroot⟩."""
+        return self.schema is not None and self.root_type is not None
+
+    def is_homogeneous(self) -> bool:
+        """Validate every document against the declared root type.
+
+        An undeclared collection is homogeneous iff all roots share a label
+        (weak structural homogeneity) — callers that need the strong notion
+        should declare a schema.
+        """
+        docs = self.documents()
+        if not docs:
+            return True
+        if self.is_declared_homogeneous:
+            assert self.schema is not None and self.root_type is not None
+            return all(
+                self.schema.satisfies(doc.root, self.root_type) for doc in docs
+            )
+        first_label = docs[0].root.label
+        return all(doc.root.label == first_label for doc in docs)
+
+    # ------------------------------------------------------------------
+    def total_nodes(self) -> int:
+        """Total node count across all documents."""
+        return sum(doc.node_count() for doc in self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Collection(name={self.name!r}, kind={self.kind.value},"
+            f" documents={len(self)})"
+        )

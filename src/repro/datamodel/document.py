@@ -1,0 +1,83 @@
+"""XML documents.
+
+A document wraps a data tree root with a name (its identity inside a
+collection) and assigns document-order node ids on construction. Documents
+are the unit of horizontal fragmentation (§3.3: "In the horizontal
+fragmentation, the data item consists of an XML document, while in the
+vertical fragmentation, it is a node").
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.datamodel.tree import NodeKind, XMLNode, assign_node_ids
+
+
+class XMLDocument:
+    """A well-formed XML document: a data tree with a single root element.
+
+    Parameters
+    ----------
+    root:
+        The root element of the data tree.
+    name:
+        Document name inside its collection. Unnamed documents get a
+        name assigned at storage time.
+    assign_ids:
+        When true (default) assign fresh document-order node ids. Fragments
+        pass ``False`` to preserve the ids of the source document, which are
+        the vertical reconstruction keys.
+    """
+
+    __slots__ = ("root", "name", "origin")
+
+    def __init__(
+        self,
+        root: XMLNode,
+        name: Optional[str] = None,
+        assign_ids: bool = True,
+        origin: Optional[str] = None,
+    ):
+        if root.kind is not NodeKind.ELEMENT:
+            raise ValueError("document root must be an element")
+        if root.parent is not None:
+            raise ValueError("document root must not have a parent")
+        self.root = root
+        self.name = name
+        # Name of the source document when this one is a fragment of it.
+        self.origin = origin if origin is not None else name
+        if assign_ids:
+            assign_node_ids(root)
+
+    # ------------------------------------------------------------------
+    def nodes(self) -> Iterator[XMLNode]:
+        """All nodes in document order."""
+        return self.root.descendants_or_self()
+
+    def node_count(self) -> int:
+        """Number of nodes in the document."""
+        return self.root.subtree_size()
+
+    def find_by_id(self, node_id: int) -> Optional[XMLNode]:
+        """Locate the node carrying ``node_id`` (linear scan)."""
+        for node in self.nodes():
+            if node.node_id == node_id:
+                return node
+        return None
+
+    def tree_equal(self, other: "XMLDocument", compare_ids: bool = False) -> bool:
+        """Structural equality of the two document trees."""
+        return self.root.tree_equal(other.root, compare_ids=compare_ids)
+
+    def clone(self, name: Optional[str] = None) -> "XMLDocument":
+        """Deep copy; node ids are preserved (fragment-friendly)."""
+        return XMLDocument(
+            self.root.clone(deep=True),
+            name=name if name is not None else self.name,
+            assign_ids=False,
+            origin=self.origin,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLDocument(name={self.name!r}, root={self.root.label!r})"

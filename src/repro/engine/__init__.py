@@ -1,0 +1,29 @@
+"""MiniX: the single-site XML DBMS substrate (eXist stand-in)."""
+
+from repro.engine.database import XMLEngine, serialize_sequence
+from repro.engine.indexes import (
+    ElementIndex,
+    FullTextIndex,
+    RangeIndex,
+    ValueIndex,
+    tokenize_text,
+)
+from repro.engine.planner import Planner
+from repro.engine.stats import EngineStats, QueryResult
+from repro.engine.store import DocumentStore, StoredCollection, StoredDocument
+
+__all__ = [
+    "DocumentStore",
+    "ElementIndex",
+    "EngineStats",
+    "FullTextIndex",
+    "Planner",
+    "RangeIndex",
+    "QueryResult",
+    "StoredCollection",
+    "StoredDocument",
+    "ValueIndex",
+    "XMLEngine",
+    "serialize_sequence",
+    "tokenize_text",
+]

@@ -1,0 +1,140 @@
+"""Index-assisted document pruning.
+
+Given the selection predicate extracted from a query
+(:mod:`repro.xquery.analysis`), the planner intersects index lookups to
+compute the candidate documents that must actually be parsed. Anything it
+cannot handle falls back to "all documents" — pruning is an optimization,
+never a correctness requirement.
+
+Soundness argument: the extracted predicate parts are *necessary*
+conditions for a document to contribute query results, and each index
+lookup returns a superset of the documents satisfying its atom. Hence the
+intersection is a superset of the contributing documents.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.store import StoredCollection
+from repro.paths.predicates import (
+    And,
+    Comparison,
+    Contains,
+    Exists,
+    Or,
+    Predicate,
+    StartsWith,
+)
+
+
+class Planner:
+    """Chooses candidate documents for a query on one collection."""
+
+    def __init__(self, use_indexes: bool = True):
+        self.use_indexes = use_indexes
+
+    def candidate_documents(
+        self,
+        collection: StoredCollection,
+        predicate: Optional[Predicate],
+    ) -> tuple[list[str], int]:
+        """(candidate document names, number of index lookups performed)."""
+        all_names = collection.names()
+        if not self.use_indexes or predicate is None:
+            return all_names, 0
+        self._lookups = 0
+        candidates = self._candidates_for(collection, predicate)
+        if candidates is None:
+            return all_names, self._lookups
+        # Preserve store order for determinism.
+        candidate_set = candidates
+        return [n for n in all_names if n in candidate_set], self._lookups
+
+    # ------------------------------------------------------------------
+    def _candidates_for(
+        self, collection: StoredCollection, predicate: Predicate
+    ) -> Optional[set[str]]:
+        """Document-name superset for ``predicate`` (None = no pruning)."""
+        if isinstance(predicate, And):
+            result: Optional[set[str]] = None
+            for part in predicate.parts:
+                candidates = self._candidates_for(collection, part)
+                if candidates is None:
+                    continue
+                result = candidates if result is None else (result & candidates)
+            return result
+        if isinstance(predicate, Or):
+            union: set[str] = set()
+            for part in predicate.parts:
+                candidates = self._candidates_for(collection, part)
+                if candidates is None:
+                    return None  # one unprunable branch defeats the union
+                union |= candidates
+            return union
+        if isinstance(predicate, Contains):
+            self._lookups += 1
+            return collection.fulltext.lookup_substring(predicate.needle)
+        if isinstance(predicate, StartsWith):
+            # A value starting with the prefix contains the prefix's tokens.
+            self._lookups += 1
+            return collection.fulltext.lookup_substring(predicate.prefix)
+        if isinstance(predicate, Comparison) and predicate.op == "=":
+            label = self._terminal_label(predicate)
+            if label is not None and collection.values.covers_label(label):
+                self._lookups += 1
+                return collection.values.lookup(label, str(predicate.value))
+            return None
+        if isinstance(predicate, Comparison) and predicate.op in ("<", "<=", ">", ">="):
+            label = self._terminal_label(predicate)
+            if (
+                label is not None
+                and not label.startswith("@")
+                and collection.ranges.covers_label(label)
+            ):
+                self._lookups += 1
+                return collection.ranges.lookup(label, predicate.op, predicate.value)
+            return None
+        if isinstance(predicate, Exists):
+            last = predicate.path.last
+            if last.is_wildcard:
+                return None
+            structural = self._structural_lookup(collection, predicate.path)
+            if structural is not None:
+                return structural
+            label = ("@" + last.name) if last.is_attribute else last.name
+            self._lookups += 1
+            return collection.elements.lookup(label)
+        return None
+
+    def _structural_lookup(self, collection, path) -> Optional[set[str]]:
+        """Use the structural path index when the path is exact enough.
+
+        Simple child-axis paths map to an exact structural key; a single
+        leading ``//`` followed by child steps maps to a suffix probe.
+        Anything else falls back to the label index.
+        """
+        from repro.paths.ast import Axis
+
+        steps = path.steps
+        if any(step.is_wildcard or step.position is not None for step in steps):
+            return None
+        labels = tuple(
+            ("@" + step.name) if step.is_attribute else step.name
+            for step in steps
+        )
+        if all(step.axis is Axis.CHILD for step in steps):
+            self._lookups += 1
+            return collection.paths.lookup_exact(labels)
+        if steps[0].axis is Axis.DESCENDANT and all(
+            step.axis is Axis.CHILD for step in steps[1:]
+        ):
+            self._lookups += 1
+            return collection.paths.lookup_suffix(labels)
+        return None
+
+    def _terminal_label(self, predicate: Comparison) -> Optional[str]:
+        last = predicate.path.last
+        if last.is_wildcard:
+            return None
+        return ("@" + last.name) if last.is_attribute else last.name

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the PartiX reproduction.
+
+Every error raised by this library derives from :class:`PartixError` so
+applications can catch one base class. Sub-hierarchies mirror the layers of
+the system: text parsing, schema validation, path/XQuery compilation and
+evaluation, storage, fragmentation, and distributed execution.
+"""
+
+from __future__ import annotations
+
+
+class PartixError(Exception):
+    """Base class for every error raised by the ``repro`` library."""
+
+
+class XMLSyntaxError(PartixError):
+    """Raised when XML text is not well-formed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SchemaError(PartixError):
+    """Raised for malformed schema definitions (unknown types, bad cardinalities)."""
+
+
+class ValidationError(PartixError):
+    """Raised when a document does not satisfy the type it is checked against."""
+
+
+class PathSyntaxError(PartixError):
+    """Raised when a path expression cannot be parsed."""
+
+
+class PredicateError(PartixError):
+    """Raised when a simple predicate is malformed or cannot be evaluated."""
+
+
+class XQuerySyntaxError(PartixError):
+    """Raised when an XQuery expression cannot be parsed."""
+
+    def __init__(self, message: str, position: int | None = None):
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class XQueryTypeError(PartixError):
+    """Raised for dynamic type errors during XQuery evaluation."""
+
+
+class XQueryEvaluationError(PartixError):
+    """Raised for other dynamic errors during XQuery evaluation."""
+
+
+class StorageError(PartixError):
+    """Raised by the storage engine (missing collection/document, I/O)."""
+
+
+class CollectionNotFoundError(StorageError):
+    """Raised when a named collection does not exist in a database."""
+
+
+class DocumentNotFoundError(StorageError):
+    """Raised when a document name does not exist in a collection."""
+
+
+class FragmentationError(PartixError):
+    """Raised for invalid fragment definitions (Definition 1-4 violations)."""
+
+
+class CorrectnessViolation(FragmentationError):
+    """Raised when a fragmentation schema fails a correctness rule.
+
+    ``rule`` is one of ``"completeness"``, ``"disjointness"`` or
+    ``"reconstruction"`` and ``details`` carries a human-readable account of
+    the violating data items.
+    """
+
+    def __init__(self, rule: str, details: str):
+        super().__init__(f"fragmentation violates {rule}: {details}")
+        self.rule = rule
+        self.details = details
+
+
+class CatalogError(PartixError):
+    """Raised by the schema/distribution catalog services."""
+
+
+class DecompositionError(PartixError):
+    """Raised when a query cannot be decomposed over a fragmentation schema."""
+
+
+class ClusterError(PartixError):
+    """Raised by the simulated cluster (unknown site, no driver, ...)."""

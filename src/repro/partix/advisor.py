@@ -1,0 +1,530 @@
+"""Fragmentation design advisor — the paper's stated future work.
+
+§6: "As future work, we intend to use the proposed fragmentation model to
+define a methodology for fragmenting XML databases. This methodology
+could be used [to] define algorithms for the fragmentation design."
+
+Given a collection, a workload (queries with frequencies) and a target
+site count, the advisor recommends a correct fragmentation design:
+
+* **horizontal** (MD collections) — picks the *selector path*: the
+  single-valued terminal path most frequently compared against constants
+  in the workload (e.g. ``/Item/Section``), measures its value
+  distribution on the collection, and proposes one equality fragment per
+  heavy value plus a residual fragment (complete and disjoint by
+  construction, cf. Figure 2);
+* **vertical** (MD collections whose queries cluster on subtrees) — maps
+  each query to the top-level *regions* (children of the root) it
+  touches, builds a region-affinity matrix (Navathe-style attribute
+  affinity, which the paper cites via [14]), clusters regions greedily,
+  and proposes one projection fragment per region with allocations that
+  co-locate clustered regions;
+* **hybrid** (SD collections) — finds the repeating unit under the root
+  through the schema's cardinalities (e.g. ``/Store/Items/Item``), picks
+  the selector inside the unit, and proposes the Figure-4 design: a
+  stub-keeping remainder plus per-value unit fragments.
+
+The recommendation carries a human-readable rationale and is always
+validated against the collection with the §3.3 rules before being
+returned.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.datamodel.collection import Collection, RepositoryKind
+from repro.errors import FragmentationError
+from repro.partix.catalog import FragmentAllocation
+from repro.partix.correctness import verify_fragmentation
+from repro.partix.fragments import (
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.paths.ast import PathExpr
+from repro.paths.evaluator import evaluate_path
+from repro.paths.parser import parse_path
+from repro.paths.predicates import And, Comparison, Contains, Or, Predicate, eq, ne
+from repro.xquery.analysis import analyze_query
+
+
+@dataclass(frozen=True)
+class WorkloadQuery:
+    """One query of the expected workload, weighted by frequency."""
+
+    text: str
+    frequency: float = 1.0
+
+
+@dataclass
+class DesignRecommendation:
+    """The advisor's output."""
+
+    kind: str  # "horizontal" | "vertical" | "hybrid"
+    fragmentation: FragmentationSchema
+    allocations: Optional[list[FragmentAllocation]] = None
+    rationale: list[str] = field(default_factory=list)
+    score: float = 0.0
+
+
+class FragmentationAdvisor:
+    """Recommends a fragmentation design for a collection + workload."""
+
+    def __init__(
+        self,
+        collection: Collection,
+        workload: Sequence[WorkloadQuery],
+        site_count: int,
+        sample_size: int = 50,
+    ):
+        if site_count < 2:
+            raise FragmentationError("a fragmentation design needs >= 2 sites")
+        if not workload:
+            raise FragmentationError("the advisor needs a workload")
+        self.collection = collection
+        self.workload = list(workload)
+        self.site_count = site_count
+        self.sample = collection.documents()[:sample_size]
+        if not self.sample:
+            raise FragmentationError("the advisor needs a non-empty collection")
+        self._analyses = [
+            (analyze_query(query.text), query.frequency) for query in workload
+        ]
+
+    # ------------------------------------------------------------------
+    def recommend(self) -> DesignRecommendation:
+        """The best design the advisor can justify for this collection."""
+        if self.collection.kind is RepositoryKind.SINGLE_DOCUMENT:
+            recommendation = self._recommend_hybrid()
+        else:
+            horizontal = self._recommend_horizontal()
+            vertical = self._recommend_vertical()
+            candidates = [c for c in (horizontal, vertical) if c is not None]
+            if not candidates:
+                raise FragmentationError(
+                    "no workload predicate or path clustering to design from"
+                )
+            recommendation = max(candidates, key=lambda c: c.score)
+        report = verify_fragmentation(
+            recommendation.fragmentation, self.collection
+        )
+        report.raise_if_invalid()
+        recommendation.rationale.append(
+            "verified against the collection: complete, disjoint,"
+            " reconstructible"
+        )
+        return recommendation
+
+    # ------------------------------------------------------------------
+    # Horizontal
+    # ------------------------------------------------------------------
+    def _selector_candidates(self) -> dict[str, float]:
+        """Frequency-weighted score per equality-compared terminal path."""
+        scores: dict[str, float] = {}
+        for analysis, frequency in self._analyses:
+            for atom in _equality_atoms(analysis.predicate):
+                scores[str(atom.path)] = scores.get(str(atom.path), 0.0) + frequency
+        return scores
+
+    def _recommend_horizontal(self) -> Optional[DesignRecommendation]:
+        scores = self._selector_candidates()
+        total_frequency = sum(f for _, f in self._analyses)
+        for path_text, score in sorted(
+            scores.items(), key=lambda item: -item[1]
+        ):
+            path = parse_path(path_text)
+            values = self._value_distribution(path)
+            if values is None or len(values) < 2:
+                continue  # multi-valued or constant: unusable selector
+            fragments = self._equality_family(
+                self.collection.name, path, values
+            )
+            rationale = [
+                f"selector {path_text}: referenced by"
+                f" {score:.0f}/{total_frequency:.0f} weighted queries,"
+                f" {len(values)} distinct values, single-valued on sample",
+                f"{len(fragments)} fragments: top values get their own"
+                " fragment, a residual catches the rest",
+            ]
+            return DesignRecommendation(
+                kind="horizontal",
+                fragmentation=FragmentationSchema(
+                    self.collection.name,
+                    fragments,
+                    root_label=self.sample[0].root.label,
+                ),
+                rationale=rationale,
+                score=score / max(total_frequency, 1e-9),
+            )
+        return None
+
+    def _value_distribution(self, path: PathExpr) -> Optional[TallyCounter]:
+        """Value histogram of ``path`` over the sample (None if multi-valued)."""
+        tally: TallyCounter = TallyCounter()
+        for document in self.sample:
+            nodes = evaluate_path(path, document)
+            if len(nodes) > 1:
+                return None
+            if nodes:
+                tally[nodes[0].text_value()] += 1
+        return tally
+
+    def _equality_family(
+        self, collection: str, path: PathExpr, values: TallyCounter
+    ) -> list[HorizontalFragment]:
+        """Top-(k-1) values get their own fragment; a residual completes."""
+        own = min(self.site_count - 1, len(values))
+        heavy = [value for value, _ in values.most_common(own)]
+        fragments = [
+            HorizontalFragment(
+                f"F_{_slug(value)}", collection, predicate=eq(path, value)
+            )
+            for value in heavy
+        ]
+        residual_parts = tuple(ne(path, value) for value in heavy)
+        residual = (
+            residual_parts[0] if len(residual_parts) == 1 else And(residual_parts)
+        )
+        fragments.append(
+            HorizontalFragment("F_rest", collection, predicate=residual)
+        )
+        return fragments
+
+    # ------------------------------------------------------------------
+    # Vertical
+    # ------------------------------------------------------------------
+    def _regions(self) -> list[str]:
+        """Projectable top-level regions of the sample documents.
+
+        A region is a child label of the root that occurs at most once per
+        document — Definition 3's cardinality rule for projection paths.
+        Repeating labels stay in the remainder fragment.
+        """
+        labels: list[str] = []
+        repeating: set[str] = set()
+        for document in self.sample:
+            seen: TallyCounter = TallyCounter(
+                child.label for child in document.root.element_children()
+            )
+            for label, count in seen.items():
+                if label is None:
+                    continue
+                if count > 1:
+                    repeating.add(label)
+                elif label not in labels:
+                    labels.append(label)
+        return [label for label in labels if label not in repeating]
+
+    def _recommend_vertical(self) -> Optional[DesignRecommendation]:
+        regions = self._regions()
+        if len(regions) < 2:
+            return None
+        root_label = self.sample[0].root.label or ""
+        # Which regions does each query touch?
+        touch_sets: list[tuple[frozenset[str], float]] = []
+        for analysis, frequency in self._analyses:
+            if not analysis.paths_exact:
+                touch_sets.append((frozenset(regions), frequency))
+                continue
+            touched = set()
+            for path in analysis.touched_paths:
+                region = _region_of(path, root_label, regions)
+                if region is None:
+                    touched.update(regions)  # conservative
+                else:
+                    touched.add(region)
+            touch_sets.append((frozenset(touched or regions), frequency))
+        single_region_weight = sum(
+            frequency for regions_, frequency in touch_sets if len(regions_) == 1
+        )
+        total = sum(frequency for _, frequency in touch_sets)
+        clusters = _affinity_clusters(regions, touch_sets, self.site_count)
+        fragments = [
+            VerticalFragment(
+                f"F_{region}",
+                self.collection.name,
+                path=f"/{root_label}/{region}",
+            )
+            for region in regions
+        ]
+        # The remainder keeps the root and any content outside the
+        # projectable regions (repeating labels, attributes): completeness
+        # by construction, and reconstruction gets a real skeleton.
+        fragments.append(
+            VerticalFragment(
+                "F_rest",
+                self.collection.name,
+                path=f"/{root_label}",
+                prune=tuple(f"/{root_label}/{region}" for region in regions),
+            )
+        )
+        allocations = []
+        for cluster_index, cluster in enumerate(clusters):
+            for region in cluster:
+                allocations.append(
+                    FragmentAllocation(
+                        fragment=f"F_{region}",
+                        site=f"site{cluster_index % self.site_count}",
+                        stored_collection=f"F_{region}",
+                    )
+                )
+        allocations.append(
+            FragmentAllocation(
+                fragment="F_rest", site="site0", stored_collection="F_rest"
+            )
+        )
+        rationale = [
+            f"regions {', '.join(regions)} under /{root_label}",
+            f"{single_region_weight:.0f}/{total:.0f} weighted queries touch"
+            " a single region",
+            "region clusters (co-located by affinity): "
+            + "; ".join(",".join(sorted(c)) for c in clusters),
+        ]
+        return DesignRecommendation(
+            kind="vertical",
+            fragmentation=FragmentationSchema(
+                self.collection.name, fragments, root_label=root_label
+            ),
+            allocations=allocations,
+            rationale=rationale,
+            score=single_region_weight / max(total, 1e-9),
+        )
+
+    # ------------------------------------------------------------------
+    # Hybrid (SD)
+    # ------------------------------------------------------------------
+    def _recommend_hybrid(self) -> DesignRecommendation:
+        document = self.sample[0]
+        root_label = document.root.label or ""
+        unit = self._find_repeating_unit(document)
+        if unit is None:
+            raise FragmentationError(
+                "SD collection has no repeating unit to fragment over"
+            )
+        region_path, unit_label = unit
+        # Selector inside the unit: reuse the horizontal machinery against
+        # unit-rooted value paths.
+        unit_nodes = [
+            node
+            for node in evaluate_path(f"{region_path}/{unit_label}", document)
+        ]
+        selector = self._unit_selector(unit_nodes, unit_label)
+        if selector is None:
+            raise FragmentationError(
+                f"no single-valued selector found inside {unit_label!r} units"
+            )
+        selector_path, values = selector
+        own = min(self.site_count - 2, len(values)) if self.site_count > 2 else 1
+        heavy = [value for value, _ in values.most_common(max(own, 1))]
+        fragments = [
+            VerticalFragment(
+                "F_rest",
+                self.collection.name,
+                path=f"/{root_label}",
+                prune=(region_path,),
+                stub_prunes=True,
+            )
+        ]
+        for value in heavy:
+            fragments.append(
+                HybridFragment(
+                    f"F_{_slug(value)}",
+                    self.collection.name,
+                    path=region_path,
+                    unit_label=unit_label,
+                    predicate=eq(selector_path, value),
+                )
+            )
+        residual_parts = tuple(ne(selector_path, value) for value in heavy)
+        fragments.append(
+            HybridFragment(
+                "F_other",
+                self.collection.name,
+                path=region_path,
+                unit_label=unit_label,
+                predicate=(
+                    residual_parts[0]
+                    if len(residual_parts) == 1
+                    else And(residual_parts)
+                ),
+            )
+        )
+        rationale = [
+            f"repeating unit {unit_label!r} under {region_path}",
+            f"unit selector {selector_path} with {len(values)} values",
+            f"design: remainder (stub prune of {region_path}) +"
+            f" {len(fragments) - 1} unit fragments",
+        ]
+        return DesignRecommendation(
+            kind="hybrid",
+            fragmentation=FragmentationSchema(
+                self.collection.name, fragments, root_label=root_label
+            ),
+            rationale=rationale,
+            score=1.0,
+        )
+
+    def _find_repeating_unit(self, document) -> Optional[tuple[str, str]]:
+        """The (region path, unit label) with the most repeated children."""
+        root_label = document.root.label or ""
+        best: Optional[tuple[int, str, str]] = None
+        for child in document.root.element_children():
+            tally = TallyCounter(
+                grand.label for grand in child.element_children()
+            )
+            for label, count in tally.items():
+                if count >= 2 and label is not None:
+                    candidate = (count, f"/{root_label}/{child.label}", label)
+                    if best is None or candidate[0] > best[0]:
+                        best = candidate
+        if best is None:
+            return None
+        return best[1], best[2]
+
+    def _unit_selector(
+        self, unit_nodes, unit_label: str
+    ) -> Optional[tuple[PathExpr, TallyCounter]]:
+        """Most discriminating single-valued leaf among unit children."""
+        if not unit_nodes:
+            return None
+        best: Optional[tuple[float, PathExpr, TallyCounter]] = None
+        labels = {
+            child.label
+            for node in unit_nodes[:20]
+            for child in node.element_children()
+        }
+        for label in labels:
+            tally: TallyCounter = TallyCounter()
+            single_valued = True
+            for node in unit_nodes:
+                children = node.child_elements(label)
+                if len(children) > 1 or (
+                    children and children[0].element_children()
+                ):
+                    single_valued = False
+                    break
+                if children:
+                    tally[children[0].text_value()] += 1
+            if not single_valued or len(tally) < 2:
+                continue
+            # Prefer low-cardinality, evenly-used selectors (sections over
+            # unique codes): score = coverage / distinct values.
+            score = sum(tally.values()) / len(tally)
+            if len(tally) > len(unit_nodes) * 0.8:
+                continue  # nearly unique per unit: a key, not a selector
+            path = parse_path(f"/{unit_label}/{label}")
+            if best is None or score > best[0]:
+                best = (score, path, tally)
+        if best is None:
+            return None
+        return best[1], best[2]
+
+
+# ----------------------------------------------------------------------
+# Helpers
+# ----------------------------------------------------------------------
+def _equality_atoms(predicate: Optional[Predicate]) -> list[Comparison]:
+    if predicate is None:
+        return []
+    if isinstance(predicate, Comparison) and predicate.op == "=":
+        if predicate.path.is_simple:
+            return [predicate]
+        return []
+    if isinstance(predicate, (And, Or)):
+        atoms: list[Comparison] = []
+        for part in predicate.parts:
+            atoms.extend(_equality_atoms(part))
+        return atoms
+    return []
+
+
+def _region_of(
+    path: PathExpr, root_label: str, regions: list[str]
+) -> Optional[str]:
+    """Top-level region a touched path falls under (None = unknown)."""
+    steps = path.steps
+    if not steps:
+        return None
+    from repro.paths.ast import Axis
+
+    if steps[0].axis is Axis.DESCENDANT:
+        return steps[0].name if steps[0].name in regions else None
+    if steps[0].name != root_label:
+        return steps[0].name if steps[0].name in regions else None
+    if len(steps) < 2:
+        return None
+    return steps[1].name if steps[1].name in regions else None
+
+
+def _affinity_clusters(
+    regions: list[str],
+    touch_sets: list[tuple[frozenset[str], float]],
+    max_clusters: int,
+) -> list[set[str]]:
+    """Greedy affinity clustering: merge the region pair with the highest
+    co-access weight until the cluster count fits the sites."""
+    affinity: dict[frozenset[str], float] = {}
+    for touched, frequency in touch_sets:
+        touched_list = sorted(touched)
+        for i, a in enumerate(touched_list):
+            for b in touched_list[i + 1 :]:
+                key = frozenset((a, b))
+                affinity[key] = affinity.get(key, 0.0) + frequency
+    clusters: list[set[str]] = [{region} for region in regions]
+
+    def pair_affinity(c1: set[str], c2: set[str]) -> float:
+        return sum(
+            affinity.get(frozenset((a, b)), 0.0) for a in c1 for b in c2
+        )
+
+    while len(clusters) > max_clusters:
+        best_pair = None
+        best_value = -1.0
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                value = pair_affinity(clusters[i], clusters[j])
+                if value > best_value:
+                    best_value = value
+                    best_pair = (i, j)
+        assert best_pair is not None
+        i, j = best_pair
+        clusters[i] |= clusters[j]
+        del clusters[j]
+    # Also merge pairs with strong affinity even below the site count,
+    # so co-accessed regions land on one site (fewer joins).
+    merged = True
+    while merged and len(clusters) > 1:
+        merged = False
+        for i in range(len(clusters)):
+            for j in range(i + 1, len(clusters)):
+                within = pair_affinity(clusters[i], clusters[j])
+                if within > 0 and within >= _solo_weight(
+                    clusters[i], clusters[j], touch_sets
+                ):
+                    clusters[i] |= clusters[j]
+                    del clusters[j]
+                    merged = True
+                    break
+            if merged:
+                break
+    return clusters
+
+
+def _solo_weight(
+    c1: set[str], c2: set[str], touch_sets: list[tuple[frozenset[str], float]]
+) -> float:
+    """Weight of queries confined to exactly one of the two clusters."""
+    return sum(
+        frequency
+        for touched, frequency in touch_sets
+        if touched <= c1 or touched <= c2
+    )
+
+
+def _slug(value: str) -> str:
+    cleaned = "".join(c if c.isalnum() else "_" for c in value.strip())
+    return cleaned[:24] or "value"

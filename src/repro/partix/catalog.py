@@ -1,0 +1,183 @@
+"""Catalog services (paper §4).
+
+Two catalogs back the PartiX middleware:
+
+* :class:`SchemaCatalog` — "registers the data types used by the
+  distributed collections": XML schemas and collection declarations
+  ⟨S, τroot, SD|MD⟩.
+* :class:`DistributionCatalog` — "stores the fragment definitions": for
+  each collection, its :class:`FragmentationSchema` and the *allocation*
+  of each fragment to a site (and the physical collection name the
+  fragment's documents live under there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.datamodel.collection import RepositoryKind
+from repro.errors import CatalogError
+from repro.partix.fragments import FragmentationSchema
+from repro.xschema.schema import Schema
+
+
+@dataclass(frozen=True)
+class CollectionDeclaration:
+    """A registered collection ⟨S, τroot⟩ with its repository kind."""
+
+    name: str
+    kind: RepositoryKind
+    schema_name: Optional[str] = None
+    root_type: Optional[str] = None
+    root_label: Optional[str] = None
+
+
+class SchemaCatalog:
+    """XML Schema Catalog Service."""
+
+    def __init__(self) -> None:
+        self._schemas: dict[str, Schema] = {}
+        self._collections: dict[str, CollectionDeclaration] = {}
+
+    def register_schema(self, schema: Schema) -> None:
+        if schema.name in self._schemas:
+            raise CatalogError(f"schema {schema.name!r} already registered")
+        self._schemas[schema.name] = schema
+
+    def schema(self, name: str) -> Schema:
+        try:
+            return self._schemas[name]
+        except KeyError:
+            raise CatalogError(f"no schema named {name!r}") from None
+
+    def register_collection(self, declaration: CollectionDeclaration) -> None:
+        if declaration.name in self._collections:
+            raise CatalogError(
+                f"collection {declaration.name!r} already registered"
+            )
+        if declaration.schema_name is not None:
+            self.schema(declaration.schema_name)  # must exist
+        self._collections[declaration.name] = declaration
+
+    def collection(self, name: str) -> CollectionDeclaration:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise CatalogError(f"no collection named {name!r}") from None
+
+    def has_collection(self, name: str) -> bool:
+        return name in self._collections
+
+    def collection_names(self) -> list[str]:
+        return list(self._collections)
+
+
+@dataclass(frozen=True)
+class FragmentAllocation:
+    """Where one fragment physically lives.
+
+    ``hybrid_mode`` records the materialization of hybrid fragments
+    (1 = independent documents, 2 = single pruned document); the query
+    decomposer needs it to know the shape of the stored documents.
+    """
+
+    fragment: str
+    site: str
+    stored_collection: str
+    hybrid_mode: int = 2
+
+
+class DistributionCatalog:
+    """XML Distribution Catalog Service: fragmentation + allocation.
+
+    A fragment may be allocated to several sites (replicas) — the design
+    option the paper's related work (Bremer & Gertz) uses to "maximize
+    local query evaluation". The first allocation of a fragment is its
+    *primary*; :meth:`replicas` exposes all of them so the decomposer can
+    balance sub-queries across replica sites.
+    """
+
+    def __init__(self) -> None:
+        self._fragmentations: dict[str, FragmentationSchema] = {}
+        self._allocations: dict[str, dict[str, list[FragmentAllocation]]] = {}
+
+    # ------------------------------------------------------------------
+    def register_fragmentation(
+        self,
+        fragmentation: FragmentationSchema,
+        allocations: Iterable[FragmentAllocation],
+    ) -> None:
+        """Register a fragmentation design with its site allocation.
+
+        Every fragment must be allocated at least once; several
+        allocations of one fragment declare replicas (each on a distinct
+        site).
+        """
+        name = fragmentation.collection
+        if name in self._fragmentations:
+            raise CatalogError(
+                f"collection {name!r} already has a fragmentation"
+            )
+        allocation_map: dict[str, list[FragmentAllocation]] = {}
+        for allocation in allocations:
+            fragmentation.fragment(allocation.fragment)  # must exist
+            existing = allocation_map.setdefault(allocation.fragment, [])
+            if any(entry.site == allocation.site for entry in existing):
+                raise CatalogError(
+                    f"fragment {allocation.fragment!r} allocated twice"
+                    f" on site {allocation.site!r}"
+                )
+            existing.append(allocation)
+        missing = set(fragmentation.fragment_names()) - set(allocation_map)
+        if missing:
+            raise CatalogError(
+                f"fragments without allocation: {', '.join(sorted(missing))}"
+            )
+        self._fragmentations[name] = fragmentation
+        self._allocations[name] = allocation_map
+
+    def unregister(self, collection: str) -> None:
+        self._fragmentations.pop(collection, None)
+        self._allocations.pop(collection, None)
+
+    # ------------------------------------------------------------------
+    def fragmentation(self, collection: str) -> FragmentationSchema:
+        try:
+            return self._fragmentations[collection]
+        except KeyError:
+            raise CatalogError(
+                f"collection {collection!r} has no registered fragmentation"
+            ) from None
+
+    def is_fragmented(self, collection: str) -> bool:
+        return collection in self._fragmentations
+
+    def allocation(self, collection: str, fragment: str) -> FragmentAllocation:
+        """The fragment's *primary* allocation."""
+        return self.replicas(collection, fragment)[0]
+
+    def replicas(self, collection: str, fragment: str) -> list[FragmentAllocation]:
+        """All allocations (primary first) of one fragment."""
+        try:
+            return list(self._allocations[collection][fragment])
+        except KeyError:
+            raise CatalogError(
+                f"no allocation for fragment {fragment!r} of {collection!r}"
+            ) from None
+
+    def allocations(self, collection: str) -> list[FragmentAllocation]:
+        """Every allocation (including replicas), fragment order preserved."""
+        try:
+            return [
+                allocation
+                for entries in self._allocations[collection].values()
+                for allocation in entries
+            ]
+        except KeyError:
+            raise CatalogError(
+                f"collection {collection!r} has no registered fragmentation"
+            ) from None
+
+    def fragmented_collections(self) -> list[str]:
+        return list(self._fragmentations)

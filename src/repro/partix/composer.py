@@ -1,0 +1,194 @@
+"""Result composition (paper §3.3/§4).
+
+"PartiX gathers the results of the sub-queries and reconstructs the query
+answer." Three composition kinds exist, matching the reconstruction
+operator of each fragmentation type:
+
+* ``concat`` — horizontal/hybrid value streams: partial results union
+  (document-order within each fragment is preserved; cross-fragment order
+  follows the catalog's fragment order, and a final ``order by`` in the
+  original query is re-applied when its key is extractable).
+* ``aggregate`` — merge partial aggregates: ``count``/``sum`` add up,
+  ``min``/``max`` fold, ``avg`` recombines shipped (sum, count) pairs.
+* ``reconstruct`` — the expensive vertical path: parse the fetched
+  fragment documents, group them by their ``pxorigin`` join key, ID-join
+  each group back into source documents, load them into a scratch engine
+  under the original collection name, and re-run the original query.
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.algebra.annotations import PXPARENT, read_annotation, read_origin
+from repro.algebra.join import reconstruct_documents
+from repro.datamodel.document import XMLDocument
+from repro.datamodel.tree import NodeKind, XMLNode
+from repro.engine.database import XMLEngine, serialize_sequence
+from repro.errors import DecompositionError
+from repro.partix.decomposer import CompositionSpec, SubQuery
+from repro.xmltext.parser import parse_forest
+
+
+@dataclass
+class ComposedResult:
+    """Final answer plus the composition's own cost."""
+
+    result_text: str
+    result_bytes: int
+    compose_seconds: float
+    items: Optional[list] = None
+
+
+class ResultComposer:
+    """Combines partial sub-query results into the final answer."""
+
+    def compose(
+        self,
+        spec: CompositionSpec,
+        partials: list[tuple[SubQuery, str]],
+    ) -> ComposedResult:
+        """``partials`` pairs each sub-query with its serialized result."""
+        started = time.perf_counter()
+        if spec.kind == "concat":
+            text = self._concat(partials)
+            items = None
+        elif spec.kind == "aggregate":
+            text, items = self._aggregate(spec, partials)
+        elif spec.kind == "reconstruct":
+            text, items = self._reconstruct(spec, partials)
+        else:
+            raise DecompositionError(f"unknown composition kind {spec.kind!r}")
+        elapsed = time.perf_counter() - started
+        return ComposedResult(
+            result_text=text,
+            result_bytes=len(text.encode("utf-8")),
+            compose_seconds=elapsed,
+            items=items,
+        )
+
+    # ------------------------------------------------------------------
+    def _concat(self, partials: list[tuple[SubQuery, str]]) -> str:
+        chunks = [strip_annotation_text(text) for _, text in partials if text]
+        return "\n".join(chunk for chunk in chunks if chunk)
+
+    # ------------------------------------------------------------------
+    def _aggregate(
+        self, spec: CompositionSpec, partials: list[tuple[SubQuery, str]]
+    ) -> tuple[str, list]:
+        values: list[list[float]] = []
+        for _, text in partials:
+            numbers = [float(token) for token in text.split() if token]
+            values.append(numbers)
+        op = spec.aggregate
+        if op == "count" or op == "sum":
+            total = sum(v[0] for v in values if v)
+            if op == "count":
+                return str(int(total)), [int(total)]
+            return _format_number(total), [total]
+        if op == "min":
+            candidates = [v[0] for v in values if v]
+            if not candidates:
+                return "", []
+            result = min(candidates)
+            return _format_number(result), [result]
+        if op == "max":
+            candidates = [v[0] for v in values if v]
+            if not candidates:
+                return "", []
+            result = max(candidates)
+            return _format_number(result), [result]
+        if op == "avg":
+            # Each partial shipped (sum, count).
+            total = sum(v[0] for v in values if len(v) >= 2)
+            count = sum(v[1] for v in values if len(v) >= 2)
+            if count == 0:
+                return "", []
+            result = total / count
+            return _format_number(result), [result]
+        raise DecompositionError(f"unknown aggregate {op!r}")
+
+    # ------------------------------------------------------------------
+    def _reconstruct(
+        self, spec: CompositionSpec, partials: list[tuple[SubQuery, str]]
+    ) -> tuple[str, list]:
+        if spec.original_query is None or spec.source_collection is None:
+            raise DecompositionError(
+                "reconstruct composition needs the original query and"
+                " collection"
+            )
+        parts: list[XMLDocument] = []
+        for subquery, text in partials:
+            for root in parse_forest(text):
+                parts.extend(_extract_parts(root))
+        rebuilt = reconstruct_documents(parts, root_label=spec.root_label)
+        scratch = XMLEngine("compose-scratch")
+        scratch.create_collection(spec.source_collection)
+        for document in rebuilt:
+            scratch.store_document(
+                spec.source_collection, document, name=document.name
+            )
+        result = scratch.execute(spec.original_query)
+        return result.result_text, result.items
+
+
+_ANNOTATION_RE = re.compile(
+    r'\s+(?:pxid|pxparent)="\d+"|\s+pxorigin="[^"]*"'
+)
+
+
+def strip_annotation_text(text: str) -> str:
+    """Remove reconstruction annotations from serialized results.
+
+    The annotation names are reserved by this library (see
+    :mod:`repro.algebra.annotations`), so the textual strip is safe for
+    any document the publisher produced; it avoids re-parsing what may be
+    a large value stream just to drop three attributes.
+    """
+    return _ANNOTATION_RE.sub("", text)
+
+
+def _extract_parts(root: XMLNode) -> list[XMLDocument]:
+    """Turn one fetched fragment document into join parts.
+
+    * a root with ``pxparent`` is itself one part (vertical projection or
+      hybrid FragMode1 unit);
+    * a FragMode2 wrapper (chain document) contributes every descendant
+      carrying ``pxparent``;
+    * anything else (a remainder/skeleton document) is one part as-is.
+
+    Each part's origin comes from its own ``pxorigin`` or the enclosing
+    root's.
+    """
+    origin = read_origin(root)
+    if read_annotation(root, PXPARENT) is not None:
+        return [_as_part(root, origin)]
+    inner = [
+        node
+        for node in root.descendants()
+        if node.kind is NodeKind.ELEMENT
+        and read_annotation(node, PXPARENT) is not None
+    ]
+    if inner:
+        # Keep only the outermost annotated nodes (grafts are subtrees).
+        outermost = [
+            node
+            for node in inner
+            if not any(parent in inner for parent in node.ancestors())
+        ]
+        return [_as_part(node, read_origin(node) or origin) for node in outermost]
+    return [_as_part(root, origin)]
+
+
+def _as_part(node: XMLNode, origin: Optional[str]) -> XMLDocument:
+    detached = node.clone(deep=True)
+    return XMLDocument(detached, name=None, assign_ids=False, origin=origin)
+
+
+def _format_number(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(value)

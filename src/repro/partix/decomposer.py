@@ -1,0 +1,1026 @@
+"""Query decomposition and data localization.
+
+Given a query over the *global* collection and the fragmentation schema
+from the distribution catalog, the decomposer emits one sub-query per
+relevant fragment plus a composition specification (§3.3's "query
+processing methodology similar to the relational model": map the global
+query onto fragments via the reconstruction program, then localize).
+
+Localization rules:
+
+* **horizontal** — a fragment is pruned when its predicate μ is provably
+  unsatisfiable together with the query's extracted selection predicate
+  (``definitely_disjoint``). Sub-queries are the original query with the
+  collection renamed to the fragment's stored collection.
+* **vertical** — a fragment is relevant when a path the query touches may
+  fall inside the fragment's projected region. A single-fragment query is
+  rewritten (the fragment path's prefix is stripped, since fragment
+  documents are rooted at the projected node); a multi-fragment query
+  falls back to *fetch + ID-join + re-query* — the expensive
+  reconstruction the paper blames for vertical slowdowns.
+* **hybrid** — unit-region queries behave like horizontal over the unit
+  fragments (with the query predicate re-rooted at the unit); FragMode1
+  storage additionally needs the chain prefix stripped; queries spanning
+  the remainder fall back to reconstruction.
+
+Aggregates (``count``/``sum``/``min``/``max``/``avg``) are decomposed into
+partial aggregates merged by the composer; ``avg`` ships as a
+``(sum, count)`` pair.
+
+The paper's prototype shipped *annotated* sub-queries (locations supplied
+by hand); :func:`annotated` builds the same structure for that mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import DecompositionError
+from repro.partix.catalog import DistributionCatalog
+from repro.partix.fragments import (
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.paths.ast import Axis, PathExpr, Step
+from repro.paths.predicates import (
+    And,
+    Comparison,
+    Contains,
+    Empty,
+    Exists,
+    Not,
+    Or,
+    Predicate,
+    StartsWith,
+    definitely_disjoint,
+)
+from repro.xquery.analysis import (
+    QueryAnalysis,
+    _neutralize_counted_returns,
+    analyze_query,
+)
+from repro.xquery.ast_nodes import (
+    AttributeConstructor,
+    AxisStep,
+    BinaryOp,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    FilterExpr,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    OrderSpec,
+    PathApply,
+    Quantified,
+    RangeExpr,
+    SequenceExpr,
+    TextConstructor,
+    UnaryOp,
+    VarRef,
+)
+from repro.xquery.parser import parse_query
+from repro.xquery.unparse import unparse
+
+FETCH_ALL_TEMPLATE = 'for $d in collection("{name}") return $d'
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One sub-query targeted at one fragment's site."""
+
+    fragment: str
+    site: str
+    collection: str
+    query: str
+    purpose: str = "answer"  # "answer" | "fetch"
+
+
+@dataclass(frozen=True)
+class CompositionSpec:
+    """How partial results combine into the final answer."""
+
+    kind: str  # "concat" | "aggregate" | "reconstruct"
+    aggregate: Optional[str] = None
+    original_query: Optional[str] = None
+    source_collection: Optional[str] = None
+    root_label: Optional[str] = None
+
+
+@dataclass
+class DecomposedQuery:
+    """The decomposer's full output."""
+
+    collection: str
+    subqueries: list[SubQuery]
+    composition: CompositionSpec
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def fragment_names(self) -> list[str]:
+        return [sq.fragment for sq in self.subqueries]
+
+
+def annotated(
+    collection: str,
+    subqueries: list[SubQuery],
+    composition: CompositionSpec,
+) -> DecomposedQuery:
+    """Build a hand-annotated decomposition (the paper's prototype mode)."""
+    if not subqueries:
+        raise DecompositionError("an annotated decomposition needs sub-queries")
+    return DecomposedQuery(collection, subqueries, composition)
+
+
+class QueryDecomposer:
+    """Automatic decomposition against a distribution catalog."""
+
+    def __init__(self, catalog: DistributionCatalog):
+        self.catalog = catalog
+
+    def _choose_allocation(self, collection: str, fragment_name: str, load: dict):
+        """Pick the replica on the least-loaded site of this plan.
+
+        With single allocations this is the primary; with replicas the
+        greedy choice spreads the plan's sub-queries across sites, so
+        replicated fragments buy intra-query parallelism (cf. the
+        replication discussion in the paper's related work).
+        """
+        replicas = self.catalog.replicas(collection, fragment_name)
+        best = min(replicas, key=lambda entry: load.get(entry.site, 0))
+        load[best.site] = load.get(best.site, 0) + 1
+        return best
+
+    # ------------------------------------------------------------------
+    def decompose(
+        self, query: str, collection: Optional[str] = None
+    ) -> DecomposedQuery:
+        expr = parse_query(query)
+        analysis = analyze_query(expr)
+        collection = self._resolve_collection(analysis, collection)
+        fragmentation = self.catalog.fragmentation(collection)
+        kinds = fragmentation.kinds
+        if kinds == {"horizontal"}:
+            return self._decompose_horizontal(
+                query, expr, analysis, collection, fragmentation
+            )
+        if kinds == {"vertical"}:
+            return self._decompose_vertical(
+                query, expr, analysis, collection, fragmentation
+            )
+        return self._decompose_hybrid(
+            query, expr, analysis, collection, fragmentation
+        )
+
+    def _resolve_collection(
+        self, analysis: QueryAnalysis, collection: Optional[str]
+    ) -> str:
+        named = {name for name in analysis.collections if name is not None}
+        if collection is not None:
+            return collection
+        if len(named) == 1:
+            return next(iter(named))
+        if not named:
+            raise DecompositionError(
+                "query reads no named collection; pass collection= explicitly"
+            )
+        raise DecompositionError(
+            f"query reads several collections ({', '.join(sorted(named))});"
+            " multi-collection decomposition is not supported"
+        )
+
+    # ------------------------------------------------------------------
+    # Horizontal
+    # ------------------------------------------------------------------
+    def _decompose_horizontal(
+        self,
+        query: str,
+        expr: Expr,
+        analysis: QueryAnalysis,
+        collection: str,
+        fragmentation: FragmentationSchema,
+    ) -> DecomposedQuery:
+        fragments = fragmentation.horizontal_fragments()
+        relevant, pruned = self._prune_by_predicate(
+            fragments, analysis.predicate
+        )
+        notes = []
+        if pruned:
+            notes.append(
+                "pruned fragments (predicate contradiction): "
+                + ", ".join(pruned)
+            )
+        if not relevant:
+            # The query contradicts every fragment: answer is empty, but we
+            # must still return a well-formed plan; ship to none and let the
+            # composer produce the aggregate identity / empty result.
+            return DecomposedQuery(
+                collection,
+                [],
+                self._value_composition(analysis, query, collection, fragmentation),
+                notes,
+            )
+        shipped = self._shippable_ast(expr, analysis)
+        subqueries = []
+        load: dict[str, int] = {}
+        for fragment in relevant:
+            allocation = self._choose_allocation(collection, fragment.name, load)
+            renamed = rename_collections(
+                shipped, {collection: allocation.stored_collection}
+            )
+            subqueries.append(
+                SubQuery(
+                    fragment=fragment.name,
+                    site=allocation.site,
+                    collection=allocation.stored_collection,
+                    query=unparse(renamed),
+                )
+            )
+        self._note_order_by(expr, len(subqueries), notes)
+        return DecomposedQuery(
+            collection,
+            subqueries,
+            self._value_composition(analysis, query, collection, fragmentation),
+            notes,
+        )
+
+    def _prune_by_predicate(
+        self,
+        fragments: list[HorizontalFragment],
+        predicate: Optional[Predicate],
+    ) -> tuple[list[HorizontalFragment], list[str]]:
+        if predicate is None:
+            return list(fragments), []
+        relevant, pruned = [], []
+        for fragment in fragments:
+            if definitely_disjoint(predicate, fragment.predicate):
+                pruned.append(fragment.name)
+            else:
+                relevant.append(fragment)
+        return relevant, pruned
+
+    def _value_composition(
+        self,
+        analysis: QueryAnalysis,
+        query: str,
+        collection: str,
+        fragmentation: FragmentationSchema,
+    ) -> CompositionSpec:
+        if analysis.aggregate is not None:
+            return CompositionSpec(kind="aggregate", aggregate=analysis.aggregate)
+        return CompositionSpec(kind="concat")
+
+    @staticmethod
+    def _note_order_by(expr: Expr, subquery_count: int, notes: list[str]) -> None:
+        """Concat composition has bag semantics: warn when a top-level
+        ``order by`` spans several fragments (each sub-result is ordered,
+        but the concatenation interleaves fragments in catalog order)."""
+        if (
+            subquery_count > 1
+            and isinstance(expr, FLWOR)
+            and expr.order_by
+        ):
+            notes.append(
+                "top-level 'order by' spans multiple fragments: each"
+                " partial result is ordered, the concatenation is not"
+            )
+
+    def _shippable_ast(self, expr: Expr, analysis: QueryAnalysis) -> Expr:
+        """The AST each fragment executes (aggregates become partials)."""
+        if analysis.aggregate == "avg":
+            return rewrite_avg_to_sum_count(expr)
+        if analysis.aggregate == "count":
+            # count(for ... return $v) counts binding tuples; returning a
+            # literal instead is execution-equivalent and lets fragment
+            # rewriting succeed even when $v's node is not materialized in
+            # the fragment (e.g. the bare article of a vertical design).
+            return _neutralize_counted_returns(expr)
+        return expr
+
+    # ------------------------------------------------------------------
+    # Vertical
+    # ------------------------------------------------------------------
+    def _decompose_vertical(
+        self,
+        query: str,
+        expr: Expr,
+        analysis: QueryAnalysis,
+        collection: str,
+        fragmentation: FragmentationSchema,
+    ) -> DecomposedQuery:
+        fragments = fragmentation.vertical_fragments()
+        if analysis.paths_exact and analysis.touched_paths:
+            relevant = [
+                f
+                for f in fragments
+                if any(
+                    _path_touches_fragment(f, path)
+                    for path in analysis.touched_paths
+                )
+            ]
+            if not relevant:
+                relevant = list(fragments)
+        else:
+            relevant = list(fragments)
+        notes = [
+            f"vertical localization: {len(relevant)}/{len(fragments)}"
+            " fragment(s) relevant"
+        ]
+        if len(relevant) == 1:
+            fragment = relevant[0]
+            rewritten = rewrite_paths_for_fragment_root(
+                self._shippable_ast(expr, analysis),
+                [s.name for s in fragment.path.steps],
+            )
+            if rewritten is not None:
+                allocation = self.catalog.allocation(collection, fragment.name)
+                renamed = rename_collections(
+                    rewritten, {collection: allocation.stored_collection}
+                )
+                return DecomposedQuery(
+                    collection,
+                    [
+                        SubQuery(
+                            fragment=fragment.name,
+                            site=allocation.site,
+                            collection=allocation.stored_collection,
+                            query=unparse(renamed),
+                        )
+                    ],
+                    self._value_composition(analysis, query, collection, fragmentation),
+                    notes,
+                )
+            notes.append("path rewrite failed; falling back to reconstruction")
+        return self._reconstruction_plan(
+            query, collection, fragmentation, relevant, notes
+        )
+
+    def _reconstruction_plan(
+        self,
+        query: str,
+        collection: str,
+        fragmentation: FragmentationSchema,
+        relevant,
+        notes: list[str],
+    ) -> DecomposedQuery:
+        subqueries = []
+        load: dict[str, int] = {}
+        for fragment in relevant:
+            allocation = self._choose_allocation(collection, fragment.name, load)
+            subqueries.append(
+                SubQuery(
+                    fragment=fragment.name,
+                    site=allocation.site,
+                    collection=allocation.stored_collection,
+                    query=FETCH_ALL_TEMPLATE.format(
+                        name=allocation.stored_collection
+                    ),
+                    purpose="fetch",
+                )
+            )
+        notes.append(
+            "composition requires the ID-join (expensive; cf. paper §5,"
+            " vertical fragmentation)"
+        )
+        return DecomposedQuery(
+            collection,
+            subqueries,
+            CompositionSpec(
+                kind="reconstruct",
+                original_query=query,
+                source_collection=collection,
+                root_label=fragmentation.root_label,
+            ),
+            notes,
+        )
+
+    # ------------------------------------------------------------------
+    # Hybrid
+    # ------------------------------------------------------------------
+    def _decompose_hybrid(
+        self,
+        query: str,
+        expr: Expr,
+        analysis: QueryAnalysis,
+        collection: str,
+        fragmentation: FragmentationSchema,
+    ) -> DecomposedQuery:
+        hybrids = fragmentation.hybrid_fragments()
+        others = [f for f in fragmentation if not isinstance(f, HybridFragment)]
+        if not hybrids:
+            raise DecompositionError(
+                "mixed fragmentation without hybrid fragments is unsupported"
+            )
+        unit_path = hybrids[0].unit_path()
+        touches_units, touches_rest = self._hybrid_touch_sets(
+            analysis, unit_path, others
+        )
+        notes = [
+            f"hybrid localization: units={touches_units}, remainder={touches_rest}"
+        ]
+        if touches_units and not touches_rest:
+            return self._hybrid_unit_plan(
+                query, expr, analysis, collection, fragmentation, hybrids, notes
+            )
+        if touches_rest and not touches_units:
+            return self._hybrid_remainder_plan(
+                query, expr, analysis, collection, others, notes, fragmentation
+            )
+        return self._reconstruction_plan(
+            query, collection, fragmentation, list(fragmentation), notes
+        )
+
+    def _hybrid_touch_sets(
+        self,
+        analysis: QueryAnalysis,
+        unit_path: PathExpr,
+        others,
+    ) -> tuple[bool, bool]:
+        if not analysis.paths_exact or not analysis.touched_paths:
+            return True, bool(others)
+        touches_units = False
+        touches_rest = False
+        for path in analysis.touched_paths:
+            if unit_path.is_prefix_of(path):
+                touches_units = True
+            elif path.is_prefix_of(unit_path):
+                # Chain prefix (/Store, /Store/Items): present in FragMode2
+                # documents; counts as the unit region.
+                touches_units = True
+            else:
+                touches_rest = True
+        return touches_units, touches_rest
+
+    def _hybrid_unit_plan(
+        self,
+        query: str,
+        expr: Expr,
+        analysis: QueryAnalysis,
+        collection: str,
+        fragmentation: FragmentationSchema,
+        hybrids: list[HybridFragment],
+        notes: list[str],
+    ) -> DecomposedQuery:
+        # Concat composition is only sound when every iteration variable
+        # ranges over units (or deeper): a variable bound to the chain
+        # (e.g. the Store root) sees one document per *fragment*, so
+        # per-document constructs (inner aggregates, one-element-per-doc
+        # returns) would multiply. Fall back to reconstruction otherwise.
+        unit_path = hybrids[0].unit_path()
+        if not analysis.bindings_exact or not all(
+            unit_path.is_prefix_of(binding)
+            for binding in analysis.binding_paths
+        ):
+            notes.append(
+                "iteration over the chain (per-document semantics);"
+                " falling back to reconstruction"
+            )
+            return self._reconstruction_plan(
+                query, collection, fragmentation, list(fragmentation), notes
+            )
+        unit_predicate = (
+            _reroot_predicate(
+                analysis.predicate, hybrids[0].unit_path(), hybrids[0].unit_label
+            )
+            if analysis.predicate is not None
+            else None
+        )
+        relevant, pruned = [], []
+        for fragment in hybrids:
+            if (
+                unit_predicate is not None
+                and fragment.predicate is not None
+                and definitely_disjoint(unit_predicate, fragment.predicate)
+            ):
+                pruned.append(fragment.name)
+            else:
+                relevant.append(fragment)
+        if pruned:
+            notes.append("pruned hybrid fragments: " + ", ".join(pruned))
+        shipped = self._shippable_ast(expr, analysis)
+        subqueries = []
+        load: dict[str, int] = {}
+        for fragment in relevant:
+            allocation = self._choose_allocation(collection, fragment.name, load)
+            fragment_expr = shipped
+            if allocation.hybrid_mode == 1:
+                chain = [s.name for s in fragment.unit_path().steps]
+                rewritten = rewrite_paths_for_fragment_root(shipped, chain)
+                if rewritten is None:
+                    notes.append(
+                        f"FragMode1 rewrite failed for {fragment.name};"
+                        " falling back to reconstruction"
+                    )
+                    return self._reconstruction_plan(
+                        query, collection, fragmentation, list(fragmentation), notes
+                    )
+                fragment_expr = rewritten
+            renamed = rename_collections(
+                fragment_expr, {collection: allocation.stored_collection}
+            )
+            subqueries.append(
+                SubQuery(
+                    fragment=fragment.name,
+                    site=allocation.site,
+                    collection=allocation.stored_collection,
+                    query=unparse(renamed),
+                )
+            )
+        self._note_order_by(expr, len(subqueries), notes)
+        return DecomposedQuery(
+            collection,
+            subqueries,
+            self._value_composition(analysis, query, collection, fragmentation),
+            notes,
+        )
+
+    def _hybrid_remainder_plan(
+        self,
+        query: str,
+        expr: Expr,
+        analysis: QueryAnalysis,
+        collection: str,
+        others,
+        notes: list[str],
+        fragmentation: FragmentationSchema,
+    ) -> DecomposedQuery:
+        if len(others) != 1:
+            return self._reconstruction_plan(
+                query, collection, fragmentation, list(fragmentation), notes
+            )
+        fragment = others[0]
+        allocation = self.catalog.allocation(collection, fragment.name)
+        shipped = self._shippable_ast(expr, analysis)
+        renamed = rename_collections(
+            shipped, {collection: allocation.stored_collection}
+        )
+        notes.append(f"query confined to remainder fragment {fragment.name}")
+        return DecomposedQuery(
+            collection,
+            [
+                SubQuery(
+                    fragment=fragment.name,
+                    site=allocation.site,
+                    collection=allocation.stored_collection,
+                    query=unparse(renamed),
+                )
+            ],
+            self._value_composition(analysis, query, collection, fragmentation),
+            notes,
+        )
+
+
+# ----------------------------------------------------------------------
+# Relevance helpers
+# ----------------------------------------------------------------------
+def _path_touches_fragment(fragment: VerticalFragment, path: PathExpr) -> bool:
+    """Could ``path`` select nodes inside the fragment's projected region?"""
+    inside = fragment.path.may_contain(path) or path.may_contain(fragment.path)
+    if not inside:
+        return False
+    for prune in fragment.prune:
+        if prune.is_prefix_of(path) and str(prune) != str(path):
+            return False
+    return True
+
+
+def _reroot_predicate(
+    predicate: Predicate, unit_path: PathExpr, unit_label: str
+) -> Optional[Predicate]:
+    """Translate a document-rooted predicate to a unit-rooted one.
+
+    ``/Store/Items/Item/Section = "CD"`` becomes ``/Item/Section = "CD"``
+    when the unit path is ``/Store/Items/Item``. Parts that do not sit
+    under the unit path are dropped (the result stays a sound necessary
+    condition for unit membership).
+    """
+    if isinstance(predicate, And):
+        parts = [
+            p
+            for p in (
+                _reroot_predicate(part, unit_path, unit_label)
+                for part in predicate.parts
+            )
+            if p is not None
+        ]
+        if not parts:
+            return None
+        return parts[0] if len(parts) == 1 else And(tuple(parts))
+    if isinstance(predicate, Or):
+        parts = []
+        for part in predicate.parts:
+            rerooted = _reroot_predicate(part, unit_path, unit_label)
+            if rerooted is None:
+                return None  # a disjunct escaping the unit defeats pruning
+            parts.append(rerooted)
+        return Or(tuple(parts))
+    if isinstance(predicate, Not):
+        inner = _reroot_predicate(predicate.inner, unit_path, unit_label)
+        return Not(inner) if inner is not None else None
+    path = getattr(predicate, "path", None)
+    if path is None:
+        return None
+    rerooted_path = _reroot_path(path, unit_path, unit_label)
+    if rerooted_path is None:
+        return None
+    if isinstance(predicate, Comparison):
+        return Comparison(rerooted_path, predicate.op, predicate.value)
+    if isinstance(predicate, Contains):
+        return Contains(rerooted_path, predicate.needle)
+    if isinstance(predicate, StartsWith):
+        return StartsWith(rerooted_path, predicate.prefix)
+    if isinstance(predicate, Exists):
+        return Exists(rerooted_path)
+    if isinstance(predicate, Empty):
+        return Empty(rerooted_path)
+    return None
+
+
+def _reroot_path(
+    path: PathExpr, unit_path: PathExpr, unit_label: str
+) -> Optional[PathExpr]:
+    if not unit_path.is_simple or not path.is_simple:
+        return None
+    unit_labels = [s.name for s in unit_path.steps]
+    path_labels = [s.name for s in path.steps]
+    if len(path_labels) < len(unit_labels):
+        return None
+    if path_labels[: len(unit_labels)] != unit_labels:
+        return None
+    kept = path.steps[len(unit_labels) :]
+    steps = (Step(Axis.CHILD, unit_label),) + kept
+    return PathExpr(steps)
+
+
+# ----------------------------------------------------------------------
+# AST rewriters
+# ----------------------------------------------------------------------
+def rename_collections(expr: Expr, mapping: dict[str, str]) -> Expr:
+    """Replace collection names per ``mapping`` throughout the AST."""
+
+    def transform(node: Expr) -> Expr:
+        if isinstance(node, FunctionCall) and node.name == "collection":
+            if node.args and isinstance(node.args[0], Literal):
+                name = str(node.args[0].value)
+                if name in mapping:
+                    return FunctionCall(
+                        "collection", (Literal(mapping[name]),)
+                    )
+        return node
+
+    return _transform(expr, transform)
+
+
+def rewrite_paths_for_fragment_root(
+    expr: Expr, chain_labels: list[str]
+) -> Optional[Expr]:
+    """Rewrite a query to run against fragment documents.
+
+    ``chain_labels`` are the labels of the fragment's path (e.g.
+    ``[article, prolog]`` or ``[Store, Items, Item]``); fragment documents
+    are rooted at the *last* label. Collection-rooted paths starting with
+    the full chain keep only the last label onward; a ``for`` binding that
+    stops partway down the chain (``for $a in collection()/article``) is
+    re-bound to the fragment roots, and the chain remainder is stripped
+    from every path hanging off the variable (``$a/prolog/title`` →
+    ``$a/title``). Descendant-axis leading steps need no rewriting.
+
+    Returns None when some path addresses the original document shape in a
+    way that cannot be mapped (the caller falls back to reconstruction).
+    """
+    rewriter = _FragmentRootRewriter(chain_labels)
+    rewritten = rewriter.rewrite(expr, {})
+    return None if rewriter.failed else rewritten
+
+
+class _FragmentRootRewriter:
+    """Variable-aware chain-prefix stripping (see the function above).
+
+    ``strips`` maps each in-scope variable to the list of labels still to
+    be consumed by paths hanging off it: ``[]`` means the variable binds
+    fragment-level nodes (no stripping needed), a non-empty list means the
+    variable nominally binds an ancestor that fragment documents lack, so
+    any use must first navigate down through exactly those labels.
+    """
+
+    def __init__(self, chain: list[str]):
+        self.chain = chain
+        self.failed = False
+
+    # ------------------------------------------------------------------
+    def rewrite(self, expr: Expr, strips: dict[str, list[str]]) -> Expr:
+        if self.failed:
+            return expr
+        if isinstance(expr, FLWOR):
+            return self._rewrite_flwor(expr, strips)
+        if isinstance(expr, Quantified):
+            scope = dict(strips)
+            seq, strip = self._rewrite_binding(expr.seq, strips)
+            if strip is not None:
+                scope[expr.var] = strip
+            return Quantified(
+                expr.kind, expr.var, seq, self.rewrite(expr.condition, scope)
+            )
+        if isinstance(expr, PathApply):
+            return self._rewrite_path(expr, strips)
+        if isinstance(expr, VarRef):
+            if strips.get(expr.name):
+                # The variable's nominal node does not exist in fragment
+                # documents; a bare use cannot be mapped.
+                self.failed = True
+            return expr
+        return _rebuild(expr, lambda node: self.rewrite(node, strips))
+
+    def _rewrite_flwor(self, expr: FLWOR, strips: dict[str, list[str]]) -> Expr:
+        scope = dict(strips)
+        clauses = []
+        for clause in expr.clauses:
+            if isinstance(clause, ForClause):
+                seq, strip = self._rewrite_binding(clause.seq, scope)
+                clauses.append(ForClause(clause.var, seq, clause.position_var))
+                scope[clause.var] = strip if strip is not None else []
+            else:
+                seq, strip = self._rewrite_binding(clause.expr, scope)
+                clauses.append(LetClause(clause.var, seq))
+                scope[clause.var] = strip if strip is not None else []
+        where = self.rewrite(expr.where, scope) if expr.where is not None else None
+        order_by = tuple(
+            OrderSpec(self.rewrite(s.key, scope), s.descending)
+            for s in expr.order_by
+        )
+        return FLWOR(
+            tuple(clauses), where, order_by, self.rewrite(expr.return_expr, scope)
+        )
+
+    def _rewrite_binding(
+        self, seq: Expr, strips: dict[str, list[str]]
+    ) -> tuple[Expr, Optional[list[str]]]:
+        """Rewrite a binding sequence; returns (new_seq, strip-for-var)."""
+        if not isinstance(seq, PathApply):
+            return self.rewrite(seq, strips), []
+        anchored = seq.primary is None or (
+            isinstance(seq.primary, FunctionCall)
+            and seq.primary.name in ("collection", "doc")
+        )
+        if anchored:
+            rewritten, strip = self._strip_anchored(seq, strips, binding=True)
+            return rewritten, strip
+        if isinstance(seq.primary, VarRef):
+            rewritten, strip = self._strip_var_rooted(seq, strips, binding=True)
+            return rewritten, strip
+        return self.rewrite(seq, strips), []
+
+    # ------------------------------------------------------------------
+    def _rewrite_path(self, expr: PathApply, strips: dict[str, list[str]]) -> Expr:
+        anchored = expr.primary is None or (
+            isinstance(expr.primary, FunctionCall)
+            and expr.primary.name in ("collection", "doc")
+        )
+        if anchored:
+            rewritten, strip = self._strip_anchored(expr, strips, binding=False)
+            if strip:  # non-binding use must map fully
+                self.failed = True
+            return rewritten
+        if isinstance(expr.primary, VarRef):
+            rewritten, strip = self._strip_var_rooted(expr, strips, binding=False)
+            if strip:
+                self.failed = True
+            return rewritten
+        primary = self.rewrite(expr.primary, strips)
+        return PathApply(primary, self._rewrite_step_predicates(expr.steps, strips), expr.absolute)
+
+    def _strip_anchored(
+        self, expr: PathApply, strips: dict[str, list[str]], binding: bool
+    ) -> tuple[Expr, Optional[list[str]]]:
+        steps = expr.steps
+        if not steps:
+            return expr, []
+        first = steps[0]
+        if first.axis == "descendant-or-self":
+            return (
+                PathApply(
+                    expr.primary,
+                    self._rewrite_step_predicates(steps, strips),
+                    expr.absolute,
+                ),
+                [],
+            )
+        if first.name != self.chain[0] or first.is_attribute:
+            return (
+                PathApply(
+                    expr.primary,
+                    self._rewrite_step_predicates(steps, strips),
+                    expr.absolute,
+                ),
+                [],
+            )
+        matched = 0
+        for step, label in zip(steps, self.chain):
+            if step.axis != "child" or step.name != label or step.is_attribute:
+                break
+            matched += 1
+        if matched < len(self.chain):
+            # Binding stops partway down the chain: bind fragment roots and
+            # leave the chain remainder to be stripped off the variable.
+            if not binding or matched < len(steps):
+                self.failed = True
+                return expr, None
+            if any(step.predicates for step in steps):
+                self.failed = True  # predicates on dropped chain steps
+                return expr, None
+            new_steps = (AxisStep("child", self.chain[-1]),)
+            remainder = self.chain[matched:]
+            return PathApply(expr.primary, new_steps, expr.absolute), remainder
+        # Full chain matched: keep the last chain step (with predicates)
+        # and everything after it.
+        if any(step.predicates for step in steps[: len(self.chain) - 1]):
+            self.failed = True  # predicates on dropped chain steps
+            return expr, None
+        kept = steps[len(self.chain) - 1 :]
+        return (
+            PathApply(
+                expr.primary,
+                self._rewrite_step_predicates(kept, strips),
+                expr.absolute,
+            ),
+            [],
+        )
+
+    def _strip_var_rooted(
+        self, expr: PathApply, strips: dict[str, list[str]], binding: bool
+    ) -> tuple[Expr, Optional[list[str]]]:
+        assert isinstance(expr.primary, VarRef)
+        strip = strips.get(expr.primary.name) or []
+        steps = expr.steps
+        if not strip:
+            return (
+                PathApply(
+                    expr.primary,
+                    self._rewrite_step_predicates(steps, strips),
+                    expr.absolute,
+                ),
+                [],
+            )
+        consumable = min(len(strip), len(steps))
+        for index in range(consumable):
+            step = steps[index]
+            if (
+                step.axis != "child"
+                or step.name != strip[index]
+                or step.is_attribute
+                or step.predicates
+            ):
+                if step.axis == "descendant-or-self":
+                    # '//' skips the missing ancestors by itself.
+                    return (
+                        PathApply(
+                            expr.primary,
+                            self._rewrite_step_predicates(steps, strips),
+                            expr.absolute,
+                        ),
+                        [],
+                    )
+                self.failed = True
+                return expr, None
+        remaining_strip = strip[consumable:]
+        kept = steps[consumable:]
+        if remaining_strip and not binding:
+            self.failed = True
+            return expr, None
+        if not kept:
+            return expr.primary, remaining_strip
+        return (
+            PathApply(
+                expr.primary,
+                self._rewrite_step_predicates(kept, strips),
+                expr.absolute,
+            ),
+            remaining_strip,
+        )
+
+    def _rewrite_step_predicates(
+        self, steps: tuple[AxisStep, ...], strips: dict[str, list[str]]
+    ) -> tuple[AxisStep, ...]:
+        return tuple(
+            AxisStep(
+                s.axis,
+                s.name,
+                s.is_attribute,
+                s.is_text,
+                tuple(self.rewrite(p, strips) for p in s.predicates),
+            )
+            for s in steps
+        )
+
+
+def rewrite_avg_to_sum_count(expr: Expr) -> Expr:
+    """Turn a top-level ``avg(X)`` into the pair ``(sum(X), count(X))``."""
+    if isinstance(expr, FunctionCall) and expr.name == "avg":
+        return SequenceExpr(
+            (
+                FunctionCall("sum", expr.args),
+                FunctionCall("count", expr.args),
+            )
+        )
+    if isinstance(expr, ElementConstructor) and len(expr.content) == 1:
+        return ElementConstructor(
+            expr.name, (rewrite_avg_to_sum_count(expr.content[0]),)
+        )
+    if isinstance(expr, FLWOR) and all(
+        isinstance(c, LetClause) for c in expr.clauses
+    ):
+        return FLWOR(
+            expr.clauses,
+            expr.where,
+            expr.order_by,
+            rewrite_avg_to_sum_count(expr.return_expr),
+        )
+    return expr
+
+
+def _transform(expr: Expr, fn) -> Expr:
+    """Bottom-up AST transformation applying ``fn`` to every node."""
+    rebuilt = _rebuild(expr, lambda child: _transform(child, fn))
+    return fn(rebuilt)
+
+
+def _rebuild(expr: Expr, fn) -> Expr:
+    """Rebuild one node, transforming direct children through ``fn``.
+
+    ``fn`` fully transforms each child; this function never recurses by
+    itself, so callers with scoped state (the fragment-root rewriter)
+    control the traversal.
+    """
+    if isinstance(expr, SequenceExpr):
+        return SequenceExpr(tuple(fn(item) for item in expr.items))
+    if isinstance(expr, RangeExpr):
+        return RangeExpr(fn(expr.start), fn(expr.end))
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(expr.op, fn(expr.operand))
+    if isinstance(expr, FunctionCall):
+        return FunctionCall(expr.name, tuple(fn(a) for a in expr.args))
+    if isinstance(expr, PathApply):
+        primary = fn(expr.primary) if expr.primary is not None else None
+        steps = tuple(
+            AxisStep(
+                s.axis,
+                s.name,
+                s.is_attribute,
+                s.is_text,
+                tuple(fn(p) for p in s.predicates),
+            )
+            for s in expr.steps
+        )
+        return PathApply(primary, steps, expr.absolute)
+    if isinstance(expr, FilterExpr):
+        return FilterExpr(
+            fn(expr.primary),
+            tuple(fn(p) for p in expr.predicates),
+        )
+    if isinstance(expr, FLWOR):
+        clauses = []
+        for clause in expr.clauses:
+            if isinstance(clause, ForClause):
+                clauses.append(
+                    ForClause(
+                        clause.var, fn(clause.seq), clause.position_var
+                    )
+                )
+            else:
+                clauses.append(LetClause(clause.var, fn(clause.expr)))
+        where = fn(expr.where) if expr.where is not None else None
+        order_by = tuple(
+            OrderSpec(fn(s.key), s.descending) for s in expr.order_by
+        )
+        return FLWOR(tuple(clauses), where, order_by, fn(expr.return_expr))
+    if isinstance(expr, IfExpr):
+        return IfExpr(
+            fn(expr.condition),
+            fn(expr.then_branch),
+            fn(expr.else_branch),
+        )
+    if isinstance(expr, Quantified):
+        return Quantified(
+            expr.kind,
+            expr.var,
+            fn(expr.seq),
+            fn(expr.condition),
+        )
+    if isinstance(expr, ElementConstructor):
+        return ElementConstructor(
+            expr.name, tuple(fn(c) for c in expr.content)
+        )
+    if isinstance(expr, AttributeConstructor):
+        return AttributeConstructor(
+            expr.name, tuple(fn(c) for c in expr.content)
+        )
+    if isinstance(expr, TextConstructor):
+        return TextConstructor(tuple(fn(c) for c in expr.content))
+    return expr

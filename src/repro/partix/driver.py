@@ -1,0 +1,98 @@
+"""The PartiX driver: a uniform interface to XQuery-enabled XML DBMSs.
+
+§4: "Our architecture considers that there is a PartiX Driver, which
+allows accessing remote DBMSs to store and retrieve XML documents. ...
+The PartiX driver allows different XML DBMSs to participate in the
+system. The only requirement is that they are able to process XQuery."
+
+:class:`PartixDriver` is the abstract interface; :class:`MiniXDriver`
+adapts our embedded engine (the eXist stand-in). A driver for a real
+remote DBMS would implement the same five methods over its wire protocol.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional, Union
+
+from repro.datamodel.document import XMLDocument
+from repro.engine.database import XMLEngine
+from repro.engine.stats import QueryResult
+from repro.paths.predicates import Predicate
+
+
+class PartixDriver(abc.ABC):
+    """Uniform access to one XML DBMS node."""
+
+    @abc.abstractmethod
+    def create_collection(self, name: str) -> None:
+        """Create an empty collection (idempotent)."""
+
+    @abc.abstractmethod
+    def store_document(
+        self,
+        collection: str,
+        document: Union[XMLDocument, str, bytes],
+        name: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        """Store one document into ``collection``."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional[Predicate] = None,
+    ) -> QueryResult:
+        """Run an XQuery and return its result + execution metrics."""
+
+    @abc.abstractmethod
+    def document_count(self, collection: str) -> int:
+        """Number of documents in ``collection``."""
+
+    @abc.abstractmethod
+    def collection_bytes(self, collection: str) -> int:
+        """Total serialized size of ``collection``."""
+
+
+class MiniXDriver(PartixDriver):
+    """Driver over the embedded MiniX engine."""
+
+    def __init__(self, engine: Optional[XMLEngine] = None, name: str = "minix"):
+        self.engine = engine if engine is not None else XMLEngine(name)
+
+    def create_collection(self, name: str) -> None:
+        if not self.engine.has_collection(name):
+            self.engine.create_collection(name)
+
+    def store_document(
+        self,
+        collection: str,
+        document: Union[XMLDocument, str, bytes],
+        name: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        self.engine.store_document(collection, document, name=name, origin=origin)
+
+    def execute(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional[Predicate] = None,
+    ) -> QueryResult:
+        return self.engine.execute(
+            query,
+            default_collection=default_collection,
+            extra_predicate=extra_predicate,
+        )
+
+    def document_count(self, collection: str) -> int:
+        if not self.engine.has_collection(collection):
+            return 0
+        return self.engine.document_count(collection)
+
+    def collection_bytes(self, collection: str) -> int:
+        if not self.engine.has_collection(collection):
+            return 0
+        return self.engine.collection_bytes(collection)

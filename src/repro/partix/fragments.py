@@ -1,0 +1,289 @@
+"""Fragment definitions (paper Definitions 1-4).
+
+A fragment ``F := ⟨C, γ⟩`` names a source collection and an operation:
+
+* :class:`HorizontalFragment` — ``γ = σμ`` (Definition 2): documents of C
+  satisfying a conjunction of simple predicates. Same schema as C.
+* :class:`VerticalFragment` — ``γ = π_{P,Γ}`` (Definition 3): per source
+  document, the subtree rooted at the node selected by ``P``, minus the
+  subtrees selected by the prune criterion ``Γ``.
+* :class:`HybridFragment` — ``γ = π • σ`` (Definition 4): the subtrees
+  projected by π whose *units* (the repeating elements under the projected
+  region, e.g. ``Item``) satisfy σ. This is how SD repositories get
+  horizontally distributed (§3.2: "the elements in an SD repository may be
+  distributed over fragments using a hybrid fragmentation").
+
+A :class:`FragmentationSchema` groups the fragments Φ = {F1..Fn} of one
+collection, records the collection's root label (needed to reconstruct
+designs where no fragment keeps the root, like the paper's XBench one),
+and provides static validity checks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.algebra.operators import (
+    Composition,
+    DocumentOperator,
+    Projection,
+    Selection,
+)
+from repro.errors import FragmentationError
+from repro.paths.ast import PathExpr
+from repro.paths.parser import parse_path
+from repro.paths.predicates import Predicate
+from repro.xschema.schema import Schema
+
+
+def _as_path(path: Union[PathExpr, str]) -> PathExpr:
+    return parse_path(path) if isinstance(path, str) else path
+
+
+@dataclass(frozen=True)
+class FragmentDefinition(abc.ABC):
+    """Common shape of a fragment definition ⟨C, γ⟩."""
+
+    name: str
+    collection: str
+
+    @property
+    @abc.abstractmethod
+    def kind(self) -> str:
+        """``"horizontal"``, ``"vertical"`` or ``"hybrid"``."""
+
+    @abc.abstractmethod
+    def operator(self) -> DocumentOperator:
+        """The γ operation as an executable algebra operator."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """The fragment in the paper's ⟨C, γ⟩ notation."""
+
+
+@dataclass(frozen=True)
+class HorizontalFragment(FragmentDefinition):
+    """``F := ⟨C, σμ⟩`` — documents satisfying μ (Definition 2)."""
+
+    predicate: Predicate = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.predicate is None:
+            raise FragmentationError(
+                f"horizontal fragment {self.name!r} needs a predicate"
+            )
+
+    @property
+    def kind(self) -> str:
+        return "horizontal"
+
+    def operator(self) -> DocumentOperator:
+        return Selection(self.predicate)
+
+    def describe(self) -> str:
+        return f"{self.name} := ⟨{self.collection}, σ[{self.predicate}]⟩"
+
+
+@dataclass(frozen=True)
+class VerticalFragment(FragmentDefinition):
+    """``F := ⟨C, π_{P,Γ}⟩`` — projected subtrees (Definition 3)."""
+
+    path: PathExpr = None  # type: ignore[assignment]
+    prune: tuple[PathExpr, ...] = field(default=())
+    stub_prunes: bool = False
+
+    def __post_init__(self) -> None:
+        if self.path is None:
+            raise FragmentationError(
+                f"vertical fragment {self.name!r} needs a projection path"
+            )
+        object.__setattr__(self, "path", _as_path(self.path))
+        object.__setattr__(
+            self, "prune", tuple(_as_path(p) for p in self.prune)
+        )
+
+    @property
+    def kind(self) -> str:
+        return "vertical"
+
+    def operator(self) -> DocumentOperator:
+        return Projection(self.path, prune=self.prune, stub_prunes=self.stub_prunes)
+
+    def validate_against_schema(self, schema: Schema, root_type: str) -> None:
+        """Static Definition 3 validity: P selects at most one node.
+
+        Only decidable for simple paths; a positional step pins one
+        occurrence and is accepted. Raises on violation.
+        """
+        if any(step.position is not None for step in self.path.steps):
+            return
+        if not self.path.is_simple:
+            return  # undecidable statically; the operator checks at runtime
+        labels = [s.name for s in self.path.steps]
+        if labels[0] != schema.get(root_type).name:
+            raise FragmentationError(
+                f"fragment {self.name!r}: path {self.path} does not start at"
+                f" root type {root_type!r}"
+            )
+        cardinality = schema.max_path_cardinality(labels[1:], root_type)
+        if cardinality is None or cardinality > 1:
+            raise FragmentationError(
+                f"fragment {self.name!r}: path {self.path} may select"
+                f" {'unbounded' if cardinality is None else cardinality}"
+                " nodes per document; vertical fragments require at most one"
+                " (Definition 3) unless a positional step is used"
+            )
+
+    def describe(self) -> str:
+        gamma = "{" + ", ".join(str(p) for p in self.prune) + "}"
+        return f"{self.name} := ⟨{self.collection}, π[{self.path}, {gamma}]⟩"
+
+
+@dataclass(frozen=True)
+class HybridFragment(FragmentDefinition):
+    """``F := ⟨C, π_{P,Γ} • σμ⟩`` — projection then selection (Definition 4).
+
+    ``path`` projects the region (e.g. ``/Store/Items``); ``unit_label``
+    names the repeating element under the region (e.g. ``Item``) whose
+    subtrees the predicate filters, each unit evaluated as its own mini
+    document (the predicate's paths start at the unit, e.g.
+    ``/Item/Section``). ``predicate=None`` keeps every unit.
+    """
+
+    path: PathExpr = None  # type: ignore[assignment]
+    unit_label: str = ""
+    predicate: Optional[Predicate] = None
+    prune: tuple[PathExpr, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if self.path is None or not self.unit_label:
+            raise FragmentationError(
+                f"hybrid fragment {self.name!r} needs a region path and a"
+                " unit label"
+            )
+        object.__setattr__(self, "path", _as_path(self.path))
+        object.__setattr__(
+            self, "prune", tuple(_as_path(p) for p in self.prune)
+        )
+
+    @property
+    def kind(self) -> str:
+        return "hybrid"
+
+    def unit_path(self) -> PathExpr:
+        """Absolute path of the units inside source documents."""
+        return parse_path(f"{self.path}/{self.unit_label}")
+
+    def operator(self) -> DocumentOperator:
+        """π to the units, then σ — yields one document per selected unit.
+
+        This is the algebraic (materialization-independent) semantics;
+        FragMode1/FragMode2 packaging lives in the publisher.
+        """
+        project = Projection(
+            self.unit_path(), prune=self.prune, allow_multiple=True
+        )
+        if self.predicate is None:
+            return project
+        return Composition(project, Selection(self.predicate))
+
+    def describe(self) -> str:
+        gamma = "{" + ", ".join(str(p) for p in self.prune) + "}"
+        sigma = f" • σ[{self.predicate}]" if self.predicate is not None else ""
+        return (
+            f"{self.name} := ⟨{self.collection},"
+            f" π[{self.path}/{self.unit_label}, {gamma}]{sigma}⟩"
+        )
+
+
+class FragmentationSchema:
+    """The fragments Φ of one collection plus design metadata.
+
+    Parameters
+    ----------
+    collection:
+        Source collection name.
+    fragments:
+        The fragment definitions. All must reference ``collection``.
+    root_label:
+        Label of source document roots; required to reconstruct vertical
+        designs where no fragment retains the root.
+    schema / root_type:
+        Optional XML schema context enabling static validity checks and
+        single-valuedness analysis for predicate-based pruning.
+    """
+
+    def __init__(
+        self,
+        collection: str,
+        fragments: Sequence[FragmentDefinition],
+        root_label: Optional[str] = None,
+        schema: Optional[Schema] = None,
+        root_type: Optional[str] = None,
+    ):
+        if not fragments:
+            raise FragmentationError("a fragmentation schema needs fragments")
+        names = [f.name for f in fragments]
+        if len(set(names)) != len(names):
+            raise FragmentationError("duplicate fragment names")
+        for fragment in fragments:
+            if fragment.collection != collection:
+                raise FragmentationError(
+                    f"fragment {fragment.name!r} references collection"
+                    f" {fragment.collection!r}, not {collection!r}"
+                )
+        self.collection = collection
+        self.fragments: tuple[FragmentDefinition, ...] = tuple(fragments)
+        self.root_label = root_label
+        self.schema = schema
+        self.root_type = root_type
+        if schema is not None and root_type is not None:
+            for fragment in self.fragments:
+                if isinstance(fragment, VerticalFragment):
+                    fragment.validate_against_schema(schema, root_type)
+
+    # ------------------------------------------------------------------
+    def fragment(self, name: str) -> FragmentDefinition:
+        for fragment in self.fragments:
+            if fragment.name == name:
+                return fragment
+        raise FragmentationError(
+            f"no fragment {name!r} in schema for {self.collection!r}"
+        )
+
+    def fragment_names(self) -> list[str]:
+        return [f.name for f in self.fragments]
+
+    @property
+    def kinds(self) -> set[str]:
+        return {f.kind for f in self.fragments}
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.kinds == {"horizontal"}
+
+    @property
+    def is_vertical(self) -> bool:
+        return self.kinds == {"vertical"}
+
+    def horizontal_fragments(self) -> list[HorizontalFragment]:
+        return [f for f in self.fragments if isinstance(f, HorizontalFragment)]
+
+    def vertical_fragments(self) -> list[VerticalFragment]:
+        return [f for f in self.fragments if isinstance(f, VerticalFragment)]
+
+    def hybrid_fragments(self) -> list[HybridFragment]:
+        return [f for f in self.fragments if isinstance(f, HybridFragment)]
+
+    def describe(self) -> str:
+        lines = [f"Fragmentation of {self.collection!r}:"]
+        lines.extend("  " + f.describe() for f in self.fragments)
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.fragments)
+
+    def __iter__(self):
+        return iter(self.fragments)

@@ -1,0 +1,259 @@
+"""JSON (de)serialization of fragmentation designs.
+
+A deployed PartiX instance must survive restarts: the distribution
+catalog's fragment definitions and allocations are plain data, so they
+round-trip through JSON. This module serializes the whole predicate and
+fragment languages:
+
+* predicates — every node of the §3.1 predicate grammar;
+* fragments — Definitions 1-4 with prunes/units/stub flags;
+* designs — a :class:`FragmentationSchema` plus its allocations.
+
+``save_design``/``load_design`` write and read a single JSON file;
+``design_to_dict``/``design_from_dict`` expose the intermediate form for
+embedding in larger configuration documents.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.errors import FragmentationError
+from repro.partix.catalog import FragmentAllocation
+from repro.partix.fragments import (
+    FragmentDefinition,
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.paths.parser import parse_path
+from repro.paths.predicates import (
+    And,
+    Comparison,
+    Contains,
+    Empty,
+    Exists,
+    FunctionComparison,
+    Not,
+    Or,
+    Predicate,
+    StartsWith,
+    TruePredicate,
+)
+
+
+# ----------------------------------------------------------------------
+# Predicates
+# ----------------------------------------------------------------------
+def predicate_to_dict(predicate: Predicate) -> dict:
+    """Structured form of any predicate of the §3.1 grammar."""
+    if isinstance(predicate, Comparison):
+        return {
+            "type": "comparison",
+            "path": str(predicate.path),
+            "op": predicate.op,
+            "value": predicate.value,
+        }
+    if isinstance(predicate, FunctionComparison):
+        return {
+            "type": "function-comparison",
+            "function": predicate.function,
+            "path": str(predicate.path),
+            "op": predicate.op,
+            "value": predicate.value,
+        }
+    if isinstance(predicate, Contains):
+        return {
+            "type": "contains",
+            "path": str(predicate.path),
+            "needle": predicate.needle,
+        }
+    if isinstance(predicate, StartsWith):
+        return {
+            "type": "starts-with",
+            "path": str(predicate.path),
+            "prefix": predicate.prefix,
+        }
+    if isinstance(predicate, Exists):
+        return {"type": "exists", "path": str(predicate.path)}
+    if isinstance(predicate, Empty):
+        return {"type": "empty", "path": str(predicate.path)}
+    if isinstance(predicate, Not):
+        return {"type": "not", "inner": predicate_to_dict(predicate.inner)}
+    if isinstance(predicate, And):
+        return {
+            "type": "and",
+            "parts": [predicate_to_dict(part) for part in predicate.parts],
+        }
+    if isinstance(predicate, Or):
+        return {
+            "type": "or",
+            "parts": [predicate_to_dict(part) for part in predicate.parts],
+        }
+    if isinstance(predicate, TruePredicate):
+        return {"type": "true"}
+    raise FragmentationError(
+        f"cannot serialize predicate type {type(predicate).__name__}"
+    )
+
+
+def predicate_from_dict(data: dict) -> Predicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    kind = data.get("type")
+    if kind == "comparison":
+        return Comparison(parse_path(data["path"]), data["op"], data["value"])
+    if kind == "function-comparison":
+        return FunctionComparison(
+            data["function"], parse_path(data["path"]), data["op"], data["value"]
+        )
+    if kind == "contains":
+        return Contains(parse_path(data["path"]), data["needle"])
+    if kind == "starts-with":
+        return StartsWith(parse_path(data["path"]), data["prefix"])
+    if kind == "exists":
+        return Exists(parse_path(data["path"]))
+    if kind == "empty":
+        return Empty(parse_path(data["path"]))
+    if kind == "not":
+        return Not(predicate_from_dict(data["inner"]))
+    if kind == "and":
+        return And(tuple(predicate_from_dict(part) for part in data["parts"]))
+    if kind == "or":
+        return Or(tuple(predicate_from_dict(part) for part in data["parts"]))
+    if kind == "true":
+        return TruePredicate()
+    raise FragmentationError(f"unknown predicate type {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Fragments
+# ----------------------------------------------------------------------
+def fragment_to_dict(fragment: FragmentDefinition) -> dict:
+    if isinstance(fragment, HorizontalFragment):
+        return {
+            "kind": "horizontal",
+            "name": fragment.name,
+            "collection": fragment.collection,
+            "predicate": predicate_to_dict(fragment.predicate),
+        }
+    if isinstance(fragment, VerticalFragment):
+        return {
+            "kind": "vertical",
+            "name": fragment.name,
+            "collection": fragment.collection,
+            "path": str(fragment.path),
+            "prune": [str(p) for p in fragment.prune],
+            "stub_prunes": fragment.stub_prunes,
+        }
+    if isinstance(fragment, HybridFragment):
+        return {
+            "kind": "hybrid",
+            "name": fragment.name,
+            "collection": fragment.collection,
+            "path": str(fragment.path),
+            "unit_label": fragment.unit_label,
+            "predicate": (
+                predicate_to_dict(fragment.predicate)
+                if fragment.predicate is not None
+                else None
+            ),
+            "prune": [str(p) for p in fragment.prune],
+        }
+    raise FragmentationError(
+        f"cannot serialize fragment type {type(fragment).__name__}"
+    )
+
+
+def fragment_from_dict(data: dict) -> FragmentDefinition:
+    kind = data.get("kind")
+    if kind == "horizontal":
+        return HorizontalFragment(
+            data["name"],
+            data["collection"],
+            predicate=predicate_from_dict(data["predicate"]),
+        )
+    if kind == "vertical":
+        return VerticalFragment(
+            data["name"],
+            data["collection"],
+            path=data["path"],
+            prune=tuple(data.get("prune", ())),
+            stub_prunes=data.get("stub_prunes", False),
+        )
+    if kind == "hybrid":
+        predicate = data.get("predicate")
+        return HybridFragment(
+            data["name"],
+            data["collection"],
+            path=data["path"],
+            unit_label=data["unit_label"],
+            predicate=(
+                predicate_from_dict(predicate) if predicate is not None else None
+            ),
+            prune=tuple(data.get("prune", ())),
+        )
+    raise FragmentationError(f"unknown fragment kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Whole designs
+# ----------------------------------------------------------------------
+def design_to_dict(
+    fragmentation: FragmentationSchema,
+    allocations: Optional[Sequence[FragmentAllocation]] = None,
+) -> dict:
+    return {
+        "collection": fragmentation.collection,
+        "root_label": fragmentation.root_label,
+        "fragments": [fragment_to_dict(f) for f in fragmentation.fragments],
+        "allocations": [
+            {
+                "fragment": a.fragment,
+                "site": a.site,
+                "stored_collection": a.stored_collection,
+                "hybrid_mode": a.hybrid_mode,
+            }
+            for a in (allocations or ())
+        ],
+    }
+
+
+def design_from_dict(
+    data: dict,
+) -> tuple[FragmentationSchema, list[FragmentAllocation]]:
+    fragmentation = FragmentationSchema(
+        data["collection"],
+        [fragment_from_dict(f) for f in data["fragments"]],
+        root_label=data.get("root_label"),
+    )
+    allocations = [
+        FragmentAllocation(
+            fragment=a["fragment"],
+            site=a["site"],
+            stored_collection=a["stored_collection"],
+            hybrid_mode=a.get("hybrid_mode", 2),
+        )
+        for a in data.get("allocations", ())
+    ]
+    return fragmentation, allocations
+
+
+def save_design(
+    path: str | Path,
+    fragmentation: FragmentationSchema,
+    allocations: Optional[Sequence[FragmentAllocation]] = None,
+) -> None:
+    """Write a design (fragments + allocations) to a JSON file."""
+    Path(path).write_text(
+        json.dumps(design_to_dict(fragmentation, allocations), indent=2)
+    )
+
+
+def load_design(
+    path: str | Path,
+) -> tuple[FragmentationSchema, list[FragmentAllocation]]:
+    """Read a design previously written by :func:`save_design`."""
+    return design_from_dict(json.loads(Path(path).read_text()))

@@ -1,0 +1,58 @@
+"""Parser for textual path expressions.
+
+Grammar (paper §3.1)::
+
+    path  := step+
+    step  := ("/" | "//") test
+    test  := name position? | "*" position? | "@" name
+    position := "[" integer "]"
+
+Examples: ``/Store/Items/Item``, ``//Description``, ``/Item/*/Name``,
+``/Item/PictureList/Picture[1]``, ``/Item/@id``.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import PathSyntaxError
+from repro.paths.ast import Axis, PathExpr, Step
+
+_STEP_RE = re.compile(
+    r"(?P<axis>//|/)"
+    r"(?P<test>@?[A-Za-z_][\w.\-:]*|\*)"
+    r"(?:\[(?P<pos>\d+)\])?"
+)
+
+
+def parse_path(text: str) -> PathExpr:
+    """Parse ``text`` into a :class:`PathExpr`.
+
+    Raises :class:`PathSyntaxError` for anything outside the grammar.
+    """
+    stripped = text.strip()
+    if not stripped:
+        raise PathSyntaxError("empty path expression")
+    if not stripped.startswith("/"):
+        raise PathSyntaxError(f"path must be absolute (start with '/'): {text!r}")
+    steps: list[Step] = []
+    pos = 0
+    while pos < len(stripped):
+        match = _STEP_RE.match(stripped, pos)
+        if match is None:
+            raise PathSyntaxError(f"malformed path {text!r} at offset {pos}")
+        axis = Axis.DESCENDANT if match.group("axis") == "//" else Axis.CHILD
+        test = match.group("test")
+        position = int(match.group("pos")) if match.group("pos") else None
+        if test.startswith("@"):
+            if position is not None:
+                raise PathSyntaxError("attributes cannot take positions")
+            step = Step(axis=axis, name=test[1:], is_attribute=True)
+        else:
+            step = Step(axis=axis, name=test, position=position)
+        steps.append(step)
+        pos = match.end()
+    try:
+        return PathExpr(tuple(steps))
+    except ValueError as exc:
+        raise PathSyntaxError(str(exc)) from exc

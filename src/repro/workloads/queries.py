@@ -1,0 +1,310 @@
+"""The three query sets of the paper's evaluation (§5).
+
+The concrete query texts lived in the unavailable technical report
+(ES-691); the paper describes their *classes*: "diverse access patterns to
+XML collections, including the usage of predicates, text searches and
+aggregation operations" (horizontal), single- vs multi-fragment access
+(vertical, where "queries Q4, Q7, Q8 and Q9 need more than one fragment"),
+and the hybrid set reusing the items queries with most of them returning
+"all the content of the Item element", plus two queries that prune Items
+(Q9, Q10) and one aggregation (Q11).
+
+Each reconstructed query is tagged with the traits it exercises so tests
+and benchmark reports can assert per-class behaviour (e.g. "text-search
+queries benefit most from horizontal fragmentation").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class BenchQuery:
+    """One benchmark query with its behavioural traits."""
+
+    qid: str
+    text: str
+    description: str
+    traits: frozenset[str] = field(default_factory=frozenset)
+
+    def has(self, trait: str) -> bool:
+        return trait in self.traits
+
+
+def _query(qid: str, text: str, description: str, *traits: str) -> BenchQuery:
+    return BenchQuery(qid, text, description, frozenset(traits))
+
+
+# ----------------------------------------------------------------------
+# Citems — horizontal experiments (ItemsSHor / ItemsLHor, Fig. 7a/7b)
+# ----------------------------------------------------------------------
+def items_queries(collection: str = "Citems") -> list[BenchQuery]:
+    c = collection
+    return [
+        _query(
+            "Q1",
+            f'for $i in collection("{c}")/Item'
+            ' where $i/Code = "I-000050" return $i/Name/text()',
+            "exact-match selection on Code (point lookup)",
+            "predicate",
+            "point",
+        ),
+        _query(
+            "Q2",
+            f'for $i in collection("{c}")/Item'
+            ' where $i/Section = "CD" return $i/Name/text()',
+            "selection matching the fragmentation attribute",
+            "predicate",
+            "matches-fragmentation",
+        ),
+        _query(
+            "Q3",
+            f'for $i in collection("{c}")/Item'
+            ' where $i/Release >= "2004-01-01" return $i/Code/text()',
+            "date-range predicate",
+            "predicate",
+            "range",
+        ),
+        _query(
+            "Q4",
+            f'for $i in collection("{c}")/Item'
+            " where $i/PictureList return $i/Code/text()",
+            "existential test on an optional structure",
+            "existential",
+        ),
+        _query(
+            "Q5",
+            f'for $i in collection("{c}")/Item'
+            ' where contains($i/Description, "good") return $i/Name/text()',
+            "text search over Description",
+            "text-search",
+        ),
+        _query(
+            "Q6",
+            f'for $i in collection("{c}")/Item'
+            ' where contains($i/Description, "good") and $i/Section = "DVD"'
+            " return $i",
+            "text search + fragmentation predicate, full items returned",
+            "text-search",
+            "predicate",
+            "matches-fragmentation",
+            "big-result",
+        ),
+        _query(
+            "Q7",
+            f'count(for $i in collection("{c}")/Item'
+            ' where $i/Release >= "2003-01-01" return $i)',
+            "aggregation (count) under a range predicate",
+            "aggregation",
+        ),
+        _query(
+            "Q8",
+            f'count(for $i in collection("{c}")/Item'
+            ' where contains($i/Description, "good") return $i)',
+            "text search + aggregation (the paper's best-speedup class)",
+            "text-search",
+            "aggregation",
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cpapers — vertical experiments (XBenchVer, Fig. 7c)
+# ----------------------------------------------------------------------
+def xbench_queries(collection: str = "Cpapers") -> list[BenchQuery]:
+    c = collection
+    return [
+        _query(
+            "Q1",
+            f'for $a in collection("{c}")/article'
+            ' where contains($a/prolog/title, "frontier")'
+            " return $a/prolog/title/text()",
+            "title text search (prolog only)",
+            "single-fragment",
+            "text-search",
+        ),
+        _query(
+            "Q2",
+            f'count(for $a in collection("{c}")/article'
+            ' where $a/prolog/genre = "survey" return $a)',
+            "count by genre (prolog only)",
+            "single-fragment",
+            "aggregation",
+        ),
+        _query(
+            "Q3",
+            f'for $a in collection("{c}")/article'
+            ' where $a/prolog/dateline/date >= "2004-01-01"'
+            " return $a/prolog/authors/author/name/text()",
+            "author names in a date range (prolog only)",
+            "single-fragment",
+            "predicate",
+        ),
+        _query(
+            "Q4",
+            f'for $a in collection("{c}")/article'
+            ' where contains($a/body/abstract, "novel")'
+            " return $a/prolog/title/text()",
+            "abstract search returning titles (prolog + body)",
+            "multi-fragment",
+            "text-search",
+        ),
+        _query(
+            "Q5",
+            f'count(for $s in collection("{c}")/article/body/section'
+            ' where contains($s/p, "remarkable") return $s)',
+            "count sections containing a term (body only)",
+            "single-fragment",
+            "text-search",
+            "aggregation",
+        ),
+        _query(
+            "Q6",
+            f'count(for $a in collection("{c}")/article'
+            ' where $a/epilog/country = "BR" return $a)',
+            "count by country (epilog only)",
+            "single-fragment",
+            "aggregation",
+        ),
+        _query(
+            "Q7",
+            f'for $a in collection("{c}")/article'
+            ' where $a/prolog/genre = "survey"'
+            " return count($a/epilog/references/a_id)",
+            "reference counts of surveys (prolog + epilog)",
+            "multi-fragment",
+            "aggregation",
+        ),
+        _query(
+            "Q8",
+            f'for $a in collection("{c}")/article'
+            ' where contains($a/body/abstract, "novel")'
+            " return $a/epilog/country/text()",
+            "abstract search returning countries (body + epilog)",
+            "multi-fragment",
+            "text-search",
+        ),
+        _query(
+            "Q9",
+            f'for $a in collection("{c}")/article'
+            ' where contains($a/body/abstract, "novel")'
+            ' and $a/epilog/country = "BR"'
+            " return $a/prolog/title/text()",
+            "search + country filter returning titles (all 3 fragments)",
+            "multi-fragment",
+            "text-search",
+        ),
+        _query(
+            "Q10",
+            f'for $a in collection("{c}")/article'
+            ' where $a/prolog/genre = "demo" return $a/body',
+            "whole bodies of demo articles (big result)",
+            "multi-fragment",
+            "big-result",
+        ),
+    ]
+
+
+# ----------------------------------------------------------------------
+# Cstore — hybrid experiments (StoreHyb, Fig. 7d)
+# ----------------------------------------------------------------------
+def store_queries(collection: str = "Cstore") -> list[BenchQuery]:
+    """Items queries adapted to the SD store, mostly returning whole Items
+    (the paper's main performance problem), plus the two Items-pruning
+    queries (Q9, Q10) and the aggregation (Q11)."""
+    c = collection
+    items = f'collection("{c}")/Store/Items/Item'
+    return [
+        _query(
+            "Q1",
+            f'for $i in {items} where $i/Code = "I-000050" return $i',
+            "point lookup returning the whole Item",
+            "predicate",
+            "point",
+            "big-result",
+        ),
+        _query(
+            "Q2",
+            f'for $i in {items} where $i/Section = "CD" return $i',
+            "fragmentation-matching selection, whole Items",
+            "predicate",
+            "matches-fragmentation",
+            "big-result",
+        ),
+        _query(
+            "Q3",
+            f'for $i in {items} where $i/Release >= "2004-01-01" return $i',
+            "date range, whole Items",
+            "predicate",
+            "range",
+            "big-result",
+        ),
+        _query(
+            "Q4",
+            f'for $i in {items} where $i/Section = "DVD" return $i',
+            "another fragmentation-matching selection",
+            "predicate",
+            "matches-fragmentation",
+            "big-result",
+        ),
+        _query(
+            "Q5",
+            f'for $i in {items}'
+            ' where contains($i/Description, "good") return $i',
+            "text search, whole Items",
+            "text-search",
+            "big-result",
+        ),
+        _query(
+            "Q6",
+            f'for $i in {items}'
+            ' where contains($i/Description, "good") and $i/Section = "DVD"'
+            " return $i",
+            "text search + selection, whole Items",
+            "text-search",
+            "matches-fragmentation",
+            "big-result",
+        ),
+        _query(
+            "Q7",
+            f'for $i in {items}'
+            ' where $i/Release >= "2003-01-01" return $i/Code/text()',
+            "range predicate returning codes only",
+            "predicate",
+            "range",
+        ),
+        _query(
+            "Q8",
+            f'for $i in {items}'
+            ' where contains($i/Description, "good") return $i/Name/text()',
+            "text search returning names only",
+            "text-search",
+        ),
+        _query(
+            "Q9",
+            f'for $s in collection("{c}")/Store/Sections/SectionEntry'
+            " return $s/Name/text()",
+            "section names (prunes the Items element)",
+            "prunes-items",
+        ),
+        _query(
+            "Q10",
+            f'for $e in collection("{c}")/Store/Employees/Employee'
+            " return $e/Name/text()",
+            "employee names (prunes the Items element)",
+            "prunes-items",
+        ),
+        _query(
+            "Q11",
+            f'count(for $i in {items}'
+            ' where contains($i/Description, "good") return $i)',
+            "aggregation over a text search",
+            "text-search",
+            "aggregation",
+        ),
+    ]
+
+
+def queries_by_id(queries: list[BenchQuery]) -> dict[str, BenchQuery]:
+    return {query.qid: query for query in queries}

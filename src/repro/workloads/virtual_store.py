@@ -1,0 +1,388 @@
+"""The virtual-store workload (paper Figure 1).
+
+Builds the ``Svirtual_store`` schema, the two repositories derived from it
+(``Citems`` — MD, one document per Item; ``Cstore`` — SD, one big Store
+document), and the fragmentation designs of the paper's experiments:
+
+* ``ItemsSHor`` — Citems with ~2KB documents ("elements PriceHistory and
+  ImagesList with zero occurrences"), horizontally fragmented by Section
+  into 2/4/8 fragments with a non-uniform document distribution;
+* ``ItemsLHor`` — same design over ~80KB documents (price history and
+  picture lists populated);
+* ``StoreHyb`` — Cstore hybrid-fragmented per Figure 4: a remainder
+  fragment pruning ``/Store/Items`` plus Section-based hybrid fragments
+  over the items.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.datamodel.collection import Collection, RepositoryKind
+from repro.partix.fragments import (
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.paths.predicates import And, Or, Predicate, eq, ne
+from repro.workloads.toxgene import (
+    Choice,
+    Counter,
+    DateRange,
+    DecimalRange,
+    NodeTemplate,
+    ToXgene,
+    Words,
+    child,
+)
+from repro.xschema.schema import AttributeDecl, ChildDecl, ElementDecl, Schema
+from repro.xschema.types import SimpleType
+
+#: Sections sold by the virtual store. The weights give the non-uniform
+#: document distribution the paper used for its horizontal fragments.
+SECTIONS = (
+    "CD",
+    "DVD",
+    "Book",
+    "Electronics",
+    "Games",
+    "Toys",
+    "Garden",
+    "Software",
+)
+SECTION_WEIGHTS = (0.28, 0.20, 0.16, 0.10, 0.09, 0.07, 0.06, 0.04)
+
+ITEMS_COLLECTION = "Citems"
+STORE_COLLECTION = "Cstore"
+
+
+# ----------------------------------------------------------------------
+# Schema (Figure 1a)
+# ----------------------------------------------------------------------
+def virtual_store_schema() -> Schema:
+    """The ``Svirtual_store`` schema of Figure 1(a)."""
+    schema = Schema("Svirtual_store")
+    schema.element("Code", content=SimpleType.STRING)
+    schema.element("Name", content=SimpleType.STRING)
+    schema.element("Description", content=SimpleType.STRING)
+    schema.element("Section", content=SimpleType.STRING)
+    schema.element("Release", content=SimpleType.DATE)
+    schema.element("Price", content=SimpleType.DECIMAL)
+    schema.element("ModificationDate", content=SimpleType.DATE)
+    schema.element("OriginalPath", content=SimpleType.STRING)
+    schema.element("ThumbPath", content=SimpleType.STRING)
+    schema.element(
+        "Characteristics",
+        children=[ChildDecl("Name"), ChildDecl("Description")],
+    )
+    schema.element(
+        "Picture",
+        children=[
+            ChildDecl("Name"),
+            ChildDecl("Description", min_occurs=0),
+            ChildDecl("ModificationDate"),
+            ChildDecl("OriginalPath"),
+            ChildDecl("ThumbPath"),
+        ],
+    )
+    schema.element(
+        "PictureList", children=[ChildDecl("Picture", min_occurs=1, max_occurs=None)]
+    )
+    schema.element(
+        "PriceHistory",
+        children=[ChildDecl("Price"), ChildDecl("ModificationDate")],
+    )
+    schema.element(
+        "PricesHistory",
+        children=[ChildDecl("PriceHistory", min_occurs=1, max_occurs=None)],
+    )
+    schema.element(
+        "Item",
+        children=[
+            ChildDecl("Code"),
+            ChildDecl("Name"),
+            ChildDecl("Description"),
+            ChildDecl("Section"),
+            ChildDecl("Release", min_occurs=0),
+            ChildDecl("Characteristics", min_occurs=0, max_occurs=None),
+            ChildDecl("PictureList", min_occurs=0),
+            ChildDecl("PricesHistory", min_occurs=0),
+        ],
+    )
+    schema.element(
+        "SectionEntry",
+        children=[ChildDecl("Code"), ChildDecl("Name")],
+    )
+    schema.element(
+        "Sections",
+        children=[ChildDecl("SectionEntry", min_occurs=1, max_occurs=None)],
+    )
+    schema.element("Items", children=[ChildDecl("Item", min_occurs=1, max_occurs=None)])
+    schema.element(
+        "Employee", children=[ChildDecl("Code"), ChildDecl("Name")]
+    )
+    schema.element(
+        "Employees", children=[ChildDecl("Employee", min_occurs=1, max_occurs=None)]
+    )
+    schema.element(
+        "Store",
+        children=[
+            ChildDecl("Sections"),
+            ChildDecl("Items"),
+            ChildDecl("Employees"),
+        ],
+    )
+    return schema
+
+
+# ----------------------------------------------------------------------
+# Templates
+# ----------------------------------------------------------------------
+def _characteristics_template() -> NodeTemplate:
+    return NodeTemplate(
+        "Characteristics",
+        children=[
+            child(NodeTemplate("Name", value=Words(1, 3))),
+            child(NodeTemplate("Description", value=Words(4, 10))),
+        ],
+    )
+
+
+def _picture_template() -> NodeTemplate:
+    return NodeTemplate(
+        "Picture",
+        children=[
+            child(NodeTemplate("Name", value=Words(1, 3))),
+            child(NodeTemplate("Description", value=Words(60, 90)), 0, 1),
+            child(NodeTemplate("ModificationDate", value=DateRange(2001, 2005))),
+            child(NodeTemplate("OriginalPath", value=Words(2, 3))),
+            child(NodeTemplate("ThumbPath", value=Words(2, 3))),
+        ],
+    )
+
+
+def _price_history_template() -> NodeTemplate:
+    return NodeTemplate(
+        "PriceHistory",
+        children=[
+            child(NodeTemplate("Price", value=DecimalRange(1.0, 500.0))),
+            child(NodeTemplate("ModificationDate", value=DateRange(2000, 2005))),
+        ],
+    )
+
+
+def item_template(kind: str = "small", code_counter: Optional[Counter] = None) -> NodeTemplate:
+    """Template of an Item document.
+
+    ``kind="small"`` yields ~2KB documents (ItemsSHor: no price history,
+    no pictures); ``kind="large"`` yields ~80KB documents (ItemsLHor).
+    """
+    code = code_counter if code_counter is not None else Counter("I-{:06d}")
+    base = [
+        child(NodeTemplate("Code", value=code)),
+        child(NodeTemplate("Name", value=Words(2, 4))),
+        child(
+            NodeTemplate(
+                "Description", value=Words(150, 250, inject=("good", 0.25))
+            )
+        ),
+        child(
+            NodeTemplate(
+                "Section", value=Choice(SECTIONS, SECTION_WEIGHTS)
+            )
+        ),
+        child(NodeTemplate("Release", value=DateRange(2000, 2005))),
+        child(_characteristics_template(), min_occurs=1, max_occurs=4),
+    ]
+    if kind == "small":
+        return NodeTemplate("Item", children=base)
+    if kind == "large":
+        # ~80KB documents. The byte budget is tilted toward text content
+        # (long description, characteristic and picture descriptions) so
+        # large documents are *less* element-dense than the 2KB ones —
+        # matching the paper's observation that the DBMS handles few large
+        # documents better than many small ones (per-document overheads).
+        large_base = list(base)
+        large_base[2] = child(
+            NodeTemplate(
+                "Description", value=Words(2800, 3600, inject=("good", 0.25))
+            )
+        )
+        large_base[5] = child(_large_characteristics_template(), 25, 35)
+        return NodeTemplate(
+            "Item",
+            children=large_base
+            + [
+                child(NodeTemplate(
+                    "PictureList",
+                    children=[child(_picture_template(), 30, 40)],
+                ), min_occurs=1, max_occurs=1),
+                child(NodeTemplate(
+                    "PricesHistory",
+                    children=[child(_price_history_template(), 60, 90)],
+                ), min_occurs=1, max_occurs=1),
+            ],
+        )
+    raise ValueError(f"unknown item kind {kind!r} (use 'small' or 'large')")
+
+
+def _large_characteristics_template() -> NodeTemplate:
+    return NodeTemplate(
+        "Characteristics",
+        children=[
+            child(NodeTemplate("Name", value=Words(1, 3))),
+            child(NodeTemplate("Description", value=Words(140, 220))),
+        ],
+    )
+
+
+# ----------------------------------------------------------------------
+# Collection builders
+# ----------------------------------------------------------------------
+def build_items_collection(
+    count: int,
+    kind: str = "small",
+    seed: int = 42,
+    name: str = ITEMS_COLLECTION,
+) -> Collection:
+    """Build the Citems MD collection: one document per Item."""
+    generator = ToXgene(seed=seed)
+    template = item_template(kind)
+    documents = generator.generate_documents(
+        template, count, name_fmt="item-{:06d}.xml"
+    )
+    return Collection(
+        name,
+        documents,
+        schema=virtual_store_schema(),
+        root_type="Item",
+        kind=RepositoryKind.MULTIPLE_DOCUMENTS,
+    )
+
+
+def build_store_collection(
+    item_count: int,
+    item_kind: str = "small",
+    seed: int = 42,
+    name: str = STORE_COLLECTION,
+) -> Collection:
+    """Build the Cstore SD collection: one Store document."""
+    generator = ToXgene(seed=seed)
+    section_entry = NodeTemplate(
+        "SectionEntry",
+        children=[
+            child(NodeTemplate("Code", value=Counter("S-{:03d}"))),
+            child(NodeTemplate("Name", value=Words(1, 2))),
+        ],
+    )
+    employee = NodeTemplate(
+        "Employee",
+        children=[
+            child(NodeTemplate("Code", value=Counter("E-{:04d}"))),
+            child(NodeTemplate("Name", value=Words(2, 3))),
+        ],
+    )
+    store = NodeTemplate(
+        "Store",
+        children=[
+            child(NodeTemplate("Sections", children=[child(section_entry, len(SECTIONS))])),
+            child(NodeTemplate("Items", children=[child(item_template(item_kind), item_count)])),
+            child(NodeTemplate("Employees", children=[child(employee, 10)])),
+        ],
+    )
+    document = generator.generate_document(store, name="store.xml")
+    return Collection(
+        name,
+        [document],
+        schema=virtual_store_schema(),
+        root_type="Store",
+        kind=RepositoryKind.SINGLE_DOCUMENT,
+    )
+
+
+# ----------------------------------------------------------------------
+# Fragmentation designs
+# ----------------------------------------------------------------------
+def _section_groups(fragment_count: int) -> list[tuple[str, ...]]:
+    if fragment_count not in (2, 4, 8):
+        raise ValueError("the paper's designs use 2, 4 or 8 fragments")
+    group_size = len(SECTIONS) // fragment_count
+    return [
+        tuple(SECTIONS[index * group_size : (index + 1) * group_size])
+        for index in range(fragment_count)
+    ]
+
+
+def _group_predicate(group: tuple[str, ...], residual: bool) -> Predicate:
+    """Equality disjunction for a group; the last group is the residual
+    (conjunction of ≠) so completeness holds for any Section value."""
+    if residual:
+        others = [s for s in SECTIONS if s not in group]
+        parts = tuple(ne("/Item/Section", section) for section in others)
+        return parts[0] if len(parts) == 1 else And(parts)
+    parts = tuple(eq("/Item/Section", section) for section in group)
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def items_horizontal_fragmentation(
+    fragment_count: int, collection: str = ITEMS_COLLECTION
+) -> FragmentationSchema:
+    """The ItemsSHor/ItemsLHor design: by Section, non-uniform sizes.
+
+    The section weights are skewed, so fragments hold different numbers
+    of documents — the paper's "non-uniform document distribution".
+    """
+    groups = _section_groups(fragment_count)
+    fragments = [
+        HorizontalFragment(
+            f"F{index + 1}",
+            collection,
+            predicate=_group_predicate(group, residual=(index == len(groups) - 1)),
+        )
+        for index, group in enumerate(groups)
+    ]
+    return FragmentationSchema(collection, fragments, root_label="Item")
+
+
+def _unit_predicate(group: tuple[str, ...], residual: bool) -> Predicate:
+    if residual:
+        others = [s for s in SECTIONS if s not in group]
+        parts = tuple(ne("/Item/Section", section) for section in others)
+        return parts[0] if len(parts) == 1 else And(parts)
+    parts = tuple(eq("/Item/Section", section) for section in group)
+    return parts[0] if len(parts) == 1 else Or(parts)
+
+
+def store_hybrid_fragmentation(
+    item_fragment_count: int = 4, collection: str = STORE_COLLECTION
+) -> FragmentationSchema:
+    """The StoreHyb design (Figure 4 + §5).
+
+    "Fragment F1 prunes /Store/Items, while the remaining 4 fragments are
+    all about Items, each of them horizontally fragmented over
+    /Store/Items/Item/Section."
+    """
+    groups = _section_groups(item_fragment_count)
+    fragments = [
+        VerticalFragment(
+            "F1",
+            collection,
+            path="/Store",
+            prune=("/Store/Items",),
+            stub_prunes=True,
+        )
+    ]
+    for index, group in enumerate(groups):
+        fragments.append(
+            HybridFragment(
+                f"F{index + 2}",
+                collection,
+                path="/Store/Items",
+                unit_label="Item",
+                predicate=_unit_predicate(
+                    group, residual=(index == len(groups) - 1)
+                ),
+            )
+        )
+    return FragmentationSchema(collection, fragments, root_label="Store")

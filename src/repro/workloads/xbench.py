@@ -1,0 +1,228 @@
+"""XBench stand-in: article documents for the vertical experiment.
+
+The paper's XBenchVer database holds documents "varying from 5Mb to 15Mb
+each", vertically fragmented into prolog / body / epilog (§5):
+
+    F1papers := ⟨Cpapers, π/article/prolog⟩
+    F2papers := ⟨Cpapers, π/article/body⟩
+    F3papers := ⟨Cpapers, π/article/epilog⟩
+
+XBench's DC/MD document class is an article with a bibliographic prolog,
+a large body (the bulk of the bytes), and an epilog of references. We
+generate that shape with a configurable target size; sizes are scaled
+down together with the rest of the evaluation grid.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.collection import Collection, RepositoryKind
+from repro.partix.fragments import FragmentationSchema, VerticalFragment
+from repro.workloads.toxgene import (
+    Choice,
+    Counter,
+    DateRange,
+    IntRange,
+    NodeTemplate,
+    ToXgene,
+    Words,
+    child,
+)
+from repro.xschema.schema import ChildDecl, Schema
+from repro.xschema.types import SimpleType
+
+PAPERS_COLLECTION = "Cpapers"
+
+COUNTRIES = ("BR", "US", "DE", "FR", "JP", "CA", "IT", "UK")
+GENRES = ("research", "survey", "demo", "industrial", "vision")
+
+#: Approximate serialized bytes of one generated body section (used to
+#: size documents; measured empirically, asserted loosely in tests).
+_SECTION_BYTES = 1500
+
+
+def xbench_schema() -> Schema:
+    """Structural schema of the article documents."""
+    schema = Schema("Sxbench")
+    schema.element("title", content=SimpleType.STRING)
+    schema.element("name", content=SimpleType.STRING)
+    schema.element("affiliation", content=SimpleType.STRING)
+    schema.element("author", children=[ChildDecl("name"), ChildDecl("affiliation")])
+    schema.element(
+        "authors", children=[ChildDecl("author", min_occurs=1, max_occurs=4)]
+    )
+    schema.element("date", content=SimpleType.DATE)
+    schema.element("dateline", children=[ChildDecl("date")])
+    schema.element("genre", content=SimpleType.STRING)
+    schema.element("keyword", content=SimpleType.STRING)
+    schema.element(
+        "keywords", children=[ChildDecl("keyword", min_occurs=1, max_occurs=None)]
+    )
+    schema.element(
+        "prolog",
+        children=[
+            ChildDecl("title"),
+            ChildDecl("authors"),
+            ChildDecl("dateline"),
+            ChildDecl("genre"),
+            ChildDecl("keywords"),
+        ],
+    )
+    schema.element("abstract", content=SimpleType.STRING)
+    schema.element("p", content=SimpleType.STRING)
+    schema.element(
+        "section",
+        children=[ChildDecl("title"), ChildDecl("p", min_occurs=1, max_occurs=None)],
+    )
+    schema.element(
+        "body",
+        children=[
+            ChildDecl("abstract"),
+            ChildDecl("section", min_occurs=1, max_occurs=None),
+        ],
+    )
+    schema.element("a_id", content=SimpleType.STRING)
+    schema.element(
+        "references", children=[ChildDecl("a_id", min_occurs=1, max_occurs=None)]
+    )
+    schema.element("country", content=SimpleType.STRING)
+    schema.element("classification", content=SimpleType.STRING)
+    schema.element(
+        "epilog",
+        children=[
+            ChildDecl("references"),
+            ChildDecl("country"),
+            ChildDecl("classification"),
+        ],
+    )
+    schema.element(
+        "article",
+        children=[ChildDecl("prolog"), ChildDecl("body"), ChildDecl("epilog")],
+    )
+    return schema
+
+
+def article_template(target_bytes: int = 60_000) -> NodeTemplate:
+    """Template of one article sized roughly to ``target_bytes``.
+
+    The body carries nearly all the bytes (as in XBench); prolog and
+    epilog stay small so single-fragment queries over them are cheap —
+    the effect the vertical experiment measures.
+    """
+    section_count = max(2, target_bytes // _SECTION_BYTES)
+    section = NodeTemplate(
+        "section",
+        children=[
+            child(NodeTemplate("title", value=Words(3, 6))),
+            child(
+                NodeTemplate(
+                    "p", value=Words(60, 90, inject=("remarkable", 0.15))
+                ),
+                2,
+                3,
+            ),
+        ],
+    )
+    return NodeTemplate(
+        "article",
+        children=[
+            child(
+                NodeTemplate(
+                    "prolog",
+                    children=[
+                        child(NodeTemplate("title", value=Words(4, 9, inject=("frontier", 0.2)))),
+                        child(
+                            NodeTemplate(
+                                "authors",
+                                children=[
+                                    child(
+                                        NodeTemplate(
+                                            "author",
+                                            children=[
+                                                child(NodeTemplate("name", value=Words(2, 2))),
+                                                child(NodeTemplate("affiliation", value=Words(2, 4))),
+                                            ],
+                                        ),
+                                        1,
+                                        4,
+                                    )
+                                ],
+                            )
+                        ),
+                        child(
+                            NodeTemplate(
+                                "dateline",
+                                children=[child(NodeTemplate("date", value=DateRange(1998, 2005)))],
+                            )
+                        ),
+                        child(NodeTemplate("genre", value=Choice(GENRES))),
+                        child(
+                            NodeTemplate(
+                                "keywords",
+                                children=[child(NodeTemplate("keyword", value=Words(1, 2)), 3, 8)],
+                            )
+                        ),
+                    ],
+                )
+            ),
+            child(
+                NodeTemplate(
+                    "body",
+                    children=[
+                        child(NodeTemplate("abstract", value=Words(50, 90, inject=("novel", 0.3)))),
+                        child(section, section_count),
+                    ],
+                )
+            ),
+            child(
+                NodeTemplate(
+                    "epilog",
+                    children=[
+                        child(
+                            NodeTemplate(
+                                "references",
+                                children=[child(NodeTemplate("a_id", value=Counter("ref-{:05d}")), 5, 25)],
+                            )
+                        ),
+                        child(NodeTemplate("country", value=Choice(COUNTRIES))),
+                        child(NodeTemplate("classification", value=IntRange(1, 5))),
+                    ],
+                )
+            ),
+        ],
+    )
+
+
+def build_xbench_collection(
+    count: int,
+    doc_bytes: int = 60_000,
+    seed: int = 7,
+    name: str = PAPERS_COLLECTION,
+) -> Collection:
+    """Build the Cpapers collection of ``count`` articles of ~``doc_bytes``."""
+    generator = ToXgene(seed=seed)
+    template = article_template(target_bytes=doc_bytes)
+    documents = generator.generate_documents(
+        template, count, name_fmt="article-{:05d}.xml"
+    )
+    return Collection(
+        name,
+        documents,
+        schema=xbench_schema(),
+        root_type="article",
+        kind=RepositoryKind.MULTIPLE_DOCUMENTS,
+    )
+
+
+def xbench_vertical_fragmentation(
+    collection: str = PAPERS_COLLECTION,
+) -> FragmentationSchema:
+    """The paper's three-way vertical design over articles."""
+    return FragmentationSchema(
+        collection,
+        [
+            VerticalFragment("F1papers", collection, path="/article/prolog"),
+            VerticalFragment("F2papers", collection, path="/article/body"),
+            VerticalFragment("F3papers", collection, path="/article/epilog"),
+        ],
+        root_label="article",
+    )

@@ -1,0 +1,13 @@
+"""XML text layer: hand-written parser and serializer."""
+
+from repro.xmltext.parser import XMLParser, parse_fragment, parse_xml
+from repro.xmltext.serializer import serialize, serialize_pretty, serialized_size
+
+__all__ = [
+    "XMLParser",
+    "parse_fragment",
+    "parse_xml",
+    "serialize",
+    "serialize_pretty",
+    "serialized_size",
+]

@@ -1,0 +1,47 @@
+"""Character escaping for XML text and attribute values."""
+
+from __future__ import annotations
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {**_TEXT_ESCAPES, '"': "&quot;", "'": "&apos;"}
+
+_NAMED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+
+def escape_text(value: str) -> str:
+    """Escape a string for use as element content."""
+    if not any(c in value for c in "&<>"):
+        return value
+    return "".join(_TEXT_ESCAPES.get(c, c) for c in value)
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a string for use inside a double-quoted attribute value."""
+    if not any(c in value for c in "&<>\"'"):
+        return value
+    return "".join(_ATTR_ESCAPES.get(c, c) for c in value)
+
+
+def resolve_entity(name: str) -> str | None:
+    """Resolve a predefined or character entity reference.
+
+    ``name`` is the text between ``&`` and ``;``. Returns the replacement
+    character(s), or None for unknown named entities.
+    """
+    if name.startswith("#x") or name.startswith("#X"):
+        try:
+            return chr(int(name[2:], 16))
+        except ValueError:
+            return None
+    if name.startswith("#"):
+        try:
+            return chr(int(name[1:]))
+        except ValueError:
+            return None
+    return _NAMED_ENTITIES.get(name)

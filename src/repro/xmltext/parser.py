@@ -1,0 +1,326 @@
+"""A hand-written, non-validating XML parser.
+
+Parses XML text into :class:`~repro.datamodel.tree.XMLNode` trees. The
+parser supports the subset of XML the data model of the paper needs:
+elements, attributes, character data, CDATA sections, comments, processing
+instructions (skipped), the XML declaration, and predefined / numeric
+entity references. Namespaces are treated opaquely (colons are legal name
+characters). Mixed content is normalized: whitespace-only text between
+elements is dropped; genuine text mixed with elements raises, matching the
+"no mixed content" assumption of §3.1.
+
+This parser is deliberately written *in Python without shortcuts* because
+parse cost is the substrate of the reproduction: the engine stores
+documents serialized and pays this parser's cost per document touched,
+which is precisely the effect (per-document parse overhead in eXist) that
+makes fragmented repositories superlinearly faster in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.datamodel.document import XMLDocument
+from repro.datamodel.tree import NodeKind, XMLNode
+from repro.errors import XMLSyntaxError
+from repro.xmltext.escape import resolve_entity
+
+import re
+
+# XML names: ASCII letters/underscore/colon plus the non-ASCII letter
+# ranges (a practical approximation of the XML 1.0 NameStartChar set).
+_NAME_RE = re.compile(r"[A-Za-z_:À-￿][\w.:\-·À-￿]*")
+_WS_RE = re.compile(r"[ \t\r\n]*")
+
+
+class _Cursor:
+    """Position tracker over the raw text with line/column accounting."""
+
+    __slots__ = ("text", "pos", "length")
+
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.length = len(text)
+
+    def location(self) -> tuple[int, int]:
+        """1-based (line, column) of the current position."""
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        last_newline = consumed.rfind("\n")
+        column = self.pos - last_newline
+        return line, column
+
+
+class XMLParser:
+    """Parses one XML document per :meth:`parse` call."""
+
+    def __init__(self, text: str):
+        self._c = _Cursor(text)
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def parse(self) -> XMLNode:
+        """Parse the full input and return the root element."""
+        self._skip_prolog()
+        root = self._parse_element()
+        self._skip_misc()
+        if self._c.pos != self._c.length:
+            self._fail("content after document root")
+        return root
+
+    # ------------------------------------------------------------------
+    # Prolog / misc
+    # ------------------------------------------------------------------
+    def _skip_prolog(self) -> None:
+        self._skip_whitespace()
+        if self._peek_str("<?xml"):
+            self._consume_until("?>")
+        self._skip_misc()
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self._peek_str("<!--"):
+                self._c.pos += 4
+                self._consume_until("-->")
+            elif self._peek_str("<?"):
+                self._c.pos += 2
+                self._consume_until("?>")
+            elif self._peek_str("<!DOCTYPE"):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        # Consume "<!DOCTYPE ... >" allowing one level of [...] internal subset.
+        depth = 0
+        c = self._c
+        while c.pos < c.length:
+            ch = c.text[c.pos]
+            c.pos += 1
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                return
+        self._fail("unterminated DOCTYPE")
+
+    # ------------------------------------------------------------------
+    # Elements
+    # ------------------------------------------------------------------
+    def _parse_element(self) -> XMLNode:
+        if not self._peek_str("<"):
+            self._fail("expected element start tag")
+        self._c.pos += 1
+        name = self._parse_name()
+        node = XMLNode.element(name)
+        self._parse_attributes(node)
+        self._skip_whitespace()
+        if self._peek_str("/>"):
+            self._c.pos += 2
+            return node
+        if not self._peek_str(">"):
+            self._fail(f"malformed start tag for element {name!r}")
+        self._c.pos += 1
+        self._parse_content(node)
+        # _parse_content stops right after "</"
+        end_name = self._parse_name()
+        if end_name != name:
+            self._fail(f"mismatched end tag: expected </{name}>, got </{end_name}>")
+        self._skip_whitespace()
+        if not self._peek_str(">"):
+            self._fail(f"malformed end tag for element {name!r}")
+        self._c.pos += 1
+        return node
+
+    def _parse_attributes(self, node: XMLNode) -> None:
+        seen: set[str] = set()
+        while True:
+            self._skip_whitespace()
+            ch = self._peek_char()
+            if ch is None:
+                self._fail("unterminated start tag")
+            if ch in (">", "/"):
+                return
+            name = self._parse_name()
+            if name in seen:
+                self._fail(f"duplicate attribute {name!r}")
+            seen.add(name)
+            self._skip_whitespace()
+            if not self._peek_str("="):
+                self._fail(f"attribute {name!r} missing '='")
+            self._c.pos += 1
+            self._skip_whitespace()
+            value = self._parse_quoted_value()
+            node.append(XMLNode.attribute(name, value))
+
+    def _parse_quoted_value(self) -> str:
+        quote = self._peek_char()
+        if quote not in ('"', "'"):
+            self._fail("attribute value must be quoted")
+        self._c.pos += 1
+        parts: list[str] = []
+        c = self._c
+        while c.pos < c.length:
+            ch = c.text[c.pos]
+            if ch == quote:
+                c.pos += 1
+                return "".join(parts)
+            if ch == "<":
+                self._fail("'<' not allowed in attribute value")
+            if ch == "&":
+                parts.append(self._parse_entity())
+            else:
+                parts.append(ch)
+                c.pos += 1
+        self._fail("unterminated attribute value")
+        raise AssertionError  # unreachable
+
+    def _parse_content(self, node: XMLNode) -> None:
+        """Parse element content until (and consuming) the closing '</'."""
+        text_parts: list[str] = []
+        has_elements = False
+        c = self._c
+
+        def flush_text() -> None:
+            nonlocal has_elements
+            text = "".join(text_parts)
+            text_parts.clear()
+            if not text:
+                return
+            if text.strip() == "":
+                return  # ignorable whitespace between elements
+            if has_elements or node._content_kind is NodeKind.ELEMENT:
+                self._fail(
+                    f"mixed content under element {node.label!r} is not supported"
+                )
+            node.append(XMLNode.text(text))
+
+        while c.pos < c.length:
+            ch = c.text[c.pos]
+            if ch == "<":
+                if self._peek_str("</"):
+                    flush_text()
+                    c.pos += 2
+                    return
+                if self._peek_str("<!--"):
+                    c.pos += 4
+                    self._consume_until("-->")
+                    continue
+                if self._peek_str("<![CDATA["):
+                    c.pos += 9
+                    text_parts.append(self._consume_until("]]>"))
+                    continue
+                if self._peek_str("<?"):
+                    c.pos += 2
+                    self._consume_until("?>")
+                    continue
+                flush_text()
+                if node.children and node.children[-1].kind is NodeKind.TEXT:
+                    self._fail(
+                        f"mixed content under element {node.label!r} is not supported"
+                    )
+                child = self._parse_element()
+                has_elements = True
+                node.append(child)
+            elif ch == "&":
+                text_parts.append(self._parse_entity())
+            else:
+                # Fast path: grab a run of plain characters at once.
+                next_special = _find_next_special(c.text, c.pos)
+                text_parts.append(c.text[c.pos:next_special])
+                c.pos = next_special
+        self._fail(f"unterminated element {node.label!r}")
+
+    def _parse_entity(self) -> str:
+        c = self._c
+        end = c.text.find(";", c.pos + 1)
+        if end == -1 or end - c.pos > 12:
+            self._fail("malformed entity reference")
+        name = c.text[c.pos + 1 : end]
+        replacement = resolve_entity(name)
+        if replacement is None:
+            self._fail(f"unknown entity &{name};")
+        c.pos = end + 1
+        assert replacement is not None
+        return replacement
+
+    # ------------------------------------------------------------------
+    # Low-level scanning
+    # ------------------------------------------------------------------
+    def _parse_name(self) -> str:
+        c = self._c
+        match = _NAME_RE.match(c.text, c.pos)
+        if match is None:
+            self._fail("expected a name")
+        assert match is not None
+        c.pos = match.end()
+        return match.group(0)
+
+    def _skip_whitespace(self) -> None:
+        c = self._c
+        match = _WS_RE.match(c.text, c.pos)
+        if match is not None:
+            c.pos = match.end()
+
+    def _peek_char(self) -> str | None:
+        c = self._c
+        return c.text[c.pos] if c.pos < c.length else None
+
+    def _peek_str(self, s: str) -> bool:
+        return self._c.text.startswith(s, self._c.pos)
+
+    def _consume_until(self, terminator: str) -> str:
+        c = self._c
+        end = c.text.find(terminator, c.pos)
+        if end == -1:
+            self._fail(f"expected {terminator!r}")
+        consumed = c.text[c.pos : end]
+        c.pos = end + len(terminator)
+        return consumed
+
+    def _fail(self, message: str) -> None:
+        line, column = self._c.location()
+        raise XMLSyntaxError(message, line=line, column=column)
+
+
+def _find_next_special(text: str, pos: int) -> int:
+    """Index of the next '<' or '&' at/after pos (or end of text)."""
+    lt = text.find("<", pos)
+    amp = text.find("&", pos)
+    if lt == -1 and amp == -1:
+        return len(text)
+    if lt == -1:
+        return amp
+    if amp == -1:
+        return lt
+    return min(lt, amp)
+
+
+def parse_xml(text: str, name: str | None = None) -> XMLDocument:
+    """Parse ``text`` into a new :class:`XMLDocument` (fresh node ids)."""
+    root = XMLParser(text).parse()
+    return XMLDocument(root, name=name)
+
+
+def parse_fragment(text: str) -> XMLNode:
+    """Parse ``text`` into a bare element tree (no document, unassigned ids)."""
+    return XMLParser(text).parse()
+
+
+def parse_forest(text: str) -> list[XMLNode]:
+    """Parse a concatenation of serialized elements into a list of trees.
+
+    Drivers ship multi-document results as newline-joined serializations;
+    this reads element after element until the input is exhausted.
+    """
+    roots: list[XMLNode] = []
+    remaining = text.strip()
+    while remaining:
+        parser = XMLParser(remaining)
+        parser._skip_prolog()
+        root = parser._parse_element()
+        roots.append(root)
+        remaining = remaining[parser._c.pos :].strip()
+    return roots

@@ -1,0 +1,35 @@
+"""XQuery subset: lexer, parser, evaluator, functions and static analysis."""
+
+from repro.xquery.analysis import QueryAnalysis, analyze_query, steps_to_path
+from repro.xquery.evaluator import (
+    DocumentProvider,
+    DynamicContext,
+    EmptyProvider,
+    Evaluator,
+    evaluate_query,
+)
+from repro.xquery.parser import parse_query
+from repro.xquery.values import (
+    atomize,
+    effective_boolean,
+    general_compare,
+    string_value,
+    to_number,
+)
+
+__all__ = [
+    "DocumentProvider",
+    "DynamicContext",
+    "EmptyProvider",
+    "Evaluator",
+    "QueryAnalysis",
+    "analyze_query",
+    "atomize",
+    "effective_boolean",
+    "evaluate_query",
+    "general_compare",
+    "parse_query",
+    "steps_to_path",
+    "string_value",
+    "to_number",
+]

@@ -1,0 +1,119 @@
+"""Lexer for the XQuery subset.
+
+Produces a flat token stream for the recursive-descent parser. The token
+language covers what the paper's query sets need: FLWOR keywords, path
+operators (``/``, ``//``, ``@``, ``*``), comparison and arithmetic
+operators, literals, variables, function calls and computed constructors.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass
+
+from repro.errors import XQuerySyntaxError
+
+KEYWORDS = {
+    "for",
+    "let",
+    "where",
+    "order",
+    "stable",
+    "by",
+    "return",
+    "in",
+    "at",
+    "if",
+    "then",
+    "else",
+    "and",
+    "or",
+    "some",
+    "every",
+    "satisfies",
+    "ascending",
+    "descending",
+    "empty",
+    "greatest",
+    "least",
+    "element",
+    "attribute",
+    "text",
+    "div",
+    "mod",
+    "to",
+    "union",
+    "intersect",
+    "except",
+}
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    NAME = "name"
+    VARIABLE = "variable"
+    STRING = "string"
+    NUMBER = "number"
+    SYMBOL = "symbol"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+    def is_symbol(self, symbol: str) -> bool:
+        return self.type is TokenType.SYMBOL and self.value == symbol
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|\(:.*?:\))                       # whitespace / comments
+  | (?P<number>\d+(\.\d+)?|\.\d+)
+  | (?P<string>"(?:[^"]|"")*"|'(?:[^']|'')*')
+  | (?P<variable>\$[A-Za-z_][\w\-]*)
+  | (?P<name>[A-Za-z_][\w\-.]*(?::[A-Za-z_][\w\-.]*)?)
+  | (?P<symbol>//|::|:=|<=|>=|!=|\|\||[-+*/=<>(){}\[\],;@.|?])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`XQuerySyntaxError` on bad input."""
+    tokens: list[Token] = []
+    pos = 0
+    length = len(text)
+    while pos < length:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise XQuerySyntaxError(
+                f"unexpected character {text[pos]!r}", position=pos
+            )
+        if match.group("ws"):
+            pos = match.end()
+            continue
+        if match.group("number"):
+            tokens.append(Token(TokenType.NUMBER, match.group("number"), pos))
+        elif match.group("string"):
+            raw = match.group("string")
+            quote = raw[0]
+            body = raw[1:-1].replace(quote * 2, quote)
+            tokens.append(Token(TokenType.STRING, body, pos))
+        elif match.group("variable"):
+            tokens.append(Token(TokenType.VARIABLE, match.group("variable")[1:], pos))
+        elif match.group("name"):
+            name = match.group("name")
+            kind = TokenType.KEYWORD if name in KEYWORDS else TokenType.NAME
+            tokens.append(Token(kind, name, pos))
+        else:
+            tokens.append(Token(TokenType.SYMBOL, match.group("symbol"), pos))
+        pos = match.end()
+    tokens.append(Token(TokenType.EOF, "", length))
+    return tokens

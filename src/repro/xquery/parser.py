@@ -1,0 +1,437 @@
+"""Recursive-descent parser for the XQuery subset.
+
+Precedence (loosest to tightest): comma sequence, FLWOR/if/quantified,
+``or``, ``and``, comparison, ``to`` range, additive, multiplicative,
+union (``|``), unary, path, postfix predicates, primary.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.ast_nodes import (
+    AttributeConstructor,
+    AxisStep,
+    BinaryOp,
+    ContextItem,
+    ElementConstructor,
+    Expr,
+    FLWOR,
+    FilterExpr,
+    ForClause,
+    FunctionCall,
+    IfExpr,
+    LetClause,
+    Literal,
+    OrderSpec,
+    PathApply,
+    Quantified,
+    RangeExpr,
+    SequenceExpr,
+    TextConstructor,
+    UnaryOp,
+    VarRef,
+)
+from repro.xquery.lexer import Token, TokenType, tokenize
+
+_COMPARISON_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_ADDITIVE_OPS = {"+", "-"}
+_MULTIPLICATIVE_OPS = {"*", "div", "mod"}
+
+
+def parse_query(text: str) -> Expr:
+    """Parse an XQuery string into an AST."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_expr()
+    parser.expect_eof()
+    return expr
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # ------------------------------------------------------------------
+    # Token helpers
+    # ------------------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self._tokens[self._pos]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def accept_symbol(self, symbol: str) -> bool:
+        if self.current.is_symbol(symbol):
+            self.advance()
+            return True
+        return False
+
+    def accept_keyword(self, word: str) -> bool:
+        if self.current.is_keyword(word):
+            self.advance()
+            return True
+        return False
+
+    def expect_symbol(self, symbol: str) -> None:
+        if not self.accept_symbol(symbol):
+            self._fail(f"expected {symbol!r}")
+
+    def expect_keyword(self, word: str) -> None:
+        if not self.accept_keyword(word):
+            self._fail(f"expected keyword {word!r}")
+
+    def expect_name(self) -> str:
+        token = self.current
+        if token.type in (TokenType.NAME, TokenType.KEYWORD):
+            self.advance()
+            return token.value
+        self._fail("expected a name")
+        raise AssertionError  # unreachable
+
+    def expect_variable(self) -> str:
+        token = self.current
+        if token.type is not TokenType.VARIABLE:
+            self._fail("expected a variable ($name)")
+        self.advance()
+        return token.value
+
+    def expect_eof(self) -> None:
+        if self.current.type is not TokenType.EOF:
+            self._fail(f"unexpected trailing token {self.current.value!r}")
+
+    def _fail(self, message: str) -> None:
+        raise XQuerySyntaxError(message, position=self.current.position)
+
+    # ------------------------------------------------------------------
+    # Grammar
+    # ------------------------------------------------------------------
+    def parse_expr(self) -> Expr:
+        """Comma-separated sequence expression."""
+        first = self.parse_expr_single()
+        if not self.current.is_symbol(","):
+            return first
+        items = [first]
+        while self.accept_symbol(","):
+            items.append(self.parse_expr_single())
+        return SequenceExpr(tuple(items))
+
+    def parse_expr_single(self) -> Expr:
+        token = self.current
+        if token.is_keyword("for") or token.is_keyword("let"):
+            return self._parse_flwor()
+        if token.is_keyword("if"):
+            return self._parse_if()
+        if token.is_keyword("some") or token.is_keyword("every"):
+            return self._parse_quantified()
+        return self._parse_or()
+
+    # FLWOR --------------------------------------------------------------
+    def _parse_flwor(self) -> Expr:
+        clauses: list[ForClause | LetClause] = []
+        while True:
+            if self.accept_keyword("for"):
+                clauses.extend(self._parse_for_bindings())
+            elif self.accept_keyword("let"):
+                clauses.extend(self._parse_let_bindings())
+            else:
+                break
+        where = None
+        if self.accept_keyword("where"):
+            where = self.parse_expr_single()
+        order_by: tuple[OrderSpec, ...] = ()
+        if self.current.is_keyword("order") or self.current.is_keyword("stable"):
+            self.accept_keyword("stable")
+            self.expect_keyword("order")
+            self.expect_keyword("by")
+            order_by = self._parse_order_specs()
+        self.expect_keyword("return")
+        return_expr = self.parse_expr_single()
+        if not clauses:
+            self._fail("FLWOR requires at least one for/let clause")
+        return FLWOR(tuple(clauses), where, order_by, return_expr)
+
+    def _parse_for_bindings(self) -> list[ForClause]:
+        bindings = []
+        while True:
+            var = self.expect_variable()
+            position_var = None
+            if self.accept_keyword("at"):
+                position_var = self.expect_variable()
+            self.expect_keyword("in")
+            seq = self.parse_expr_single()
+            bindings.append(ForClause(var, seq, position_var))
+            if not self.accept_symbol(","):
+                return bindings
+
+    def _parse_let_bindings(self) -> list[LetClause]:
+        bindings = []
+        while True:
+            var = self.expect_variable()
+            self.expect_symbol(":=")
+            expr = self.parse_expr_single()
+            bindings.append(LetClause(var, expr))
+            if not self.accept_symbol(","):
+                return bindings
+
+    def _parse_order_specs(self) -> tuple[OrderSpec, ...]:
+        specs = []
+        while True:
+            key = self.parse_expr_single()
+            descending = False
+            if self.accept_keyword("descending"):
+                descending = True
+            else:
+                self.accept_keyword("ascending")
+            if self.accept_keyword("empty"):
+                if not (self.accept_keyword("greatest") or self.accept_keyword("least")):
+                    self._fail("expected 'greatest' or 'least'")
+            specs.append(OrderSpec(key, descending))
+            if not self.accept_symbol(","):
+                return tuple(specs)
+
+    # Conditionals / quantifiers ------------------------------------------
+    def _parse_if(self) -> Expr:
+        self.expect_keyword("if")
+        self.expect_symbol("(")
+        condition = self.parse_expr()
+        self.expect_symbol(")")
+        self.expect_keyword("then")
+        then_branch = self.parse_expr_single()
+        self.expect_keyword("else")
+        else_branch = self.parse_expr_single()
+        return IfExpr(condition, then_branch, else_branch)
+
+    def _parse_quantified(self) -> Expr:
+        kind = self.advance().value  # some | every
+        var = self.expect_variable()
+        self.expect_keyword("in")
+        seq = self.parse_expr_single()
+        self.expect_keyword("satisfies")
+        condition = self.parse_expr_single()
+        return Quantified(kind, var, seq, condition)
+
+    # Operator precedence --------------------------------------------------
+    def _parse_or(self) -> Expr:
+        left = self._parse_and()
+        while self.accept_keyword("or"):
+            left = BinaryOp("or", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expr:
+        left = self._parse_comparison()
+        while self.accept_keyword("and"):
+            left = BinaryOp("and", left, self._parse_comparison())
+        return left
+
+    def _parse_comparison(self) -> Expr:
+        left = self._parse_range()
+        token = self.current
+        if token.type is TokenType.SYMBOL and token.value in _COMPARISON_OPS:
+            op = self.advance().value
+            return BinaryOp(op, left, self._parse_range())
+        return left
+
+    def _parse_range(self) -> Expr:
+        left = self._parse_additive()
+        if self.accept_keyword("to"):
+            return RangeExpr(left, self._parse_additive())
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while (
+            self.current.type is TokenType.SYMBOL
+            and self.current.value in _ADDITIVE_OPS
+        ):
+            op = self.advance().value
+            left = BinaryOp(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_union()
+        while True:
+            token = self.current
+            if token.is_symbol("*") or token.is_keyword("div") or token.is_keyword("mod"):
+                op = self.advance().value
+                left = BinaryOp(op, left, self._parse_union())
+            else:
+                return left
+
+    def _parse_union(self) -> Expr:
+        left = self._parse_intersect_except()
+        while self.current.is_symbol("|") or self.current.is_keyword("union"):
+            self.advance()
+            left = BinaryOp("union", left, self._parse_intersect_except())
+        return left
+
+    def _parse_intersect_except(self) -> Expr:
+        left = self._parse_unary()
+        while True:
+            if self.accept_keyword("intersect"):
+                left = BinaryOp("intersect", left, self._parse_unary())
+            elif self.accept_keyword("except"):
+                left = BinaryOp("except", left, self._parse_unary())
+            else:
+                return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.is_symbol("-") or self.current.is_symbol("+"):
+            op = self.advance().value
+            return UnaryOp(op, self._parse_unary())
+        return self._parse_path()
+
+    # Paths ----------------------------------------------------------------
+    def _parse_path(self) -> Expr:
+        token = self.current
+        if token.is_symbol("/") or token.is_symbol("//"):
+            # Absolute path over the context document.
+            steps = self._parse_steps(leading=True)
+            return PathApply(None, steps, absolute=True)
+        primary = self._parse_postfix()
+        if self.current.is_symbol("/") or self.current.is_symbol("//"):
+            steps = self._parse_steps(leading=True)
+            return PathApply(primary, steps)
+        return primary
+
+    def _parse_steps(self, leading: bool) -> tuple[AxisStep, ...]:
+        steps: list[AxisStep] = []
+        while True:
+            if self.accept_symbol("//"):
+                axis = "descendant-or-self"
+            elif self.accept_symbol("/"):
+                axis = "child"
+            else:
+                return tuple(steps)
+            steps.append(self._parse_step(axis))
+
+    def _parse_step(self, axis: str) -> AxisStep:
+        token = self.current
+        if self.accept_symbol("@"):
+            name = self.expect_name()
+            predicates = self._parse_predicates()
+            return AxisStep(axis, name, is_attribute=True, predicates=predicates)
+        if self.accept_symbol("*"):
+            predicates = self._parse_predicates()
+            return AxisStep(axis, "*", predicates=predicates)
+        if token.is_keyword("text") and self.peek().is_symbol("("):
+            self.advance()
+            self.expect_symbol("(")
+            self.expect_symbol(")")
+            predicates = self._parse_predicates()
+            return AxisStep(axis, "text()", is_text=True, predicates=predicates)
+        if token.type in (TokenType.NAME, TokenType.KEYWORD):
+            name = self.advance().value
+            predicates = self._parse_predicates()
+            return AxisStep(axis, name, predicates=predicates)
+        self._fail("expected a path step")
+        raise AssertionError  # unreachable
+
+    def _parse_predicates(self) -> tuple[Expr, ...]:
+        predicates = []
+        while self.accept_symbol("["):
+            predicates.append(self.parse_expr())
+            self.expect_symbol("]")
+        return tuple(predicates)
+
+    # Primary --------------------------------------------------------------
+    def _parse_postfix(self) -> Expr:
+        primary = self._parse_primary()
+        predicates = self._parse_predicates()
+        if predicates:
+            return FilterExpr(primary, predicates)
+        return primary
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.type is TokenType.NUMBER:
+            self.advance()
+            value = float(token.value)
+            return Literal(int(value) if value.is_integer() and "." not in token.value else value)
+        if token.type is TokenType.STRING:
+            self.advance()
+            return Literal(token.value)
+        if token.type is TokenType.VARIABLE:
+            self.advance()
+            return VarRef(token.value)
+        if token.is_symbol("."):
+            self.advance()
+            return ContextItem()
+        if token.is_symbol("("):
+            self.advance()
+            if self.accept_symbol(")"):
+                return SequenceExpr(())
+            expr = self.parse_expr()
+            self.expect_symbol(")")
+            return expr
+        if token.is_keyword("element") and self.peek().type in (
+            TokenType.NAME,
+            TokenType.KEYWORD,
+        ):
+            self.advance()
+            name = self.expect_name()
+            content = self._parse_enclosed_content()
+            return ElementConstructor(name, content)
+        if token.is_keyword("attribute") and self.peek().type in (
+            TokenType.NAME,
+            TokenType.KEYWORD,
+        ):
+            self.advance()
+            name = self.expect_name()
+            content = self._parse_enclosed_content()
+            return AttributeConstructor(name, content)
+        if token.is_keyword("text") and self.peek().is_symbol("{"):
+            self.advance()
+            content = self._parse_enclosed_content()
+            return TextConstructor(content)
+        is_callable_keyword = token.type is TokenType.KEYWORD and token.value not in (
+            "if",
+            "element",
+            "attribute",
+            "text",
+            "some",
+            "every",
+            "for",
+            "let",
+        )
+        if (
+            token.type is TokenType.NAME or is_callable_keyword
+        ) and self.peek().is_symbol("("):
+            name = self.advance().value
+            if name.startswith("fn:"):
+                name = name[3:]
+            self.expect_symbol("(")
+            args: list[Expr] = []
+            if not self.current.is_symbol(")"):
+                args.append(self.parse_expr_single())
+                while self.accept_symbol(","):
+                    args.append(self.parse_expr_single())
+            self.expect_symbol(")")
+            return FunctionCall(name, tuple(args))
+        if token.type in (TokenType.NAME, TokenType.KEYWORD):
+            # A bare name is a relative child step from the context item.
+            name = self.advance().value
+            predicates = self._parse_predicates()
+            step = AxisStep("child", name, predicates=predicates)
+            return PathApply(ContextItem(), (step,))
+        self._fail(f"unexpected token {token.value!r}")
+        raise AssertionError  # unreachable
+
+    def _parse_enclosed_content(self) -> tuple[Expr, ...]:
+        self.expect_symbol("{")
+        if self.accept_symbol("}"):
+            return ()
+        content = [self.parse_expr_single()]
+        while self.accept_symbol(","):
+            content.append(self.parse_expr_single())
+        self.expect_symbol("}")
+        return tuple(content)

@@ -1,0 +1,19 @@
+"""Schema layer: element declarations, validation and path analysis."""
+
+from repro.xschema.schema import (
+    UNBOUNDED,
+    AttributeDecl,
+    ChildDecl,
+    ElementDecl,
+    Schema,
+)
+from repro.xschema.types import SimpleType
+
+__all__ = [
+    "UNBOUNDED",
+    "AttributeDecl",
+    "ChildDecl",
+    "ElementDecl",
+    "Schema",
+    "SimpleType",
+]

@@ -1,0 +1,34 @@
+"""Simple (atomic) types for leaf content and attributes."""
+
+from __future__ import annotations
+
+import enum
+import re
+
+_DATE_RE = re.compile(r"^\d{4}-\d{2}-\d{2}$")
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_DECIMAL_RE = re.compile(r"^[+-]?(\d+(\.\d*)?|\.\d+)$")
+
+
+class SimpleType(enum.Enum):
+    """Atomic value types, a small practical subset of XML Schema's."""
+
+    STRING = "xs:string"
+    INTEGER = "xs:integer"
+    DECIMAL = "xs:decimal"
+    BOOLEAN = "xs:boolean"
+    DATE = "xs:date"
+
+    def accepts(self, value: str) -> bool:
+        """Lexical validity of ``value`` for this type."""
+        if self is SimpleType.STRING:
+            return True
+        if self is SimpleType.INTEGER:
+            return bool(_INT_RE.match(value.strip()))
+        if self is SimpleType.DECIMAL:
+            return bool(_DECIMAL_RE.match(value.strip()))
+        if self is SimpleType.BOOLEAN:
+            return value.strip() in ("true", "false", "0", "1")
+        if self is SimpleType.DATE:
+            return bool(_DATE_RE.match(value.strip()))
+        raise AssertionError(f"unhandled simple type {self}")

@@ -1,0 +1,108 @@
+"""Shared fixtures: small canonical documents and collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel import Collection, RepositoryKind, doc, elem
+
+
+@pytest.fixture
+def item_doc():
+    """One small Item document (the paper's Citems shape)."""
+    return doc(
+        elem(
+            "Item",
+            elem("Code", "I-001"),
+            elem("Name", "Abbey Road"),
+            elem("Description", "a good classic record"),
+            elem("Section", "CD"),
+            elem("Release", "1969-09-26"),
+        ),
+        name="item-001.xml",
+    )
+
+
+def make_item(index: int, section: str, description: str = "plain stuff"):
+    return doc(
+        elem(
+            "Item",
+            elem("Code", f"I-{index:03d}"),
+            elem("Name", f"Item number {index}"),
+            elem("Description", description),
+            elem("Section", section),
+            elem("Release", f"200{index % 6}-01-15"),
+        ),
+        name=f"item-{index:03d}.xml",
+    )
+
+
+@pytest.fixture
+def items_collection():
+    """Twelve Item documents over three sections; every 4th is 'good'."""
+    documents = [
+        make_item(i, ["CD", "DVD", "Book"][i % 3],
+                  "a good thing" if i % 4 == 0 else "plain stuff")
+        for i in range(12)
+    ]
+    return Collection("Citems", documents)
+
+
+def make_article(index: int):
+    return doc(
+        elem(
+            "article",
+            elem(
+                "prolog",
+                elem("title", f"Title {index}"),
+                elem("authors", elem("author", elem("name", f"Author {index % 4}"))),
+                elem("genre", ["research", "survey"][index % 2]),
+            ),
+            elem(
+                "body",
+                elem("abstract", f"We study topic {index} in a novel way"),
+                elem("section", elem("p", f"Paragraph text {index}")),
+            ),
+            elem(
+                "epilog",
+                elem("references", elem("a_id", f"ref-{index}")),
+                elem("country", ["BR", "US"][index % 2]),
+            ),
+        ),
+        name=f"article-{index:03d}.xml",
+    )
+
+
+@pytest.fixture
+def papers_collection():
+    return Collection("Cpapers", [make_article(i) for i in range(8)])
+
+
+def make_store(item_count: int = 9):
+    items = elem(
+        "Items",
+        *[
+            elem(
+                "Item",
+                elem("Code", f"I-{i:03d}"),
+                elem("Name", f"item {i}"),
+                elem("Description", "good value" if i % 2 == 0 else "ordinary"),
+                elem("Section", ["CD", "DVD", "Book"][i % 3]),
+            )
+            for i in range(item_count)
+        ],
+    )
+    root = elem(
+        "Store",
+        elem("Sections", elem("SectionEntry", elem("Code", "S1"), elem("Name", "Music"))),
+        items,
+        elem("Employees", elem("Employee", elem("Code", "E1"), elem("Name", "Ann Lee"))),
+    )
+    return doc(root, name="store.xml")
+
+
+@pytest.fixture
+def store_collection():
+    return Collection(
+        "Cstore", [make_store()], kind=RepositoryKind.SINGLE_DOCUMENT
+    )

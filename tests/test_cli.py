@@ -1,0 +1,38 @@
+"""Tests for the ``python -m repro.bench`` command-line entry point."""
+
+import pytest
+
+from repro.bench.__main__ import FIGURES, main
+
+
+class TestCli:
+    def test_figures_registry(self):
+        assert set(FIGURES) == {"7a", "7b", "7c", "7d", "headline"}
+
+    def test_runs_a_tiny_figure(self, capsys):
+        exit_code = main(
+            ["--figure", "7c", "--scale", "0.0005", "--repetitions", "1"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "XBenchVer" in output
+        assert "Q10" in output
+
+    def test_transmission_flag(self, capsys):
+        main(
+            [
+                "--figure", "7c",
+                "--scale", "0.0005",
+                "--repetitions", "1",
+                "--transmission",
+            ]
+        )
+        assert "with transmission" in capsys.readouterr().out
+
+    def test_requires_figure(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_figure(self):
+        with pytest.raises(SystemExit):
+            main(["--figure", "9z"])

@@ -1,0 +1,107 @@
+"""Unit tests for documents and collections (SD/MD, homogeneity)."""
+
+import pytest
+
+from repro.datamodel import (
+    Collection,
+    RepositoryKind,
+    XMLDocument,
+    XMLNode,
+    doc,
+    elem,
+)
+from repro.xschema import ChildDecl, Schema, SimpleType
+
+
+class TestDocument:
+    def test_root_must_be_element(self):
+        with pytest.raises(ValueError):
+            XMLDocument(XMLNode.text("x"))
+
+    def test_root_must_be_detached(self):
+        parent = elem("a", elem("b"))
+        with pytest.raises(ValueError):
+            XMLDocument(parent.children[0])
+
+    def test_ids_assigned_on_creation(self):
+        document = doc(elem("a", elem("b")))
+        assert [n.node_id for n in document.nodes()] == [0, 1]
+
+    def test_assign_ids_false_preserves(self):
+        original = doc(elem("a", elem("b")))
+        clone_root = original.root.clone(deep=True)
+        fragment = XMLDocument(clone_root, assign_ids=False)
+        assert [n.node_id for n in fragment.nodes()] == [0, 1]
+
+    def test_origin_defaults_to_name(self):
+        document = doc(elem("a"), name="d.xml")
+        assert document.origin == "d.xml"
+
+    def test_find_by_id(self):
+        document = doc(elem("a", elem("b"), elem("c")))
+        node = document.find_by_id(2)
+        assert node is not None and node.label == "c"
+        assert document.find_by_id(99) is None
+
+    def test_clone_preserves_origin_and_ids(self):
+        document = doc(elem("a", elem("b")), name="d.xml")
+        copy = document.clone()
+        assert copy.origin == "d.xml"
+        assert copy.tree_equal(document, compare_ids=True)
+
+    def test_node_count(self):
+        assert doc(elem("a", elem("b", "t"))).node_count() == 3
+
+
+class TestCollection:
+    def test_anonymous_documents_get_names(self):
+        collection = Collection("c")
+        document = collection.add(doc(elem("a")))
+        assert document.name is not None and document.name.startswith("c-")
+
+    def test_duplicate_names_rejected(self):
+        collection = Collection("c")
+        collection.add(doc(elem("a"), name="x.xml"))
+        with pytest.raises(ValueError, match="duplicate"):
+            collection.add(doc(elem("a"), name="x.xml"))
+
+    def test_sd_holds_single_document(self):
+        collection = Collection("c", kind=RepositoryKind.SINGLE_DOCUMENT)
+        collection.add(doc(elem("a")))
+        with pytest.raises(ValueError, match="single document"):
+            collection.add(doc(elem("a")))
+
+    def test_membership_and_get(self):
+        collection = Collection("c", [doc(elem("a"), name="x.xml")])
+        assert "x.xml" in collection
+        assert collection.get("x.xml") is not None
+        assert collection.get("y.xml") is None
+
+    def test_remove(self):
+        collection = Collection("c", [doc(elem("a"), name="x.xml")])
+        collection.remove("x.xml")
+        assert len(collection) == 0
+
+    def test_weak_homogeneity_by_root_label(self):
+        collection = Collection("c", [doc(elem("a")), doc(elem("a"))])
+        assert collection.is_homogeneous()
+        collection.add(doc(elem("b")))
+        assert not collection.is_homogeneous()
+
+    def test_declared_homogeneity_validates(self):
+        schema = Schema("s")
+        schema.element("leaf", content=SimpleType.STRING)
+        schema.element("root", children=[ChildDecl("leaf")])
+        good = doc(elem("root", elem("leaf", "x")))
+        bad = doc(elem("root", elem("leaf", "x"), elem("leaf", "y")))
+        collection = Collection("c", [good], schema=schema, root_type="root")
+        assert collection.is_homogeneous()
+        collection.add(bad)
+        assert not collection.is_homogeneous()
+
+    def test_total_nodes(self):
+        collection = Collection("c", [doc(elem("a", elem("b"))), doc(elem("a"))])
+        assert collection.total_nodes() == 3
+
+    def test_empty_collection_is_homogeneous(self):
+        assert Collection("c").is_homogeneous()

@@ -1,0 +1,93 @@
+"""Coverage for small public APIs not exercised elsewhere."""
+
+import pytest
+
+from repro.algebra import Selection, union_collections
+from repro.datamodel import Collection, RepositoryKind, doc, elem
+from repro.engine import EngineStats
+from repro.errors import (
+    CorrectnessViolation,
+    PartixError,
+    XMLSyntaxError,
+    XQuerySyntaxError,
+)
+from repro.paths import eq, ne
+
+
+class TestUnionCollections:
+    def test_union_rebuilds_named_collection(self):
+        source = Collection("c", [
+            doc(elem("Item", elem("S", "a")), name="1.xml"),
+            doc(elem("Item", elem("S", "b")), name="2.xml"),
+        ])
+        left = Collection("F1", Selection(eq("/Item/S", "a")).apply_collection(source))
+        right = Collection("F2", Selection(ne("/Item/S", "a")).apply_collection(source))
+        merged = union_collections("c", [left, right])
+        assert merged.name == "c"
+        assert sorted(merged.names()) == ["1.xml", "2.xml"]
+
+    def test_union_of_none(self):
+        merged = union_collections("c", [])
+        assert len(merged) == 0
+        assert merged.kind is RepositoryKind.MULTIPLE_DOCUMENTS
+
+
+class TestEngineStats:
+    def test_merge_and_reset(self):
+        a = EngineStats(documents_parsed=3, bytes_parsed=100)
+        b = EngineStats(documents_parsed=2, bytes_parsed=50, parse_seconds=0.5)
+        merged = a.merged_with(b)
+        assert merged.documents_parsed == 5
+        assert merged.bytes_parsed == 150
+        assert merged.parse_seconds == 0.5
+        a.reset()
+        assert a.documents_parsed == 0 and a.bytes_parsed == 0
+
+    def test_diff(self):
+        before = EngineStats(documents_parsed=2)
+        after = EngineStats(documents_parsed=7, index_lookups=1)
+        delta = after.diff(before)
+        assert delta.documents_parsed == 5
+        assert delta.index_lookups == 1
+
+
+class TestErrorHierarchy:
+    def test_everything_derives_from_partix_error(self):
+        for exc_type in (XMLSyntaxError, XQuerySyntaxError, CorrectnessViolation):
+            assert issubclass(exc_type, PartixError)
+
+    def test_xml_error_location_formatting(self):
+        error = XMLSyntaxError("bad", line=3, column=14)
+        assert "line 3" in str(error) and "column 14" in str(error)
+
+    def test_xquery_error_offset(self):
+        error = XQuerySyntaxError("bad token", position=7)
+        assert "offset 7" in str(error)
+
+    def test_correctness_violation_fields(self):
+        error = CorrectnessViolation("disjointness", "doc x overlaps")
+        assert error.rule == "disjointness"
+        assert "disjointness" in str(error)
+
+
+class TestSerializerPretty:
+    def test_custom_indent(self):
+        from repro.xmltext import serialize_pretty
+
+        text = serialize_pretty(doc(elem("a", elem("b", elem("c")))), indent="    ")
+        assert "\n    <b>" in text
+        assert "\n        <c/>" in text
+
+
+class TestDescribeForms:
+    def test_parallel_round_empty(self):
+        from repro.cluster import ParallelRound
+
+        round_ = ParallelRound()
+        assert round_.parallel_seconds == 0.0
+        assert round_.total_result_bytes == 0
+
+    def test_scaled_size_label(self):
+        from repro.bench import scaled_point
+
+        assert "MB" in scaled_point(100).label

@@ -1,0 +1,164 @@
+"""Unit tests for the schema and distribution catalogs."""
+
+import pytest
+
+from repro.datamodel import RepositoryKind
+from repro.errors import CatalogError
+from repro.partix import (
+    CollectionDeclaration,
+    DistributionCatalog,
+    FragmentAllocation,
+    FragmentationSchema,
+    HorizontalFragment,
+    SchemaCatalog,
+)
+from repro.paths import eq, ne
+from repro.xschema import Schema
+
+
+@pytest.fixture
+def fragmentation():
+    return FragmentationSchema("c", [
+        HorizontalFragment("F1", "c", predicate=eq("/Item/S", "x")),
+        HorizontalFragment("F2", "c", predicate=ne("/Item/S", "x")),
+    ], root_label="Item")
+
+
+class TestSchemaCatalog:
+    def test_register_and_fetch_schema(self):
+        catalog = SchemaCatalog()
+        catalog.register_schema(Schema("s"))
+        assert catalog.schema("s").name == "s"
+
+    def test_duplicate_schema_rejected(self):
+        catalog = SchemaCatalog()
+        catalog.register_schema(Schema("s"))
+        with pytest.raises(CatalogError):
+            catalog.register_schema(Schema("s"))
+
+    def test_missing_schema(self):
+        with pytest.raises(CatalogError):
+            SchemaCatalog().schema("nope")
+
+    def test_collection_declaration(self):
+        catalog = SchemaCatalog()
+        catalog.register_schema(Schema("s"))
+        catalog.register_collection(
+            CollectionDeclaration(
+                "c", RepositoryKind.MULTIPLE_DOCUMENTS, "s", "Item", "Item"
+            )
+        )
+        assert catalog.has_collection("c")
+        assert catalog.collection("c").root_type == "Item"
+        assert catalog.collection_names() == ["c"]
+
+    def test_collection_requires_registered_schema(self):
+        catalog = SchemaCatalog()
+        with pytest.raises(CatalogError):
+            catalog.register_collection(
+                CollectionDeclaration(
+                    "c", RepositoryKind.MULTIPLE_DOCUMENTS, "missing", "x", "x"
+                )
+            )
+
+    def test_duplicate_collection_rejected(self):
+        catalog = SchemaCatalog()
+        declaration = CollectionDeclaration("c", RepositoryKind.MULTIPLE_DOCUMENTS)
+        catalog.register_collection(declaration)
+        with pytest.raises(CatalogError):
+            catalog.register_collection(declaration)
+
+
+class TestDistributionCatalog:
+    def test_register_and_lookup(self, fragmentation):
+        catalog = DistributionCatalog()
+        catalog.register_fragmentation(fragmentation, [
+            FragmentAllocation("F1", "s0", "F1"),
+            FragmentAllocation("F2", "s1", "F2"),
+        ])
+        assert catalog.is_fragmented("c")
+        assert catalog.fragmentation("c") is fragmentation
+        assert catalog.allocation("c", "F1").site == "s0"
+        assert len(catalog.allocations("c")) == 2
+        assert catalog.fragmented_collections() == ["c"]
+
+    def test_missing_allocation_rejected(self, fragmentation):
+        catalog = DistributionCatalog()
+        with pytest.raises(CatalogError, match="without allocation"):
+            catalog.register_fragmentation(
+                fragmentation, [FragmentAllocation("F1", "s0", "F1")]
+            )
+
+    def test_unknown_fragment_rejected(self, fragmentation):
+        catalog = DistributionCatalog()
+        with pytest.raises(Exception):
+            catalog.register_fragmentation(
+                fragmentation,
+                [
+                    FragmentAllocation("F1", "s0", "F1"),
+                    FragmentAllocation("F9", "s1", "F9"),
+                ],
+            )
+
+    def test_second_allocation_on_distinct_site_is_a_replica(self, fragmentation):
+        catalog = DistributionCatalog()
+        catalog.register_fragmentation(
+            fragmentation,
+            [
+                FragmentAllocation("F1", "s0", "F1"),
+                FragmentAllocation("F1", "s1", "F1b"),
+                FragmentAllocation("F2", "s1", "F2"),
+            ],
+        )
+        assert len(catalog.replicas("c", "F1")) == 2
+
+    def test_duplicate_collection_rejected(self, fragmentation):
+        catalog = DistributionCatalog()
+        allocations = [
+            FragmentAllocation("F1", "s0", "F1"),
+            FragmentAllocation("F2", "s1", "F2"),
+        ]
+        catalog.register_fragmentation(fragmentation, allocations)
+        with pytest.raises(CatalogError, match="already"):
+            catalog.register_fragmentation(fragmentation, allocations)
+
+    def test_unregister(self, fragmentation):
+        catalog = DistributionCatalog()
+        catalog.register_fragmentation(fragmentation, [
+            FragmentAllocation("F1", "s0", "F1"),
+            FragmentAllocation("F2", "s1", "F2"),
+        ])
+        catalog.unregister("c")
+        assert not catalog.is_fragmented("c")
+        with pytest.raises(CatalogError):
+            catalog.fragmentation("c")
+
+    def test_missing_collection_lookups(self):
+        catalog = DistributionCatalog()
+        with pytest.raises(CatalogError):
+            catalog.allocation("c", "F1")
+        with pytest.raises(CatalogError):
+            catalog.allocations("c")
+
+
+class TestReplication:
+    def test_replicas_registered_and_listed(self, fragmentation):
+        catalog = DistributionCatalog()
+        catalog.register_fragmentation(fragmentation, [
+            FragmentAllocation("F1", "s0", "F1"),
+            FragmentAllocation("F1", "s1", "F1"),  # replica
+            FragmentAllocation("F2", "s1", "F2"),
+        ])
+        replicas = catalog.replicas("c", "F1")
+        assert [r.site for r in replicas] == ["s0", "s1"]
+        assert catalog.allocation("c", "F1").site == "s0"  # primary
+        assert len(catalog.allocations("c")) == 3
+
+    def test_same_site_replica_rejected(self, fragmentation):
+        catalog = DistributionCatalog()
+        with pytest.raises(CatalogError, match="twice"):
+            catalog.register_fragmentation(fragmentation, [
+                FragmentAllocation("F1", "s0", "F1"),
+                FragmentAllocation("F1", "s0", "F1b"),
+                FragmentAllocation("F2", "s1", "F2"),
+            ])

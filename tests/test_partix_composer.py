@@ -1,0 +1,155 @@
+"""Unit tests for result composition."""
+
+import pytest
+
+from repro.algebra import PXID, PXORIGIN, PXPARENT, annotate
+from repro.datamodel import doc, elem
+from repro.errors import DecompositionError
+from repro.partix import CompositionSpec, ResultComposer, SubQuery
+from repro.xmltext import serialize
+
+
+def _sq(fragment="F1"):
+    return SubQuery(fragment, "s0", fragment, "q")
+
+
+@pytest.fixture
+def composer():
+    return ResultComposer()
+
+
+class TestConcat:
+    def test_joins_non_empty_chunks(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="concat"),
+            [(_sq("F1"), "a\nb"), (_sq("F2"), ""), (_sq("F3"), "c")],
+        )
+        assert result.result_text == "a\nb\nc"
+        assert result.result_bytes == 5
+
+    def test_empty_partials(self, composer):
+        result = composer.compose(CompositionSpec(kind="concat"), [])
+        assert result.result_text == ""
+
+
+class TestAggregate:
+    def test_count_sums(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="aggregate", aggregate="count"),
+            [(_sq(), "3"), (_sq(), "4")],
+        )
+        assert result.result_text == "7"
+
+    def test_sum(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="aggregate", aggregate="sum"),
+            [(_sq(), "1.5"), (_sq(), "2.5")],
+        )
+        assert result.result_text == "4"
+
+    def test_min_max(self, composer):
+        spec_min = CompositionSpec(kind="aggregate", aggregate="min")
+        spec_max = CompositionSpec(kind="aggregate", aggregate="max")
+        partials = [(_sq(), "5"), (_sq(), "2"), (_sq(), "9")]
+        assert composer.compose(spec_min, partials).result_text == "2"
+        assert composer.compose(spec_max, partials).result_text == "9"
+
+    def test_min_over_empty_partials(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="aggregate", aggregate="min"),
+            [(_sq(), ""), (_sq(), "")],
+        )
+        assert result.result_text == ""
+
+    def test_avg_recombines_sum_count(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="aggregate", aggregate="avg"),
+            [(_sq(), "10\n2"), (_sq(), "20\n3")],
+        )
+        assert result.result_text == "6"
+
+    def test_avg_zero_count(self, composer):
+        result = composer.compose(
+            CompositionSpec(kind="aggregate", aggregate="avg"),
+            [(_sq(), "0\n0")],
+        )
+        assert result.result_text == ""
+
+    def test_unknown_aggregate(self, composer):
+        with pytest.raises(DecompositionError):
+            composer.compose(
+                CompositionSpec(kind="aggregate", aggregate="median"),
+                [(_sq(), "1")],
+            )
+
+    def test_unknown_kind(self, composer):
+        with pytest.raises(DecompositionError):
+            composer.compose(CompositionSpec(kind="zip"), [])
+
+
+class TestReconstruct:
+    def _vertical_partials(self):
+        """Two fragments of one article, serialized as drivers would."""
+        original = doc(
+            elem("article",
+                 elem("prolog", elem("title", "T")),
+                 elem("body", elem("p", "B"))),
+            name="a.xml",
+        )
+        from repro.algebra import Projection
+
+        f1 = Projection("/article/prolog").apply(original)[0]
+        f2 = Projection("/article/body").apply(original)[0]
+        annotate(f1.root, PXORIGIN, "a.xml")
+        annotate(f2.root, PXORIGIN, "a.xml")
+        return original, [
+            (_sq("F1"), serialize(f1)),
+            (_sq("F2"), serialize(f2)),
+        ]
+
+    def test_joins_and_requeries(self, composer):
+        original, partials = self._vertical_partials()
+        spec = CompositionSpec(
+            kind="reconstruct",
+            original_query='for $a in collection("Cpapers")/article'
+            " return $a/prolog/title/text()",
+            source_collection="Cpapers",
+            root_label="article",
+        )
+        result = composer.compose(spec, partials)
+        assert result.result_text == "T"
+        assert result.compose_seconds > 0
+
+    def test_requires_original_query(self, composer):
+        with pytest.raises(DecompositionError):
+            composer.compose(CompositionSpec(kind="reconstruct"), [])
+
+    def test_fragmode2_wrapper_units_extracted(self, composer):
+        # A FragMode2 wrapper: chain Store/Items with annotated units,
+        # plus a remainder skeleton with a stub.
+        wrapper = elem("Store", elem("Items"))
+        annotate(wrapper, PXORIGIN, "s.xml")
+        items_node = wrapper.element_children()[0]
+        unit = elem("Item", elem("Code", "I1"))
+        annotate(unit, PXID, 5)
+        annotate(unit, PXPARENT, 2)
+        items_node.append(unit)
+
+        remainder = elem("Store", elem("Meta", elem("x", "m")), elem("Items"))
+        annotate(remainder, PXID, 0)
+        annotate(remainder, PXORIGIN, "s.xml")
+        stub = remainder.element_children()[1]
+        annotate(stub, PXID, 2)
+
+        spec = CompositionSpec(
+            kind="reconstruct",
+            original_query='for $s in collection("Cstore")/Store'
+            " return count($s/Items/Item)",
+            source_collection="Cstore",
+            root_label="Store",
+        )
+        result = composer.compose(
+            spec,
+            [(_sq("F1"), serialize(remainder)), (_sq("F2"), serialize(wrapper))],
+        )
+        assert result.result_text == "1"

@@ -1,0 +1,195 @@
+"""Unit tests for the correctness rules of §3.3."""
+
+import pytest
+
+from repro.datamodel import Collection, doc, elem
+from repro.errors import CorrectnessViolation
+from repro.partix import (
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+    symbolic_report,
+    verify_fragmentation,
+)
+from repro.paths import And, TruePredicate, contains, eq, ne
+
+
+def make_items(sections):
+    return Collection(
+        "c",
+        [
+            doc(elem("Item", elem("Code", f"I{i}"), elem("Section", s)),
+                name=f"i{i}.xml")
+            for i, s in enumerate(sections)
+        ],
+    )
+
+
+class TestHorizontalRules:
+    def test_complement_design_is_correct(self):
+        collection = make_items(["CD", "DVD", "CD"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=ne("/Item/Section", "CD")),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert report.ok
+
+    def test_incomplete_design_detected(self):
+        collection = make_items(["CD", "Book"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=eq("/Item/Section", "DVD")),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert not report.complete
+        assert not report.ok
+        assert "no fragment predicate" in report.violations[0]
+
+    def test_overlapping_design_detected(self):
+        collection = make_items(["CD"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=TruePredicate()),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert not report.disjoint
+
+    def test_raise_if_invalid(self):
+        collection = make_items(["Book"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+        ])
+        report = verify_fragmentation(schema, collection)
+        with pytest.raises(CorrectnessViolation) as info:
+            report.raise_if_invalid()
+        assert info.value.rule == "completeness"
+
+    def test_reconstruction_checked(self):
+        collection = make_items(["CD", "DVD"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=ne("/Item/Section", "CD")),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert report.reconstructible
+
+
+class TestVerticalRules:
+    def _article(self, i=0):
+        return doc(
+            elem("article",
+                 elem("prolog", elem("title", f"t{i}")),
+                 elem("body", elem("p", f"b{i}")),
+                 elem("epilog", elem("country", "BR"))),
+            name=f"a{i}.xml",
+        )
+
+    def test_xbench_design_correct_with_root_note(self):
+        collection = Collection("c", [self._article(i) for i in range(3)])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article/prolog"),
+            VerticalFragment("F2", "c", path="/article/body"),
+            VerticalFragment("F3", "c", path="/article/epilog"),
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection)
+        assert report.ok
+        assert any("chain node" in note for note in report.notes)
+
+    def test_strict_nodes_flags_uncovered_root(self):
+        collection = Collection("c", [self._article()])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article/prolog"),
+            VerticalFragment("F2", "c", path="/article/body"),
+            VerticalFragment("F3", "c", path="/article/epilog"),
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection, strict_nodes=True)
+        assert not report.complete
+
+    def test_missing_leaf_data_detected(self):
+        collection = Collection("c", [self._article()])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article/prolog"),
+            VerticalFragment("F2", "c", path="/article/body"),
+            # epilog (with real data) is in no fragment
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection)
+        assert not report.complete
+
+    def test_overlapping_projections_detected(self):
+        collection = Collection("c", [self._article()])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article"),  # everything
+            VerticalFragment("F2", "c", path="/article/body"),
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection)
+        assert not report.disjoint
+
+    def test_prune_complement_design_correct(self):
+        collection = Collection("c", [self._article()])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article", prune=("/article/body",)),
+            VerticalFragment("F2", "c", path="/article/body"),
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection)
+        assert report.ok
+
+
+class TestHybridRules:
+    def test_store_design_correct(self, store_collection):
+        schema = FragmentationSchema("Cstore", [
+            VerticalFragment("F1", "Cstore", path="/Store",
+                             prune=("/Store/Items",), stub_prunes=True),
+            HybridFragment("F2", "Cstore", path="/Store/Items",
+                           unit_label="Item", predicate=eq("/Item/Section", "CD")),
+            HybridFragment("F3", "Cstore", path="/Store/Items",
+                           unit_label="Item", predicate=ne("/Item/Section", "CD")),
+        ], root_label="Store")
+        report = verify_fragmentation(schema, store_collection)
+        assert report.ok
+
+    def test_incomplete_hybrid_detected(self, store_collection):
+        schema = FragmentationSchema("Cstore", [
+            VerticalFragment("F1", "Cstore", path="/Store",
+                             prune=("/Store/Items",), stub_prunes=True),
+            HybridFragment("F2", "Cstore", path="/Store/Items",
+                           unit_label="Item", predicate=eq("/Item/Section", "CD")),
+        ], root_label="Store")
+        report = verify_fragmentation(schema, store_collection)
+        assert not report.complete
+
+
+class TestSymbolicReport:
+    def test_complement_pair_proves_coverage(self):
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/a/b", "x")),
+            HorizontalFragment("F2", "c", predicate=ne("/a/b", "x")),
+        ])
+        report = symbolic_report(schema)
+        assert report.notes == []
+
+    def test_unprovable_coverage_noted(self):
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=contains("/a/b", "x")),
+            HorizontalFragment("F2", "c", predicate=contains("/a/b", "y")),
+        ])
+        report = symbolic_report(schema)
+        assert any("completeness" in note for note in report.notes)
+        assert any("disjointness" in note for note in report.notes)
+
+    def test_nested_verticals_without_prune_noted(self):
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/a"),
+            VerticalFragment("F2", "c", path="/a/b"),
+        ])
+        report = symbolic_report(schema)
+        assert any("may overlap" in note for note in report.notes)
+
+    def test_nested_verticals_with_prune_silent(self):
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/a", prune=("/a/b",)),
+            VerticalFragment("F2", "c", path="/a/b"),
+        ])
+        report = symbolic_report(schema)
+        assert not any("overlap" in note for note in report.notes)

@@ -1,0 +1,162 @@
+"""Unit tests for fragment definitions and fragmentation schemas."""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.partix import (
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.paths import eq, ne, parse_path
+from repro.xschema import ChildDecl, Schema, SimpleType
+
+
+class TestHorizontalFragment:
+    def test_kind_and_operator(self):
+        fragment = HorizontalFragment("F1", "c", predicate=eq("/Item/S", "x"))
+        assert fragment.kind == "horizontal"
+        assert "σ" in str(fragment.operator())
+
+    def test_requires_predicate(self):
+        with pytest.raises(FragmentationError):
+            HorizontalFragment("F1", "c")
+
+    def test_describe_uses_paper_notation(self):
+        fragment = HorizontalFragment("F1", "c", predicate=eq("/Item/S", "x"))
+        assert fragment.describe().startswith("F1 := ⟨c, σ[")
+
+
+class TestVerticalFragment:
+    def test_accepts_string_paths(self):
+        fragment = VerticalFragment(
+            "F1", "c", path="/a/b", prune=("/a/b/c",)
+        )
+        assert str(fragment.path) == "/a/b"
+        assert [str(p) for p in fragment.prune] == ["/a/b/c"]
+
+    def test_requires_path(self):
+        with pytest.raises(FragmentationError):
+            VerticalFragment("F1", "c")
+
+    def test_kind(self):
+        assert VerticalFragment("F", "c", path="/a").kind == "vertical"
+
+
+class TestHybridFragment:
+    def test_unit_path(self):
+        fragment = HybridFragment(
+            "F", "c", path="/Store/Items", unit_label="Item",
+            predicate=eq("/Item/S", "x"),
+        )
+        assert str(fragment.unit_path()) == "/Store/Items/Item"
+        assert fragment.kind == "hybrid"
+
+    def test_requires_unit_label(self):
+        with pytest.raises(FragmentationError):
+            HybridFragment("F", "c", path="/Store/Items")
+
+    def test_operator_without_predicate_keeps_all_units(self):
+        from repro.datamodel import doc, elem
+
+        fragment = HybridFragment("F", "c", path="/a", unit_label="b")
+        document = doc(elem("a", elem("b", "1"), elem("b", "2")))
+        assert len(fragment.operator().apply(document)) == 2
+
+
+class TestFragmentationSchema:
+    def _horizontal(self):
+        return [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/S", "x")),
+            HorizontalFragment("F2", "c", predicate=ne("/Item/S", "x")),
+        ]
+
+    def test_basic_accessors(self):
+        schema = FragmentationSchema("c", self._horizontal(), root_label="Item")
+        assert schema.fragment_names() == ["F1", "F2"]
+        assert schema.is_horizontal and not schema.is_vertical
+        assert len(schema) == 2
+        assert schema.fragment("F1").name == "F1"
+
+    def test_unknown_fragment(self):
+        schema = FragmentationSchema("c", self._horizontal())
+        with pytest.raises(FragmentationError):
+            schema.fragment("F9")
+
+    def test_requires_fragments(self):
+        with pytest.raises(FragmentationError):
+            FragmentationSchema("c", [])
+
+    def test_duplicate_names_rejected(self):
+        fragments = [
+            HorizontalFragment("F1", "c", predicate=eq("/a", "x")),
+            HorizontalFragment("F1", "c", predicate=ne("/a", "x")),
+        ]
+        with pytest.raises(FragmentationError, match="duplicate"):
+            FragmentationSchema("c", fragments)
+
+    def test_wrong_collection_rejected(self):
+        fragments = [HorizontalFragment("F1", "other", predicate=eq("/a", "x"))]
+        with pytest.raises(FragmentationError, match="references collection"):
+            FragmentationSchema("c", fragments)
+
+    def test_kinds_mixed(self):
+        schema = FragmentationSchema(
+            "c",
+            [
+                VerticalFragment("V", "c", path="/a", prune=("/a/b",)),
+                HybridFragment("H", "c", path="/a/b", unit_label="x"),
+            ],
+        )
+        assert schema.kinds == {"vertical", "hybrid"}
+        assert len(schema.hybrid_fragments()) == 1
+
+    def test_describe_lists_fragments(self):
+        schema = FragmentationSchema("c", self._horizontal())
+        assert schema.describe().count("F1") == 1
+
+
+class TestStaticValidity:
+    def _schema(self):
+        schema = Schema("s")
+        schema.element("leaf", content=SimpleType.STRING)
+        schema.element("many", children=[ChildDecl("leaf", 0, None)])
+        schema.element(
+            "root", children=[ChildDecl("many", 0, 1), ChildDecl("leaf", 0, 1)]
+        )
+        return schema
+
+    def test_single_cardinality_path_accepted(self):
+        FragmentationSchema(
+            "c",
+            [VerticalFragment("F", "c", path="/root/many")],
+            schema=self._schema(),
+            root_type="root",
+        )
+
+    def test_unbounded_path_rejected(self):
+        with pytest.raises(FragmentationError, match="Definition 3"):
+            FragmentationSchema(
+                "c",
+                [VerticalFragment("F", "c", path="/root/many/leaf")],
+                schema=self._schema(),
+                root_type="root",
+            )
+
+    def test_positional_step_pins_one(self):
+        FragmentationSchema(
+            "c",
+            [VerticalFragment("F", "c", path=parse_path("/root/many/leaf[1]"))],
+            schema=self._schema(),
+            root_type="root",
+        )
+
+    def test_wrong_root_rejected(self):
+        with pytest.raises(FragmentationError, match="does not start"):
+            FragmentationSchema(
+                "c",
+                [VerticalFragment("F", "c", path="/other/x")],
+                schema=self._schema(),
+                root_type="root",
+            )

@@ -1,0 +1,167 @@
+"""Unit tests for the Partix middleware facade and cluster accounting."""
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    NetworkModel,
+    ParallelRound,
+    Site,
+    SubQueryExecution,
+)
+from repro.engine.stats import QueryResult
+from repro.errors import ClusterError
+from repro.partix import (
+    CompositionSpec,
+    FragmentationSchema,
+    HorizontalFragment,
+    Partix,
+    SubQuery,
+    annotated,
+)
+from repro.paths import eq, ne
+
+
+@pytest.fixture
+def partix(items_collection):
+    cluster = Cluster.with_sites(2)
+    cluster.add(Site("central"))
+    px = Partix(cluster)
+    design = FragmentationSchema("Citems", [
+        HorizontalFragment("F_cd", "Citems", predicate=eq("/Item/Section", "CD")),
+        HorizontalFragment("F_rest", "Citems", predicate=ne("/Item/Section", "CD")),
+    ], root_label="Item")
+    px.publish(items_collection, design)
+    px.publish_centralized(items_collection, "central")
+    return px
+
+
+class TestCluster:
+    def test_with_sites(self):
+        cluster = Cluster.with_sites(3)
+        assert cluster.site_names() == ["site0", "site1", "site2"]
+        assert len(cluster) == 3
+        assert "site1" in cluster
+
+    def test_duplicate_site_rejected(self):
+        cluster = Cluster.with_sites(1)
+        with pytest.raises(ClusterError):
+            cluster.add(Site("site0"))
+
+    def test_unknown_site(self):
+        with pytest.raises(ClusterError):
+            Cluster().site("nope")
+
+
+class TestParallelRound:
+    def _execution(self, site, elapsed, size=10):
+        result = QueryResult(
+            items=[], result_text="x" * size, result_bytes=size,
+            elapsed_seconds=elapsed, parse_seconds=0, documents_parsed=0,
+            bytes_parsed=0, documents_scanned=0, documents_pruned=0,
+        )
+        return SubQueryExecution(site, "F", "q", result)
+
+    def test_parallel_is_slowest_site(self):
+        round_ = ParallelRound([
+            self._execution("s0", 0.5),
+            self._execution("s1", 0.2),
+        ])
+        assert round_.parallel_seconds == 0.5
+        assert round_.sequential_seconds == pytest.approx(0.7)
+
+    def test_same_site_work_serializes(self):
+        round_ = ParallelRound([
+            self._execution("s0", 0.3),
+            self._execution("s0", 0.4),
+            self._execution("s1", 0.5),
+        ])
+        assert round_.parallel_seconds == pytest.approx(0.7)
+
+    def test_result_sizes(self):
+        round_ = ParallelRound([
+            self._execution("s0", 0.1, 5),
+            self._execution("s1", 0.1, 7),
+        ])
+        assert round_.result_sizes == [5, 7]
+        assert round_.total_result_bytes == 12
+
+
+class TestNetworkModel:
+    def test_transfer_time(self):
+        network = NetworkModel(bandwidth_bits_per_second=1e9, latency_seconds=0)
+        assert network.transfer_seconds(125_000_000) == pytest.approx(1.0)
+
+    def test_gather_serializes_results(self):
+        network = NetworkModel(bandwidth_bits_per_second=1e9, latency_seconds=0)
+        one = network.gather_seconds([125_000_000])
+        two = network.gather_seconds([125_000_000, 125_000_000])
+        assert two == pytest.approx(2 * one)
+
+    def test_free_network(self):
+        from repro.cluster import FREE_NETWORK
+
+        assert FREE_NETWORK.gather_seconds([10 ** 9]) == 0.0
+
+
+class TestExecution:
+    def test_distributed_matches_centralized(self, partix):
+        query = (
+            'for $i in collection("Citems")/Item'
+            ' where contains($i/Description, "good") return $i/Code/text()'
+        )
+        distributed = partix.execute(query)
+        centralized = partix.execute_centralized(query, "central")
+        assert sorted(distributed.result_text.split()) == sorted(
+            centralized.result_text.split()
+        )
+
+    def test_aggregate_distributed(self, partix):
+        query = 'count(collection("Citems")/Item)'
+        assert partix.execute(query).result_text == "12"
+
+    def test_timing_fields(self, partix):
+        result = partix.execute('count(collection("Citems")/Item)')
+        assert result.parallel_seconds > 0
+        assert result.total_seconds > result.parallel_seconds
+        assert result.sequential_seconds >= result.round.parallel_seconds
+
+    def test_annotated_plan_execution(self, partix):
+        plan = annotated(
+            "Citems",
+            [
+                SubQuery("F_cd", "site0", "F_cd",
+                         'count(collection("F_cd")/Item)'),
+                SubQuery("F_rest", "site1", "F_rest",
+                         'count(collection("F_rest")/Item)'),
+            ],
+            CompositionSpec(kind="aggregate", aggregate="count"),
+        )
+        result = partix.execute("count(...)", plan=plan)
+        assert result.result_text == "12"
+
+    def test_empty_plan_aggregate_identity(self, partix):
+        result = partix.execute(
+            'count(for $i in collection("Citems")/Item'
+            ' where $i/Section = "CD" and $i/Section = "DVD" return $i)'
+        )
+        assert result.result_text == "0"
+
+    def test_notes_propagated(self, partix):
+        result = partix.execute(
+            'for $i in collection("Citems")/Item'
+            ' where $i/Section = "CD" return $i/Code/text()'
+        )
+        assert any("pruned" in note for note in result.notes)
+
+
+class TestExplain:
+    def test_explain_returns_plan_without_running(self, partix):
+        plan = partix.explain(
+            'for $i in collection("Citems")/Item'
+            ' where $i/Section = "CD" return $i/Name/text()'
+        )
+        assert plan.fragment_names == ["F_cd"]
+        # No query reached any site.
+        for site in partix.cluster.sites():
+            assert site.driver.engine.stats.queries_executed == 0

@@ -1,0 +1,144 @@
+"""Unit tests for fragmentation-design JSON serialization."""
+
+import pytest
+
+from repro.errors import FragmentationError
+from repro.partix import (
+    FragmentAllocation,
+    FragmentationSchema,
+    HorizontalFragment,
+    HybridFragment,
+    VerticalFragment,
+)
+from repro.partix.serialization import (
+    design_from_dict,
+    design_to_dict,
+    fragment_from_dict,
+    fragment_to_dict,
+    load_design,
+    predicate_from_dict,
+    predicate_to_dict,
+    save_design,
+)
+from repro.paths import (
+    And,
+    Not,
+    Or,
+    TruePredicate,
+    cmp,
+    contains,
+    empty,
+    eq,
+    exists,
+    func_cmp,
+    ne,
+    starts_with,
+)
+
+ALL_PREDICATES = [
+    eq("/a/b", "x"),
+    ne("/a/b", "x"),
+    cmp("/a/b", "<=", 5),
+    func_cmp("count", "/a/b", ">", 2),
+    contains("//d", "needle"),
+    starts_with("/a/b", "pre"),
+    exists("/a/c"),
+    empty("/a/c"),
+    Not(eq("/a/b", "x")),
+    And((eq("/a/b", "x"), contains("/a/d", "w"))),
+    Or((eq("/a/b", "x"), eq("/a/b", "y"))),
+    TruePredicate(),
+]
+
+
+class TestPredicateRoundTrip:
+    @pytest.mark.parametrize("predicate", ALL_PREDICATES, ids=lambda p: str(p))
+    def test_round_trip(self, predicate):
+        restored = predicate_from_dict(predicate_to_dict(predicate))
+        assert str(restored) == str(predicate)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(FragmentationError):
+            predicate_from_dict({"type": "xor"})
+
+
+class TestFragmentRoundTrip:
+    @pytest.mark.parametrize(
+        "fragment",
+        [
+            HorizontalFragment("F1", "c", predicate=eq("/a/b", "x")),
+            VerticalFragment(
+                "F2", "c", path="/a/b", prune=("/a/b/c",), stub_prunes=True
+            ),
+            HybridFragment(
+                "F3", "c", path="/a/b", unit_label="u",
+                predicate=eq("/u/s", "v"),
+            ),
+            HybridFragment("F4", "c", path="/a/b", unit_label="u"),
+        ],
+        ids=["horizontal", "vertical", "hybrid", "hybrid-no-predicate"],
+    )
+    def test_round_trip(self, fragment):
+        restored = fragment_from_dict(fragment_to_dict(fragment))
+        assert restored.describe() == fragment.describe()
+        assert type(restored) is type(fragment)
+
+    def test_vertical_flags_preserved(self):
+        fragment = VerticalFragment(
+            "F", "c", path="/a", prune=("/a/b",), stub_prunes=True
+        )
+        restored = fragment_from_dict(fragment_to_dict(fragment))
+        assert restored.stub_prunes is True
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FragmentationError):
+            fragment_from_dict({"kind": "diagonal"})
+
+
+class TestDesignRoundTrip:
+    def _design(self):
+        fragmentation = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/a/b", "x")),
+            HorizontalFragment("F2", "c", predicate=ne("/a/b", "x")),
+        ], root_label="a")
+        allocations = [
+            FragmentAllocation("F1", "s0", "F1", hybrid_mode=1),
+            FragmentAllocation("F1", "s1", "F1"),  # replica
+            FragmentAllocation("F2", "s1", "F2"),
+        ]
+        return fragmentation, allocations
+
+    def test_dict_round_trip(self):
+        fragmentation, allocations = self._design()
+        restored_schema, restored_allocations = design_from_dict(
+            design_to_dict(fragmentation, allocations)
+        )
+        assert restored_schema.describe() == fragmentation.describe()
+        assert restored_schema.root_label == "a"
+        assert restored_allocations == allocations
+
+    def test_file_round_trip(self, tmp_path):
+        fragmentation, allocations = self._design()
+        path = tmp_path / "design.json"
+        save_design(path, fragmentation, allocations)
+        restored_schema, restored_allocations = load_design(path)
+        assert restored_schema.fragment_names() == ["F1", "F2"]
+        assert len(restored_allocations) == 3
+
+    def test_loaded_design_is_publishable(self, tmp_path, items_collection):
+        from repro.cluster import Cluster
+        from repro.partix import Partix
+        from repro.paths import eq as eq_
+
+        fragmentation = FragmentationSchema("Citems", [
+            HorizontalFragment("F1", "Citems", predicate=eq_("/Item/Section", "CD")),
+            HorizontalFragment("F2", "Citems", predicate=ne("/Item/Section", "CD")),
+        ], root_label="Item")
+        path = tmp_path / "design.json"
+        save_design(path, fragmentation)
+        loaded, _ = load_design(path)
+        partix = Partix(Cluster.with_sites(2))
+        partix.publish(items_collection, loaded)
+        assert partix.execute(
+            'count(collection("Citems")/Item)'
+        ).result_text == "12"

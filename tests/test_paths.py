@@ -1,0 +1,170 @@
+"""Unit tests for path expressions: parsing, relations, evaluation."""
+
+import pytest
+
+from repro.datamodel import doc, elem
+from repro.errors import PathSyntaxError
+from repro.paths import (
+    Axis,
+    PathExpr,
+    Step,
+    evaluate_path,
+    is_terminal,
+    parse_path,
+    path_exists,
+)
+
+
+class TestParsePath:
+    def test_simple_path(self):
+        path = parse_path("/Store/Items/Item")
+        assert len(path) == 3
+        assert all(step.axis is Axis.CHILD for step in path.steps)
+        assert str(path) == "/Store/Items/Item"
+
+    def test_descendant_axis(self):
+        path = parse_path("//Description")
+        assert path.steps[0].axis is Axis.DESCENDANT
+
+    def test_mixed_axes(self):
+        path = parse_path("/Item//Picture/Name")
+        assert [s.axis for s in path.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT,
+            Axis.CHILD,
+        ]
+
+    def test_wildcard(self):
+        path = parse_path("/Item/*/Name")
+        assert path.steps[1].is_wildcard
+
+    def test_position(self):
+        path = parse_path("/Item/PictureList/Picture[1]")
+        assert path.steps[2].position == 1
+
+    def test_attribute_last_step(self):
+        path = parse_path("/Item/@id")
+        assert path.selects_attribute
+        assert path.last.name == "id"
+
+    @pytest.mark.parametrize(
+        "text",
+        ["", "Item/Name", "/Item/@id/Name", "/Item/@id[1]", "/Item/", "//"],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(PathSyntaxError):
+            parse_path(text)
+
+    def test_round_trip_through_str(self):
+        for text in ["/a/b", "//a/b[2]", "/a/*/b/@id", "/a//b"]:
+            assert str(parse_path(text)) == text
+
+
+class TestPathRelations:
+    def test_simple_prefix(self):
+        assert parse_path("/a/b").is_prefix_of(parse_path("/a/b/c"))
+        assert parse_path("/a/b").is_prefix_of(parse_path("/a/b"))
+        assert not parse_path("/a/b/c").is_prefix_of(parse_path("/a/b"))
+        assert not parse_path("/a/x").is_prefix_of(parse_path("/a/b/c"))
+
+    def test_is_simple(self):
+        assert parse_path("/a/b").is_simple
+        assert not parse_path("//a").is_simple
+        assert not parse_path("/a/*").is_simple
+        assert not parse_path("/a/b[1]").is_simple
+
+    def test_label_steps(self):
+        assert parse_path("/a/b/@id").label_steps() == ["a", "b", "@id"]
+        with pytest.raises(ValueError):
+            parse_path("//a").label_steps()
+
+    def test_may_contain_with_descendant(self):
+        # //b could select nodes inside /a/b's subtrees: cannot refute.
+        assert parse_path("/a//b").may_contain(parse_path("/a/x/y"))
+        assert parse_path("/a/b").may_contain(parse_path("//c")) is True
+
+    def test_may_contain_refutes_label_mismatch(self):
+        assert not parse_path("/a/b").may_contain(parse_path("/x/y"))
+
+    def test_attribute_only_last(self):
+        with pytest.raises(ValueError):
+            PathExpr((Step(Axis.CHILD, "id", is_attribute=True), Step(Axis.CHILD, "x")))
+
+
+@pytest.fixture
+def store_doc():
+    return doc(
+        elem(
+            "Store",
+            elem(
+                "Items",
+                elem("Item", elem("Section", "CD"), elem("Name", "one"), id="1"),
+                elem("Item", elem("Section", "DVD"), elem("Name", "two"), id="2"),
+            ),
+            elem("Sections", elem("Section", "misc")),
+        )
+    )
+
+
+class TestEvaluation:
+    def test_root_selection(self, store_doc):
+        nodes = evaluate_path("/Store", store_doc)
+        assert len(nodes) == 1 and nodes[0] is store_doc.root
+
+    def test_child_chain(self, store_doc):
+        nodes = evaluate_path("/Store/Items/Item", store_doc)
+        assert len(nodes) == 2
+
+    def test_descendant_everywhere(self, store_doc):
+        nodes = evaluate_path("//Section", store_doc)
+        assert len(nodes) == 3  # 2 item sections + 1 store section
+
+    def test_descendant_mid_path(self, store_doc):
+        nodes = evaluate_path("/Store//Name", store_doc)
+        assert [n.text_value() for n in nodes] == ["one", "two"]
+
+    def test_wildcard(self, store_doc):
+        nodes = evaluate_path("/Store/*", store_doc)
+        assert [n.label for n in nodes] == ["Items", "Sections"]
+
+    def test_position_filter(self, store_doc):
+        nodes = evaluate_path("/Store/Items/Item[2]", store_doc)
+        assert len(nodes) == 1
+        assert nodes[0].get_attribute("id") == "2"
+
+    def test_attribute_selection(self, store_doc):
+        nodes = evaluate_path("/Store/Items/Item/@id", store_doc)
+        assert [n.value for n in nodes] == ["1", "2"]
+
+    def test_no_match_is_empty(self, store_doc):
+        assert evaluate_path("/Store/Nope", store_doc) == []
+
+    def test_results_in_document_order_without_duplicates(self, store_doc):
+        # '//' from two overlapping contexts must not duplicate results.
+        nodes = evaluate_path("//Item//Section", store_doc)
+        assert len(nodes) == 2
+
+    def test_evaluate_on_bare_node(self):
+        item = elem("Item", elem("Section", "CD"))
+        assert evaluate_path("/Item/Section", item)[0].text_value() == "CD"
+
+    def test_path_exists(self, store_doc):
+        assert path_exists("/Store/Items", store_doc)
+        assert not path_exists("/Store/Nope", store_doc)
+
+    def test_descendant_can_select_root(self, store_doc):
+        assert evaluate_path("//Store", store_doc) == [store_doc.root]
+
+
+class TestTerminality:
+    def test_leaf_element_terminal(self, store_doc):
+        assert is_terminal("/Store/Items/Item/Name", store_doc)
+
+    def test_attribute_terminal(self, store_doc):
+        assert is_terminal("/Store/Items/Item/@id", store_doc)
+
+    def test_internal_element_not_terminal(self, store_doc):
+        assert not is_terminal("/Store/Items", store_doc)
+
+    def test_empty_selection_not_terminal(self, store_doc):
+        assert not is_terminal("/Store/Nope", store_doc)

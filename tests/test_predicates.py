@@ -1,0 +1,232 @@
+"""Unit tests for simple predicates: evaluation and symbolic analysis."""
+
+import pytest
+
+from repro.datamodel import doc, elem
+from repro.errors import PredicateError
+from repro.paths import (
+    And,
+    Comparison,
+    Not,
+    Or,
+    TruePredicate,
+    cmp,
+    complements,
+    contains,
+    covers_all,
+    definitely_disjoint,
+    empty,
+    eq,
+    exists,
+    func_cmp,
+    ne,
+    parse_path,
+    starts_with,
+)
+
+
+@pytest.fixture
+def cd_item():
+    return doc(
+        elem(
+            "Item",
+            elem("Code", "I-1"),
+            elem("Section", "CD"),
+            elem("Price", "25.50"),
+            elem("Description", "a good classic record"),
+            elem("PictureList", elem("Picture", elem("Name", "p"))),
+        )
+    )
+
+
+class TestEvaluation:
+    def test_eq_true_false(self, cd_item):
+        assert eq("/Item/Section", "CD").evaluate(cd_item)
+        assert not eq("/Item/Section", "DVD").evaluate(cd_item)
+
+    def test_ne(self, cd_item):
+        assert ne("/Item/Section", "DVD").evaluate(cd_item)
+        assert not ne("/Item/Section", "CD").evaluate(cd_item)
+
+    def test_numeric_comparison(self, cd_item):
+        assert cmp("/Item/Price", ">", 20).evaluate(cd_item)
+        assert cmp("/Item/Price", "<=", 25.5).evaluate(cd_item)
+        assert not cmp("/Item/Price", "<", 10).evaluate(cd_item)
+
+    def test_string_comparison_on_nonnumeric(self, cd_item):
+        assert cmp("/Item/Code", ">=", "I-0").evaluate(cd_item)
+
+    def test_missing_path_comparison_false(self, cd_item):
+        assert not eq("/Item/Nope", "x").evaluate(cd_item)
+
+    def test_contains(self, cd_item):
+        assert contains("/Item/Description", "good").evaluate(cd_item)
+        assert contains("//Description", "good").evaluate(cd_item)
+        assert not contains("/Item/Description", "bad").evaluate(cd_item)
+
+    def test_starts_with(self, cd_item):
+        assert starts_with("/Item/Code", "I-").evaluate(cd_item)
+        assert not starts_with("/Item/Code", "X").evaluate(cd_item)
+
+    def test_exists_and_empty(self, cd_item):
+        assert exists("/Item/PictureList").evaluate(cd_item)
+        assert not empty("/Item/PictureList").evaluate(cd_item)
+        assert empty("/Item/PricesHistory").evaluate(cd_item)
+
+    def test_not_and_or(self, cd_item):
+        predicate = Not(eq("/Item/Section", "DVD"))
+        assert predicate.evaluate(cd_item)
+        both = eq("/Item/Section", "CD") & contains("/Item/Description", "good")
+        assert both.evaluate(cd_item)
+        either = eq("/Item/Section", "DVD") | eq("/Item/Section", "CD")
+        assert either.evaluate(cd_item)
+
+    def test_function_comparisons(self, cd_item):
+        assert func_cmp("count", "/Item/Picture", "=", 0).evaluate(cd_item)
+        assert func_cmp("count", "//Picture", "=", 1).evaluate(cd_item)
+        assert func_cmp("string-length", "/Item/Code", "=", 3).evaluate(cd_item)
+        assert func_cmp("number", "/Item/Price", ">", 20).evaluate(cd_item)
+        assert func_cmp("sum", "/Item/Price", "=", 25.5).evaluate(cd_item)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(PredicateError):
+            func_cmp("median", "/a", "=", 1)
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(PredicateError):
+            cmp("/a", "<>", 1)
+
+    def test_negate(self, cd_item):
+        assert exists("/Item/PictureList").negate().evaluate(cd_item) is False
+        assert empty("/Item/PricesHistory").negate().evaluate(cd_item) is False
+        inner = eq("/Item/Section", "CD")
+        assert Not(inner).negate() is inner
+
+    def test_true_predicate(self, cd_item):
+        assert TruePredicate().evaluate(cd_item)
+
+    def test_existential_semantics_multivalued(self):
+        document = doc(elem("a", elem("x", "1"), elem("x", "2")))
+        # Both hold simultaneously on a multi-valued path.
+        assert eq("/a/x", "1").evaluate(document)
+        assert eq("/a/x", "2").evaluate(document)
+
+
+class TestComplements:
+    def test_not_pair(self):
+        p = eq("/Item/Section", "CD")
+        assert complements(Not(p), p)
+        assert complements(p, Not(p))
+
+    def test_eq_ne_pair(self):
+        assert complements(eq("/a/b", "x"), ne("/a/b", "x"))
+
+    def test_order_complements(self):
+        assert complements(cmp("/a/b", "<", 5), cmp("/a/b", ">=", 5))
+        assert not complements(cmp("/a/b", "<", 5), cmp("/a/b", ">", 5))
+
+    def test_exists_empty_pair(self):
+        assert complements(exists("/a/b"), empty("/a/b"))
+
+    def test_different_paths_not_complements(self):
+        assert not complements(eq("/a/b", "x"), ne("/a/c", "x"))
+
+
+class TestDefinitelyDisjoint:
+    def test_different_equalities(self):
+        assert definitely_disjoint(eq("/a/b", "x"), eq("/a/b", "y"))
+
+    def test_same_equality_not_disjoint(self):
+        assert not definitely_disjoint(eq("/a/b", "x"), eq("/a/b", "x"))
+
+    def test_eq_vs_matching_ne(self):
+        assert definitely_disjoint(eq("/a/b", "x"), ne("/a/b", "x"))
+        assert not definitely_disjoint(eq("/a/b", "x"), ne("/a/b", "y"))
+
+    def test_numeric_intervals(self):
+        assert definitely_disjoint(cmp("/a/b", "<", 5), cmp("/a/b", ">", 5))
+        assert definitely_disjoint(cmp("/a/b", "<", 5), cmp("/a/b", ">=", 5))
+        assert not definitely_disjoint(cmp("/a/b", "<=", 5), cmp("/a/b", ">=", 5))
+        assert definitely_disjoint(cmp("/a/b", "=", 1), cmp("/a/b", ">", 2))
+
+    def test_requires_single_valued(self):
+        p, q = eq("/a/b", "x"), eq("/a/b", "y")
+        assert not definitely_disjoint(p, q, single_valued_paths=False)
+
+    def test_different_paths_never_disjoint(self):
+        assert not definitely_disjoint(eq("/a/b", "x"), eq("/a/c", "y"))
+
+    def test_conjunction_distributes(self):
+        combined = And((eq("/a/b", "x"), exists("/a/c")))
+        assert definitely_disjoint(combined, eq("/a/b", "y"))
+        assert definitely_disjoint(eq("/a/b", "y"), combined)
+
+    def test_disjunction_requires_all_branches(self):
+        either = Or((eq("/a/b", "x"), eq("/a/b", "y")))
+        assert definitely_disjoint(either, eq("/a/b", "z"))
+        assert not definitely_disjoint(either, eq("/a/b", "x"))
+
+    def test_not_comparison_flips(self):
+        assert definitely_disjoint(Not(eq("/a/b", "x")), eq("/a/b", "x"))
+        assert definitely_disjoint(eq("/a/b", "x"), Not(eq("/a/b", "x")))
+
+    def test_exists_vs_empty(self):
+        assert definitely_disjoint(exists("/a/b"), empty("/a/b"))
+
+    def test_contains_vs_not_contains(self):
+        p = contains("/a/b", "good")
+        assert definitely_disjoint(p, Not(p))
+
+    def test_soundness_never_wrongly_true(self):
+        document = doc(elem("a", elem("b", "x"), elem("c", "5")))
+        candidates = [
+            eq("/a/b", "x"),
+            ne("/a/b", "x"),
+            cmp("/a/c", ">", 3),
+            cmp("/a/c", "<", 10),
+            contains("/a/b", "x"),
+            exists("/a/b"),
+        ]
+        for p in candidates:
+            for q in candidates:
+                if definitely_disjoint(p, q):
+                    assert not (p.evaluate(document) and q.evaluate(document))
+
+
+class TestCoversAll:
+    def test_complement_pair_covers(self):
+        assert covers_all([eq("/a/b", "x"), ne("/a/b", "x")])
+
+    def test_true_predicate_covers(self):
+        assert covers_all([TruePredicate()])
+
+    def test_equality_family_with_residual(self):
+        fragments = [
+            eq("/a/b", "x"),
+            eq("/a/b", "y"),
+            And((ne("/a/b", "x"), ne("/a/b", "y"))),
+        ]
+        assert covers_all(fragments)
+
+    def test_incomplete_family_not_covering(self):
+        assert not covers_all([eq("/a/b", "x"), eq("/a/b", "y")])
+
+    def test_residual_with_extra_conjunct_not_covering(self):
+        fragments = [
+            eq("/a/b", "x"),
+            And((ne("/a/b", "x"), exists("/a/c"))),
+        ]
+        assert not covers_all(fragments)
+
+
+class TestStringForms:
+    def test_predicates_have_stable_str(self):
+        assert str(eq("/a/b", "x")) == "/a/b='x'"
+        assert str(ne("/a/b", "x")) == "/a/b≠'x'"
+        assert "contains" in str(contains("/a/b", "w"))
+        assert str(And((exists("/a"), empty("/b")))).count("∧") == 1
+
+    def test_equality_and_hash_by_str(self):
+        assert eq("/a/b", "x") == eq("/a/b", "x")
+        assert hash(eq("/a/b", "x")) == hash(eq("/a/b", "x"))
+        assert eq("/a/b", "x") != eq("/a/b", "y")

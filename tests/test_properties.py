@@ -1,0 +1,293 @@
+"""Property-based tests (hypothesis) for core invariants.
+
+Covered invariants:
+
+* serialize → parse is the identity on data trees (the storage format);
+* escaping round-trips arbitrary text and attribute values;
+* path parsing round-trips through ``str``;
+* ``definitely_disjoint`` is sound: predicates it separates never both
+  hold on a document whose selector paths are single-valued;
+* horizontal fragmentation by an equality family + residual satisfies all
+  three §3.3 rules on arbitrary collections;
+* vertical projection with an arbitrary prune set reconstructs the
+  original document through the ID-join, across a serialization
+  round-trip;
+* the distributed execution of a selection query equals the centralized
+  one on random data (the end-to-end contract).
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algebra import Projection, reconstruct_one
+from repro.datamodel import Collection, XMLNode, doc, elem
+from repro.paths import cmp, definitely_disjoint, eq, ne, parse_path
+from repro.xmltext import parse_xml, serialize
+from repro.xmltext.escape import escape_attribute, escape_text
+from repro.xmltext.parser import parse_fragment
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+names = st.text(
+    alphabet=string.ascii_letters, min_size=1, max_size=8
+).map(lambda s: "n" + s)  # guaranteed name-start character
+
+# Printable text without XML-breaking control characters; the parser
+# normalizes whitespace-only text away, so require a visible character.
+texts = st.text(
+    alphabet=string.printable.replace("\x0b", "").replace("\x0c", "").replace("\r", ""),
+    min_size=1,
+    max_size=30,
+).filter(lambda s: s.strip() != "")
+
+
+@st.composite
+def xml_trees(draw, max_depth=3):
+    """Random mixed trees honouring the no-mixed-content rule."""
+    label = draw(names)
+    node = XMLNode.element(label)
+    for attr_name in draw(st.lists(names, max_size=2, unique=True)):
+        node.append(XMLNode.attribute(attr_name, draw(texts)))
+    if max_depth <= 0 or draw(st.booleans()):
+        if draw(st.booleans()):
+            node.append(XMLNode.text(draw(texts)))
+        return node
+    for child in draw(
+        st.lists(xml_trees(max_depth=max_depth - 1), max_size=3)
+    ):
+        node.append(child)
+    return node
+
+
+class TestXMLRoundTrip:
+    @given(xml_trees())
+    @settings(max_examples=80)
+    def test_serialize_parse_identity(self, tree):
+        document = doc(tree.clone(deep=True))
+        reparsed = parse_xml(serialize(document))
+        assert reparsed.tree_equal(document)
+
+    @given(texts)
+    def test_text_escaping_round_trip(self, value):
+        tree = parse_fragment(f"<a>{escape_text(value)}</a>")
+        assert tree.text_value() == value
+
+    @given(texts)
+    def test_attribute_escaping_round_trip(self, value):
+        tree = parse_fragment(f'<a x="{escape_attribute(value)}"/>')
+        assert tree.get_attribute("x") == value
+
+    @given(xml_trees())
+    @settings(max_examples=50)
+    def test_double_round_trip_stable(self, tree):
+        once = serialize(doc(tree.clone(deep=True)))
+        twice = serialize(parse_xml(once))
+        assert once == twice
+
+
+class TestPathRoundTrip:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["/", "//"]), names, st.booleans()),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_parse_str_fixpoint(self, steps):
+        text = "".join(
+            axis + ("@" if is_attr and index == len(steps) - 1 else "") + name
+            for index, (axis, name, is_attr) in enumerate(steps)
+        )
+        path = parse_path(text)
+        assert str(parse_path(str(path))) == str(path)
+
+
+values = st.one_of(
+    st.integers(min_value=-50, max_value=50),
+    st.sampled_from(["CD", "DVD", "Book", "x", "y"]),
+)
+operators = st.sampled_from(["=", "!=", "<", "<=", ">", ">="])
+
+
+class TestDisjointnessSoundness:
+    @given(op1=operators, v1=values, op2=operators, v2=values, actual=values)
+    @settings(max_examples=200)
+    def test_never_wrongly_disjoint(self, op1, v1, op2, v2, actual):
+        p = cmp("/a/b", op1, v1)
+        q = cmp("/a/b", op2, v2)
+        if definitely_disjoint(p, q):
+            document = doc(elem("a", elem("b", str(actual))))
+            assert not (p.evaluate(document) and q.evaluate(document))
+
+
+sections = st.sampled_from(["CD", "DVD", "Book", "Toys"])
+
+
+class TestHorizontalFragmentationProperty:
+    @given(st.lists(sections, min_size=1, max_size=15))
+    @settings(max_examples=40)
+    def test_equality_family_design_is_correct(self, doc_sections):
+        from repro.partix import (
+            FragmentationSchema,
+            HorizontalFragment,
+            verify_fragmentation,
+        )
+        from repro.paths import And
+
+        collection = Collection(
+            "c",
+            [
+                doc(elem("Item", elem("Code", str(i)), elem("Section", s)),
+                    name=f"d{i}.xml")
+                for i, s in enumerate(doc_sections)
+            ],
+        )
+        fragments = [
+            HorizontalFragment("F_cd", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F_dvd", "c", predicate=eq("/Item/Section", "DVD")),
+            HorizontalFragment(
+                "F_rest",
+                "c",
+                predicate=And(
+                    (ne("/Item/Section", "CD"), ne("/Item/Section", "DVD"))
+                ),
+            ),
+        ]
+        schema = FragmentationSchema("c", fragments, root_label="Item")
+        report = verify_fragmentation(schema, collection)
+        assert report.ok, report.violations
+
+
+@st.composite
+def wide_documents(draw):
+    """Documents with a fixed top shape and random optional branches."""
+    children = []
+    for label in draw(
+        st.lists(
+            st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        )
+    ):
+        grand = [elem("leaf", draw(st.text(string.ascii_letters, min_size=1, max_size=5)))]
+        children.append(elem(label, *grand))
+    return doc(elem("root", *children), name="d.xml")
+
+
+class TestVerticalReconstructionProperty:
+    @given(wide_documents(), st.sampled_from(["alpha", "beta", "gamma", "delta"]))
+    @settings(max_examples=60)
+    def test_prune_complement_rebuilds(self, document, branch):
+        prune_path = f"/root/{branch}"
+        remainder = Projection("/root", prune=[prune_path]).apply(document)
+        pruned = Projection(prune_path).apply(document)
+        parts = []
+        for part in remainder + pruned:
+            reparsed = parse_xml(serialize(part), name=part.name)
+            reparsed.origin = part.origin
+            parts.append(reparsed)
+        rebuilt = reconstruct_one(parts, origin="d.xml")
+        assert rebuilt.tree_equal(document)
+
+
+class TestDistributedEquivalenceProperty:
+    @given(
+        doc_sections=st.lists(sections, min_size=1, max_size=10),
+        target=sections,
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_selection_matches_centralized(self, doc_sections, target):
+        from repro.cluster import Cluster, Site
+        from repro.partix import (
+            FragmentationSchema,
+            HorizontalFragment,
+            Partix,
+        )
+
+        collection = Collection(
+            "c",
+            [
+                doc(elem("Item", elem("Code", f"I{i}"), elem("Section", s)),
+                    name=f"d{i}.xml")
+                for i, s in enumerate(doc_sections)
+            ],
+        )
+        cluster = Cluster.with_sites(2)
+        cluster.add(Site("central"))
+        partix = Partix(cluster)
+        design = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=ne("/Item/Section", "CD")),
+        ], root_label="Item")
+        partix.publish(collection, design)
+        partix.publish_centralized(collection, "central")
+        query = (
+            'for $i in collection("c")/Item'
+            f' where $i/Section = "{target}" return $i/Code/text()'
+        )
+        distributed = sorted(partix.execute(query).result_text.split())
+        centralized = sorted(
+            partix.execute_centralized(query, "central").result_text.split()
+        )
+        assert distributed == centralized
+
+
+# ----------------------------------------------------------------------
+# Predicate serialization round-trip (random predicate trees)
+# ----------------------------------------------------------------------
+_paths = st.sampled_from(["/a/b", "/Item/Section", "//Description", "/a/b/@id"])
+_atoms = st.one_of(
+    st.builds(
+        lambda p, op, v: cmp(p, op, v),
+        _paths,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        st.one_of(st.integers(-99, 99), st.sampled_from(["CD", "x y", 'qu"ote'])),
+    ),
+    st.builds(lambda p, n: __import__("repro.paths", fromlist=["contains"]).contains(p, n),
+              _paths, st.sampled_from(["good", "né édlè"])),
+    st.builds(lambda p: __import__("repro.paths", fromlist=["exists"]).exists(p), _paths),
+    st.builds(lambda p: __import__("repro.paths", fromlist=["empty"]).empty(p), _paths),
+)
+
+
+def _combine(children):
+    from repro.paths import And, Not, Or
+
+    return st.one_of(
+        st.builds(lambda inner: Not(inner), children),
+        st.builds(lambda parts: And(tuple(parts)),
+                  st.lists(children, min_size=2, max_size=3)),
+        st.builds(lambda parts: Or(tuple(parts)),
+                  st.lists(children, min_size=2, max_size=3)),
+    )
+
+
+_predicates = st.recursive(_atoms, _combine, max_leaves=6)
+
+
+class TestPredicateSerializationProperty:
+    @given(_predicates)
+    @settings(max_examples=150)
+    def test_json_round_trip(self, predicate):
+        import json
+
+        from repro.partix import predicate_from_dict, predicate_to_dict
+
+        payload = json.dumps(predicate_to_dict(predicate))
+        restored = predicate_from_dict(json.loads(payload))
+        assert str(restored) == str(predicate)
+
+    @given(_predicates, st.sampled_from(["CD", "DVD", "5", "good stuff"]))
+    @settings(max_examples=80)
+    def test_restored_predicate_evaluates_identically(self, predicate, value):
+        from repro.partix import predicate_from_dict, predicate_to_dict
+
+        document = doc(
+            elem("Item", elem("Section", value), elem("Description", value))
+        )
+        restored = predicate_from_dict(predicate_to_dict(predicate))
+        assert restored.evaluate(document) == predicate.evaluate(document)

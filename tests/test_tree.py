@@ -1,0 +1,205 @@
+"""Unit tests for the XML data-tree model."""
+
+import pytest
+
+from repro.datamodel import NodeKind, XMLNode, assign_node_ids, doc, elem
+
+
+class TestConstruction:
+    def test_element_has_label_and_no_value(self):
+        node = XMLNode.element("Item")
+        assert node.kind is NodeKind.ELEMENT
+        assert node.label == "Item"
+        assert node.value is None
+
+    def test_attribute_holds_value(self):
+        attr = XMLNode.attribute("id", "42")
+        assert attr.kind is NodeKind.ATTRIBUTE
+        assert attr.label == "id"
+        assert attr.value == "42"
+
+    def test_text_has_no_label(self):
+        text = XMLNode.text("hello")
+        assert text.kind is NodeKind.TEXT
+        assert text.label is None
+        assert text.value == "hello"
+
+    def test_text_with_label_rejected(self):
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.TEXT, label="x")
+
+    def test_element_without_label_rejected(self):
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.ELEMENT)
+
+    def test_unattached_nodes_have_negative_ids(self):
+        assert XMLNode.element("a").node_id < 0
+
+
+class TestAppend:
+    def test_append_sets_parent(self):
+        parent = XMLNode.element("a")
+        child = parent.append(XMLNode.element("b"))
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_text_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            XMLNode.text("x").append(XMLNode.element("a"))
+
+    def test_attribute_cannot_have_children(self):
+        with pytest.raises(ValueError):
+            XMLNode.attribute("a", "1").append(XMLNode.text("x"))
+
+    def test_mixed_content_text_after_element_rejected(self):
+        parent = XMLNode.element("a")
+        parent.append(XMLNode.element("b"))
+        with pytest.raises(ValueError, match="mixed content"):
+            parent.append(XMLNode.text("oops"))
+
+    def test_mixed_content_element_after_text_rejected(self):
+        parent = XMLNode.element("a")
+        parent.append(XMLNode.text("hi"))
+        with pytest.raises(ValueError, match="mixed content"):
+            parent.append(XMLNode.element("b"))
+
+    def test_attributes_coexist_with_text(self):
+        parent = XMLNode.element("a")
+        parent.append(XMLNode.attribute("id", "1"))
+        parent.append(XMLNode.text("hi"))
+        assert parent.get_attribute("id") == "1"
+        assert parent.text_value() == "hi"
+
+    def test_remove_then_append_other_kind(self):
+        parent = XMLNode.element("a")
+        text = parent.append(XMLNode.text("hi"))
+        parent.remove(text)
+        parent.append(XMLNode.element("b"))  # no mixed-content error
+        assert len(parent.children) == 1
+
+    def test_extend_appends_all(self):
+        parent = XMLNode.element("a").extend(
+            [XMLNode.element("b"), XMLNode.element("c")]
+        )
+        assert [c.label for c in parent.children] == ["b", "c"]
+
+
+class TestIntrospection:
+    def test_text_value_concatenates_descendants(self):
+        tree = elem("a", elem("b", "one"), elem("c", elem("d", "two")))
+        assert tree.text_value() == "onetwo"
+
+    def test_attributes_excluded_from_element_children(self):
+        tree = elem("a", elem("b"), id="1")
+        assert [c.label for c in tree.element_children()] == ["b"]
+        assert [a.label for a in tree.attributes()] == ["id"]
+
+    def test_get_attribute_missing_is_none(self):
+        assert elem("a").get_attribute("nope") is None
+
+    def test_child_elements_filters_by_label(self):
+        tree = elem("a", elem("b"), elem("c"), elem("b"))
+        assert len(tree.child_elements("b")) == 2
+
+    def test_first_child(self):
+        tree = elem("a", elem("b", "1"), elem("b", "2"))
+        first = tree.first_child("b")
+        assert first is not None and first.text_value() == "1"
+        assert tree.first_child("zzz") is None
+
+    def test_is_leaf(self):
+        assert elem("a").is_leaf
+        assert not elem("a", elem("b")).is_leaf
+
+
+class TestTraversal:
+    def test_descendants_or_self_preorder(self):
+        tree = elem("a", elem("b", elem("c")), elem("d"))
+        labels = [n.label for n in tree.descendants_or_self()]
+        assert labels == ["a", "b", "c", "d"]
+
+    def test_descendants_excludes_self(self):
+        tree = elem("a", elem("b"))
+        assert [n.label for n in tree.descendants()] == ["b"]
+
+    def test_ancestors_nearest_first(self):
+        tree = elem("a", elem("b", elem("c")))
+        c = tree.children[0].children[0]
+        assert [n.label for n in c.ancestors()] == ["b", "a"]
+
+    def test_root(self):
+        tree = elem("a", elem("b", elem("c")))
+        c = tree.children[0].children[0]
+        assert c.root() is tree
+
+    def test_path_labels_with_attribute(self):
+        tree = elem("a", elem("b", id="7"))
+        attr = tree.children[0].attributes()[0]
+        assert attr.path_labels() == ["a", "b", "@id"]
+
+    def test_sibling_index_counts_same_label_only(self):
+        tree = elem("a", elem("b"), elem("c"), elem("b"))
+        second_b = tree.children[2]
+        assert second_b.sibling_index() == 2
+        assert tree.children[1].sibling_index() == 1
+
+    def test_subtree_size(self):
+        tree = elem("a", elem("b", "x"), elem("c"))
+        # a, b, text, c
+        assert tree.subtree_size() == 4
+
+
+class TestCloneAndEquality:
+    def test_clone_preserves_node_ids(self):
+        document = doc(elem("a", elem("b", "x")))
+        copy = document.root.clone(deep=True)
+        originals = [n.node_id for n in document.root.descendants_or_self()]
+        copies = [n.node_id for n in copy.descendants_or_self()]
+        assert originals == copies
+
+    def test_clone_is_independent(self):
+        tree = elem("a", elem("b"))
+        copy = tree.clone(deep=True)
+        copy.append(XMLNode.element("c"))
+        assert len(tree.children) == 1
+
+    def test_clone_pruned_drops_subtrees(self):
+        tree = elem("a", elem("b", elem("x")), elem("c"))
+        copy = tree.clone_pruned(lambda n: n.label == "b")
+        assert [c.label for c in copy.children] == ["c"]
+
+    def test_tree_equal_ignores_attribute_order(self):
+        left = elem("a", x="1", y="2")
+        right = XMLNode.element("a")
+        right.append(XMLNode.attribute("y", "2"))
+        right.append(XMLNode.attribute("x", "1"))
+        assert left.tree_equal(right)
+
+    def test_tree_equal_detects_value_difference(self):
+        assert not elem("a", "x").tree_equal(elem("a", "y"))
+
+    def test_tree_equal_detects_order_difference(self):
+        assert not elem("a", elem("b"), elem("c")).tree_equal(
+            elem("a", elem("c"), elem("b"))
+        )
+
+    def test_tree_equal_with_ids(self):
+        document = doc(elem("a", elem("b")))
+        copy = document.root.clone(deep=True)
+        assert document.root.tree_equal(copy, compare_ids=True)
+        copy.children[0].node_id = 999
+        assert not document.root.tree_equal(copy, compare_ids=True)
+
+
+class TestAssignNodeIds:
+    def test_ids_are_document_order(self):
+        tree = elem("a", elem("b", elem("c")), elem("d"))
+        next_id = assign_node_ids(tree)
+        ids = {n.label: n.node_id for n in tree.descendants_or_self()}
+        assert ids == {"a": 0, "b": 1, "c": 2, "d": 3}
+        assert next_id == 4
+
+    def test_start_offset(self):
+        tree = elem("a")
+        assert assign_node_ids(tree, start=10) == 11
+        assert tree.node_id == 10

@@ -1,0 +1,212 @@
+"""Unit tests for workload generators and query sets."""
+
+import random
+
+import pytest
+
+from repro.partix import verify_fragmentation
+from repro.workloads import (
+    SECTIONS,
+    BenchQuery,
+    Choice,
+    Counter,
+    DateRange,
+    DecimalRange,
+    IntRange,
+    NodeTemplate,
+    ToXgene,
+    Words,
+    build_items_collection,
+    build_store_collection,
+    build_xbench_collection,
+    child,
+    items_horizontal_fragmentation,
+    items_queries,
+    queries_by_id,
+    store_hybrid_fragmentation,
+    store_queries,
+    virtual_store_schema,
+    xbench_queries,
+    xbench_schema,
+    xbench_vertical_fragmentation,
+)
+from repro.xmltext import serialized_size
+
+
+class TestValueGenerators:
+    def setup_method(self):
+        self.rng = random.Random(1)
+
+    def test_counter_formats_and_increments(self):
+        counter = Counter("I-{:03d}")
+        assert counter.generate(self.rng) == "I-001"
+        assert counter.generate(self.rng) == "I-002"
+        counter.reset()
+        assert counter.generate(self.rng) == "I-001"
+
+    def test_words_within_bounds(self):
+        generator = Words(3, 6)
+        for _ in range(20):
+            assert 3 <= len(generator.generate(self.rng).split()) <= 6
+
+    def test_words_injection_probability(self):
+        always = Words(5, 5, inject=("zzz", 1.0))
+        never = Words(5, 5, inject=("zzz", 0.0))
+        assert "zzz" in always.generate(self.rng)
+        assert "zzz" not in never.generate(self.rng)
+
+    def test_int_and_decimal_ranges(self):
+        assert 1 <= int(IntRange(1, 9).generate(self.rng)) <= 9
+        value = float(DecimalRange(0.5, 1.5, digits=2).generate(self.rng))
+        assert 0.5 <= value <= 1.5
+
+    def test_date_range_format(self):
+        date = DateRange(2001, 2002).generate(self.rng)
+        assert date[:2] == "20" and date[4] == "-" and len(date) == 10
+
+    def test_weighted_choice_skews(self):
+        choice = Choice(("a", "b"), weights=(0.99, 0.01))
+        samples = [choice.generate(self.rng) for _ in range(200)]
+        assert samples.count("a") > 150
+
+
+class TestTemplates:
+    def test_instantiation_cardinality(self):
+        template = NodeTemplate(
+            "a", children=[child(NodeTemplate("b", value=Counter()), 2, 4)]
+        )
+        rng = random.Random(2)
+        node = template.instantiate(rng)
+        assert 2 <= len(node.element_children()) <= 4
+
+    def test_attributes_generated(self):
+        template = NodeTemplate("a", attributes={"id": Counter()})
+        node = template.instantiate(random.Random(0))
+        assert node.get_attribute("id") == "1"
+
+    def test_generation_is_seeded(self):
+        template = NodeTemplate("a", value=Words(5, 9))
+        one = ToXgene(seed=5).generate_document(template)
+        two = ToXgene(seed=5).generate_document(template)
+        assert one.tree_equal(two)
+
+    def test_different_seeds_differ(self):
+        template = NodeTemplate("a", value=Words(10, 20))
+        one = ToXgene(seed=1).generate_document(template)
+        two = ToXgene(seed=2).generate_document(template)
+        assert not one.tree_equal(two)
+
+
+class TestVirtualStore:
+    def test_small_items_near_2kb(self):
+        collection = build_items_collection(30, kind="small", seed=1)
+        average = sum(serialized_size(d) for d in collection) / 30
+        assert 1_000 <= average <= 3_500
+
+    def test_large_items_near_80kb(self):
+        collection = build_items_collection(3, kind="large", seed=1)
+        average = sum(serialized_size(d) for d in collection) / 3
+        assert 50_000 <= average <= 120_000
+
+    def test_small_items_have_no_price_history(self):
+        collection = build_items_collection(5, kind="small")
+        for document in collection:
+            assert document.root.first_child("PricesHistory") is None
+            assert document.root.first_child("PictureList") is None
+
+    def test_items_validate_against_schema(self):
+        schema = virtual_store_schema()
+        collection = build_items_collection(5, kind="large", seed=3)
+        for document in collection:
+            assert schema.satisfies(document.root, "Item")
+
+    def test_store_validates_against_schema(self):
+        schema = virtual_store_schema()
+        collection = build_store_collection(10, seed=3)
+        assert schema.satisfies(collection.documents()[0].root, "Store")
+
+    def test_section_distribution_nonuniform(self):
+        collection = build_items_collection(300, seed=5)
+        counts = {}
+        for document in collection:
+            section = document.root.first_child("Section").text_value()
+            counts[section] = counts.get(section, 0) + 1
+        assert set(counts) <= set(SECTIONS)
+        assert max(counts.values()) > 2 * min(counts.values())
+
+    @pytest.mark.parametrize("fragments", [2, 4, 8])
+    def test_horizontal_designs_are_correct(self, fragments):
+        collection = build_items_collection(60, seed=9)
+        design = items_horizontal_fragmentation(fragments)
+        report = verify_fragmentation(design, collection)
+        assert report.ok, report.violations
+
+    def test_invalid_fragment_count_rejected(self):
+        with pytest.raises(ValueError):
+            items_horizontal_fragmentation(3)
+
+    def test_hybrid_design_is_correct(self):
+        collection = build_store_collection(30, seed=9)
+        design = store_hybrid_fragmentation()
+        report = verify_fragmentation(design, collection)
+        assert report.ok, report.violations
+
+
+class TestXBench:
+    def test_article_size_targets(self):
+        collection = build_xbench_collection(3, doc_bytes=40_000, seed=1)
+        for document in collection:
+            assert 20_000 <= serialized_size(document) <= 80_000
+
+    def test_articles_validate(self):
+        schema = xbench_schema()
+        collection = build_xbench_collection(3, doc_bytes=10_000)
+        for document in collection:
+            assert schema.satisfies(document.root, "article")
+
+    def test_body_dominates_size(self):
+        from repro.paths import evaluate_path
+
+        collection = build_xbench_collection(1, doc_bytes=50_000)
+        document = collection.documents()[0]
+        body = serialized_size(evaluate_path("/article/body", document)[0])
+        assert body > 0.8 * serialized_size(document)
+
+    def test_vertical_design_is_correct(self):
+        collection = build_xbench_collection(4, doc_bytes=5_000)
+        report = verify_fragmentation(
+            xbench_vertical_fragmentation(), collection
+        )
+        assert report.ok, report.violations
+
+
+class TestQuerySets:
+    def test_items_set_has_eight(self):
+        queries = items_queries()
+        assert [q.qid for q in queries] == [f"Q{i}" for i in range(1, 9)]
+
+    def test_xbench_set_has_ten_with_multi_fragment_flags(self):
+        queries = xbench_queries()
+        assert len(queries) == 10
+        multi = {q.qid for q in queries if q.has("multi-fragment")}
+        assert {"Q4", "Q7", "Q8", "Q9"} <= multi
+
+    def test_store_set_has_eleven(self):
+        queries = store_queries()
+        assert len(queries) == 11
+        pruning = {q.qid for q in queries if q.has("prunes-items")}
+        assert pruning == {"Q9", "Q10"}
+
+    def test_queries_by_id(self):
+        mapping = queries_by_id(items_queries())
+        assert mapping["Q8"].has("aggregation")
+
+    def test_traits_api(self):
+        query = BenchQuery("Q", "text", "d", frozenset({"x"}))
+        assert query.has("x") and not query.has("y")
+
+    def test_all_query_texts_parse(self):
+        from repro.xquery import parse_query
+
+        for query in items_queries() + xbench_queries() + store_queries():
+            parse_query(query.text)  # must not raise

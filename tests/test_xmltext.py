@@ -1,0 +1,172 @@
+"""Unit tests for the XML parser and serializer."""
+
+import pytest
+
+from repro.datamodel import NodeKind, doc, elem
+from repro.errors import XMLSyntaxError
+from repro.xmltext import (
+    parse_fragment,
+    parse_xml,
+    serialize,
+    serialize_pretty,
+    serialized_size,
+)
+from repro.xmltext.escape import escape_attribute, escape_text, resolve_entity
+from repro.xmltext.parser import parse_forest
+
+
+class TestParserBasics:
+    def test_simple_element(self):
+        document = parse_xml("<a/>")
+        assert document.root.label == "a"
+        assert document.root.is_leaf
+
+    def test_nested_elements(self):
+        document = parse_xml("<a><b><c/></b></a>")
+        labels = [n.label for n in document.root.descendants_or_self()]
+        assert labels == ["a", "b", "c"]
+
+    def test_text_content(self):
+        document = parse_xml("<a>hello world</a>")
+        assert document.root.text_value() == "hello world"
+
+    def test_attributes(self):
+        document = parse_xml('<a x="1" y=\'two\'/>')
+        assert document.root.get_attribute("x") == "1"
+        assert document.root.get_attribute("y") == "two"
+
+    def test_whitespace_between_elements_ignored(self):
+        document = parse_xml("<a>\n  <b/>\n  <c/>\n</a>")
+        assert [c.label for c in document.root.children] == ["b", "c"]
+
+    def test_xml_declaration_and_comments_skipped(self):
+        document = parse_xml(
+            '<?xml version="1.0"?><!-- hi --><a><!-- inner --><b/></a>'
+        )
+        assert [c.label for c in document.root.children] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        document = parse_xml("<a><?php echo ?><b/></a>")
+        assert [c.label for c in document.root.children] == ["b"]
+
+    def test_doctype_skipped(self):
+        document = parse_xml("<!DOCTYPE a [<!ELEMENT a EMPTY>]><a/>")
+        assert document.root.label == "a"
+
+    def test_cdata_becomes_text(self):
+        document = parse_xml("<a><![CDATA[<not> & parsed]]></a>")
+        assert document.root.text_value() == "<not> & parsed"
+
+    def test_entities_resolved(self):
+        document = parse_xml("<a>&lt;x&gt; &amp; &quot;y&quot; &#65;&#x42;</a>")
+        assert document.root.text_value() == '<x> & "y" AB'
+
+    def test_entity_in_attribute(self):
+        document = parse_xml('<a t="a&amp;b"/>')
+        assert document.root.get_attribute("t") == "a&b"
+
+    def test_names_with_namespace_colon(self):
+        document = parse_xml("<ns:a><ns:b/></ns:a>")
+        assert document.root.label == "ns:a"
+
+    def test_document_ids_assigned(self):
+        document = parse_xml("<a><b/></a>")
+        assert [n.node_id for n in document.nodes()] == [0, 1]
+
+    def test_parse_fragment_keeps_unassigned_ids(self):
+        root = parse_fragment("<a><b/></a>")
+        assert root.node_id < 0
+
+
+class TestParserErrors:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",  # unterminated
+            "<a></b>",  # mismatched tags
+            "<a x=1/>",  # unquoted attribute
+            '<a x="1" x="2"/>',  # duplicate attribute
+            "<a>&unknown;</a>",  # unknown entity
+            "<a/><b/>",  # two roots
+            "plain text",  # no element
+            "<a><b>text</b>tail</a>",  # mixed content (text beside element)
+            "<a>text<b/></a>",  # mixed content (element after text)
+            '<a x="<"/>',  # raw < in attribute
+            "",  # empty input
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(text)
+
+    def test_error_carries_location(self):
+        with pytest.raises(XMLSyntaxError) as info:
+            parse_xml("<a>\n<b></c></a>")
+        assert info.value.line == 2
+
+
+class TestSerializer:
+    def test_compact_round_trip(self):
+        text = '<a x="1"><b>hi</b><c/></a>'
+        assert serialize(parse_xml(text)) == text
+
+    def test_escapes_text(self):
+        assert serialize(doc(elem("a", "x < y & z"))) == "<a>x &lt; y &amp; z</a>"
+
+    def test_escapes_attribute_quotes(self):
+        document = doc(elem("a", t='say "hi"'))
+        assert 'say &quot;hi&quot;' in serialize(document)
+
+    def test_empty_element_self_closes(self):
+        assert serialize(doc(elem("a"))) == "<a/>"
+
+    def test_detached_attribute_rejected(self):
+        from repro.datamodel import XMLNode
+
+        with pytest.raises(ValueError):
+            serialize(XMLNode.attribute("x", "1"))
+
+    def test_pretty_is_reparseable(self):
+        document = doc(elem("a", elem("b", "text"), elem("c", elem("d"))))
+        pretty = serialize_pretty(document)
+        assert parse_xml(pretty).tree_equal(document)
+        assert "\n" in pretty
+
+    def test_serialized_size_counts_utf8(self):
+        assert serialized_size(doc(elem("a", "é"))) == len("<a>é</a>".encode())
+
+
+class TestEscape:
+    def test_escape_text_passthrough(self):
+        assert escape_text("plain") == "plain"
+
+    def test_escape_text_specials(self):
+        assert escape_text("<&>") == "&lt;&amp;&gt;"
+
+    def test_escape_attribute_quotes(self):
+        assert escape_attribute("a\"b'c") == "a&quot;b&apos;c"
+
+    def test_resolve_named(self):
+        assert resolve_entity("amp") == "&"
+        assert resolve_entity("nope") is None
+
+    def test_resolve_numeric(self):
+        assert resolve_entity("#65") == "A"
+        assert resolve_entity("#x41") == "A"
+        assert resolve_entity("#xZZ") is None
+
+
+class TestParseForest:
+    def test_multiple_roots(self):
+        roots = parse_forest("<a/>\n<b>x</b>\n<c/>")
+        assert [r.label for r in roots] == ["a", "b", "c"]
+
+    def test_empty_input(self):
+        assert parse_forest("  \n ") == []
+
+    def test_round_trips_serialized_sequence(self):
+        docs = [doc(elem("a", elem("b", "1"))), doc(elem("a", elem("b", "2")))]
+        text = "\n".join(serialize(d) for d in docs)
+        roots = parse_forest(text)
+        assert len(roots) == 2
+        assert roots[0].tree_equal(docs[0].root)

@@ -1,0 +1,391 @@
+"""Unit tests for the XQuery evaluator and function library."""
+
+import math
+
+import pytest
+
+from repro.datamodel import XMLNode, doc, elem
+from repro.errors import XQueryEvaluationError, XQueryTypeError
+from repro.xmltext import serialize
+from repro.xquery import evaluate_query
+
+
+class ListProvider:
+    """A DocumentProvider over in-memory documents."""
+
+    def __init__(self, documents):
+        self.documents = documents
+
+    def collection_roots(self, name):
+        return [d.root for d in self.documents]
+
+    def document_root(self, name):
+        for document in self.documents:
+            if document.name == name:
+                return document.root
+        return None
+
+
+@pytest.fixture
+def provider():
+    documents = []
+    for i in range(6):
+        documents.append(
+            doc(
+                elem(
+                    "Item",
+                    elem("Code", f"I{i}"),
+                    elem("Section", "CD" if i % 2 == 0 else "DVD"),
+                    elem("Price", str(10 + i)),
+                    elem("Description", f"number {i} " + ("good" if i < 3 else "plain")),
+                ),
+                name=f"item{i}.xml",
+            )
+        )
+    return ListProvider(documents)
+
+
+def run(query, provider=None, **kwargs):
+    return evaluate_query(query, provider=provider, **kwargs)
+
+
+class TestBasics:
+    def test_literals_and_arithmetic(self):
+        assert run("1 + 2 * 3") == [7]
+        assert run("10 div 4") == [2.5]
+        assert run("10 mod 3") == [1]
+        assert run("-(2 + 3)") == [-5]
+
+    def test_division_by_zero(self):
+        with pytest.raises(XQueryEvaluationError, match="zero"):
+            run("1 div 0")
+
+    def test_sequences_flatten(self):
+        assert run("(1, (2, 3), ())") == [1, 2, 3]
+
+    def test_range(self):
+        assert run("2 to 5") == [2, 3, 4, 5]
+        assert run("5 to 2") == []
+
+    def test_comparison_general(self):
+        assert run("(1, 2) = (2, 3)") == [True]
+        assert run("(1, 2) = (5, 6)") == [False]
+        assert run('"abc" < "abd"') == [True]
+
+    def test_numeric_promotion_in_comparison(self):
+        assert run('"10" > 9') == [True]
+
+    def test_and_or_short_circuit(self):
+        assert run("1 = 1 or 1 div 0 = 1") == [True]
+        assert run("1 = 2 and 1 div 0 = 1") == [False]
+
+    def test_if_else(self):
+        assert run("if (1 = 1) then 10 else 20") == [10]
+        assert run("if (()) then 10 else 20") == [20]
+
+    def test_unbound_variable(self):
+        with pytest.raises(XQueryEvaluationError, match="unbound"):
+            run("$nope")
+
+    def test_injected_variables(self):
+        assert run("$x + 1", variables={"x": [41]}) == [42]
+
+
+class TestPathsAndContext:
+    def test_collection_roots_match_first_step(self, provider):
+        assert len(run('collection("c")/Item', provider)) == 6
+
+    def test_collection_descendant(self, provider):
+        assert len(run('collection("c")//Code', provider)) == 6
+
+    def test_doc_function(self, provider):
+        result = run('doc("item2.xml")/Item/Code/text()', provider)
+        assert [n.value for n in result] == ["I2"]
+
+    def test_doc_missing_is_empty(self, provider):
+        assert run('doc("nope.xml")', provider) == []
+
+    def test_step_on_atomic_rejected(self):
+        with pytest.raises(XQueryTypeError):
+            run("(1)/a", None, variables={})
+
+    def test_predicate_boolean(self, provider):
+        result = run('collection("c")/Item[Section = "CD"]', provider)
+        assert len(result) == 3
+
+    def test_predicate_positional(self, provider):
+        result = run('collection("c")/Item[2]/Code/text()', provider)
+        # positional over the step result sequence per context node; the
+        # roots are separate contexts so [2] filters within each (1 item
+        # each) -> empty
+        assert result == []
+
+    def test_positional_within_document(self):
+        document = doc(elem("a", *[elem("b", str(i)) for i in range(4)]))
+        provider = ListProvider([document])
+        result = run('collection("c")/a/b[3]/text()', provider)
+        assert [n.value for n in result] == ["2"]
+
+    def test_position_last_functions(self):
+        document = doc(elem("a", elem("b", "0"), elem("b", "1"), elem("b", "2")))
+        provider = ListProvider([document])
+        assert len(run('collection("c")/a/b[position() = last()]', provider)) == 1
+
+    def test_filter_expr_on_variable(self):
+        document = doc(elem("a", elem("b", "1"), elem("b", "2")))
+        result = run(
+            "$xs[2]", variables={"xs": list(document.root.children)}
+        )
+        assert result[0].text_value() == "2"
+
+    def test_attribute_step(self):
+        document = doc(elem("a", elem("b", id="7")))
+        provider = ListProvider([document])
+        result = run('collection("c")/a/b/@id', provider)
+        assert result[0].value == "7"
+
+    def test_text_step(self):
+        document = doc(elem("a", elem("b", "hello")))
+        provider = ListProvider([document])
+        result = run('collection("c")/a/b/text()', provider)
+        assert result[0].value == "hello"
+
+    def test_union_operator(self):
+        document = doc(elem("a", elem("b", "1"), elem("c", "2")))
+        provider = ListProvider([document])
+        result = run('(collection("x")/a/b | collection("x")/a/c)', provider)
+        assert len(result) == 2
+
+
+class TestFLWOR:
+    def test_where_filters(self, provider):
+        result = run(
+            'for $i in collection("c")/Item where $i/Price > 13'
+            " return $i/Code/text()",
+            provider,
+        )
+        assert [n.value for n in result] == ["I4", "I5"]
+
+    def test_let_binds_sequence(self, provider):
+        result = run(
+            'let $all := collection("c")/Item return count($all)', provider
+        )
+        assert result == [6]
+
+    def test_nested_for_cross_product(self):
+        assert run("for $a in (1,2) for $b in (10,20) return $a * $b") == [
+            10,
+            20,
+            20,
+            40,
+        ]
+
+    def test_position_variable(self):
+        assert run('for $x at $p in ("a","b","c") return $p') == [1, 2, 3]
+
+    def test_order_by_ascending_numeric(self, provider):
+        result = run(
+            'for $i in collection("c")/Item order by $i/Price descending'
+            " return $i/Code/text()",
+            provider,
+        )
+        assert [n.value for n in result] == ["I5", "I4", "I3", "I2", "I1", "I0"]
+
+    def test_order_by_string(self):
+        result = run('for $x in ("pear", "apple", "fig") order by $x return $x')
+        assert result == ["apple", "fig", "pear"]
+
+    def test_order_by_two_keys(self):
+        result = run(
+            "for $x in (3, 1, 2, 1) order by $x, $x * -1 return $x"
+        )
+        assert result == [1, 1, 2, 3]
+
+    def test_quantifiers(self, provider):
+        assert run(
+            'some $i in collection("c")/Item satisfies $i/Price > 14', provider
+        ) == [True]
+        assert run(
+            'every $i in collection("c")/Item satisfies $i/Price > 14', provider
+        ) == [False]
+
+
+class TestConstructors:
+    def test_element_with_attribute_and_text(self, provider):
+        result = run(
+            'for $i in collection("c")/Item[Code = "I1"]'
+            " return element hit { attribute code { $i/Code }, $i/Section/text() }",
+            provider,
+        )
+        assert serialize(result[0]) == '<hit code="I1">DVD</hit>'
+
+    def test_atomics_joined_with_space(self):
+        result = run('element r { "a", "b", 3 }')
+        assert serialize(result[0]) == "<r>a b 3</r>"
+
+    def test_nodes_are_copied(self, provider):
+        result = run('for $i in collection("c")/Item[1] return element w { $i/Code }', provider)
+        inner = result[0].element_children()[0]
+        assert inner.label == "Code"
+        assert inner.parent is result[0]
+
+    def test_text_constructor(self):
+        result = run('text { "hi" }')
+        assert isinstance(result[0], XMLNode) and result[0].value == "hi"
+
+
+class TestFunctions:
+    def test_count_sum_avg_min_max(self):
+        assert run("count((1,2,3))") == [3]
+        assert run("sum((1,2,3))") == [6.0]
+        assert run("avg((2,4))") == [3.0]
+        assert run("min((3,1,2))") == [1]
+        assert run("max((3,1,2))") == [3]
+        assert run("avg(())") == []
+        assert run("sum(())") == [0.0]
+
+    def test_min_max_strings(self):
+        assert run('min(("b","a"))') == ["a"]
+
+    def test_sum_non_numeric_raises(self):
+        with pytest.raises(XQueryTypeError):
+            run('sum(("a","b"))')
+
+    def test_boolean_functions(self):
+        assert run("not(1 = 1)") == [False]
+        assert run("empty(())") == [True]
+        assert run("exists((1))") == [True]
+        assert run("true()") == [True]
+        assert run("boolean(0)") == [False]
+
+    def test_string_functions(self):
+        assert run('contains("goodness", "good")') == [True]
+        assert run('starts-with("partix", "par")') == [True]
+        assert run('ends-with("partix", "ix")') == [True]
+        assert run('string-length("abcd")') == [4]
+        assert run('concat("a", "b", "c")') == ["abc"]
+        assert run('substring("abcdef", 2, 3)') == ["bcd"]
+        assert run('substring("abcdef", 4)') == ["def"]
+        assert run('string-join(("a","b"), "-")') == ["a-b"]
+        assert run('normalize-space("  a   b  ")') == ["a b"]
+        assert run('upper-case("ab")') == ["AB"]
+        assert run('lower-case("AB")') == ["ab"]
+
+    def test_contains_over_node_sequence_is_existential(self, provider):
+        result = run(
+            'count(for $i in collection("c")/Item'
+            ' where contains($i/Description, "good") return $i)',
+            provider,
+        )
+        assert result == [3]
+
+    def test_numeric_functions(self):
+        assert run('number("3.5")') == [3.5]
+        assert math.isnan(run("number(())")[0])
+        assert run("round(2.5)") == [3.0]
+        assert run("floor(2.9)") == [2.0]
+        assert run("ceiling(2.1)") == [3.0]
+
+    def test_distinct_values(self):
+        assert run('distinct-values(("a", "b", "a", "b"))') == ["a", "b"]
+
+    def test_data_atomizes_nodes(self):
+        document = doc(elem("a", elem("b", "x")))
+        result = run("data($n)", variables={"n": [document.root.children[0]]})
+        assert result == ["x"]
+
+    def test_name_function(self):
+        document = doc(elem("a", elem("b")))
+        assert run("name($n)", variables={"n": [document.root]}) == ["a"]
+
+    def test_string_of_node(self):
+        document = doc(elem("a", elem("b", "xy")))
+        assert run("string($n)", variables={"n": [document.root]}) == ["xy"]
+
+    def test_unknown_function(self):
+        with pytest.raises(XQueryEvaluationError, match="unknown function"):
+            run("frobnicate(1)")
+
+    def test_arity_checked(self):
+        with pytest.raises(XQueryTypeError):
+            run("count(1, 2)")
+
+
+class TestEffectiveBoolean:
+    def test_multi_atomic_sequence_has_no_ebv(self):
+        with pytest.raises(XQueryTypeError):
+            run("if ((1, 2)) then 1 else 2")
+
+    def test_node_sequence_is_true(self, provider):
+        assert run(
+            'if (collection("c")/Item) then "yes" else "no"', provider
+        ) == ["yes"]
+
+
+class TestNodeSetOperators:
+    def _provider(self):
+        document = doc(elem("a",
+            elem("b", elem("x", "1")),
+            elem("b", elem("y", "2")),
+            elem("b", elem("x", "3"), elem("y", "4"))))
+        return ListProvider([document])
+
+    def test_intersect(self):
+        result = run(
+            '(collection("c")/a/b intersect collection("c")/a/b[x])',
+            self._provider(),
+        )
+        assert len(result) == 2
+
+    def test_except(self):
+        result = run(
+            '(collection("c")/a/b except collection("c")/a/b[x])',
+            self._provider(),
+        )
+        assert len(result) == 1
+        assert result[0].first_child("y") is not None
+
+    def test_chained_set_ops(self):
+        result = run(
+            '(collection("c")/a/b[x] intersect collection("c")/a/b[y])',
+            self._provider(),
+        )
+        assert len(result) == 1  # only the third b has both
+
+    def test_set_ops_reject_atomics(self):
+        with pytest.raises(XQueryTypeError):
+            run("((1,2) intersect (2,3))")
+
+    def test_unparse_round_trip(self):
+        from repro.xquery.parser import parse_query
+        from repro.xquery.unparse import unparse
+
+        text = '(collection("c")/a except collection("c")/a/b)'
+        ast = parse_query(text)
+        assert parse_query(unparse(ast)) == ast
+
+
+class TestExtendedStringFunctions:
+    def test_substring_before_after(self):
+        assert run('substring-before("2005-01-15", "-")') == ["2005"]
+        assert run('substring-after("2005-01-15", "-")') == ["01-15"]
+        assert run('substring-before("abc", "z")') == [""]
+        assert run('substring-after("abc", "z")') == [""]
+
+    def test_translate(self):
+        assert run('translate("bar", "abc", "ABC")') == ["BAr"]
+        # Characters without a target mapping are removed.
+        assert run('translate("abcdabc", "abc", "AB")') == ["ABdAB"]
+
+    def test_matches_and_replace(self):
+        assert run('matches("item-042", "[0-9]+$")') == [True]
+        assert run('matches("item", "[0-9]")') == [False]
+        assert run('replace("a1b2", "[0-9]", "#")') == ["a#b#"]
+
+    def test_tokenize(self):
+        assert run('tokenize("a,b,,c", ",")') == ["a", "b", "", "c"]
+        assert run('tokenize("", ",")') == []
+
+    def test_abs(self):
+        assert run("abs(-7)") == [7.0]
+        assert run("abs(())") == []

@@ -1,0 +1,183 @@
+"""Unit tests for the XQuery lexer, parser and unparser."""
+
+import pytest
+
+from repro.errors import XQuerySyntaxError
+from repro.xquery.ast_nodes import (
+    AxisStep,
+    BinaryOp,
+    ElementConstructor,
+    FLWOR,
+    ForClause,
+    FunctionCall,
+    LetClause,
+    Literal,
+    PathApply,
+    Quantified,
+    SequenceExpr,
+    VarRef,
+)
+from repro.xquery.lexer import TokenType, tokenize
+from repro.xquery.parser import parse_query
+from repro.xquery.unparse import unparse
+
+
+class TestLexer:
+    def test_keywords_and_names(self):
+        tokens = tokenize("for $x in Item return $x")
+        kinds = [t.type for t in tokens]
+        assert kinds[0] is TokenType.KEYWORD
+        assert kinds[1] is TokenType.VARIABLE
+        assert tokens[1].value == "x"
+
+    def test_string_with_doubled_quotes(self):
+        tokens = tokenize('"say ""hi"" now"')
+        assert tokens[0].value == 'say "hi" now'
+
+    def test_numbers(self):
+        tokens = tokenize("3.25 42")
+        assert tokens[0].value == "3.25"
+        assert tokens[1].value == "42"
+
+    def test_comments_skipped(self):
+        tokens = tokenize("1 (: a comment :) 2")
+        assert [t.value for t in tokens[:2]] == ["1", "2"]
+
+    def test_multichar_symbols(self):
+        tokens = tokenize("// := <= >= !=")
+        assert [t.value for t in tokens[:5]] == ["//", ":=", "<=", ">=", "!="]
+
+    def test_unexpected_character(self):
+        with pytest.raises(XQuerySyntaxError):
+            tokenize("a # b")
+
+
+class TestParser:
+    def test_flwor_structure(self):
+        ast = parse_query(
+            'for $i in collection("c")/Item where $i/Section = "CD"'
+            " order by $i/Code descending return $i/Name"
+        )
+        assert isinstance(ast, FLWOR)
+        assert isinstance(ast.clauses[0], ForClause)
+        assert ast.where is not None
+        assert ast.order_by[0].descending
+
+    def test_multiple_bindings_in_one_for(self):
+        ast = parse_query("for $a in (1,2), $b in (3,4) return $a + $b")
+        assert isinstance(ast, FLWOR)
+        assert len(ast.clauses) == 2
+
+    def test_let_clause(self):
+        ast = parse_query("let $x := 1 return $x")
+        assert isinstance(ast.clauses[0], LetClause)
+
+    def test_for_at_position(self):
+        ast = parse_query("for $x at $p in (5,6) return $p")
+        assert ast.clauses[0].position_var == "p"
+
+    def test_path_with_predicate(self):
+        ast = parse_query('collection("c")/Item[Section="CD"]/Name')
+        assert isinstance(ast, PathApply)
+        assert ast.steps[0].predicates
+
+    def test_absolute_path(self):
+        ast = parse_query("/Store/Items")
+        assert isinstance(ast, PathApply)
+        assert ast.absolute and ast.primary is None
+
+    def test_descendant_axis_and_attribute(self):
+        ast = parse_query("$x//Picture/@id")
+        steps = ast.steps
+        assert steps[0].axis == "descendant-or-self"
+        assert steps[1].is_attribute
+
+    def test_text_test(self):
+        ast = parse_query("$x/Name/text()")
+        assert ast.steps[-1].is_text
+
+    def test_operator_precedence(self):
+        ast = parse_query("1 + 2 * 3 = 7")
+        assert isinstance(ast, BinaryOp) and ast.op == "="
+        assert isinstance(ast.left, BinaryOp) and ast.left.op == "+"
+        assert isinstance(ast.left.right, BinaryOp) and ast.left.right.op == "*"
+
+    def test_and_binds_tighter_than_or(self):
+        ast = parse_query("1 = 1 or 2 = 2 and 3 = 4")
+        assert ast.op == "or"
+        assert isinstance(ast.right, BinaryOp) and ast.right.op == "and"
+
+    def test_if_then_else(self):
+        ast = parse_query("if (1 = 1) then 2 else 3")
+        assert ast.then_branch == Literal(2)
+
+    def test_quantified(self):
+        ast = parse_query("some $x in (1,2) satisfies $x = 2")
+        assert isinstance(ast, Quantified) and ast.kind == "some"
+
+    def test_element_constructor(self):
+        ast = parse_query('element result { count((1,2)), attribute n { "x" } }')
+        assert isinstance(ast, ElementConstructor)
+        assert len(ast.content) == 2
+
+    def test_function_call_with_prefix(self):
+        ast = parse_query("fn:count((1,2))")
+        assert isinstance(ast, FunctionCall) and ast.name == "count"
+
+    def test_empty_sequence(self):
+        assert parse_query("()") == SequenceExpr(())
+
+    def test_comma_sequence(self):
+        ast = parse_query("(1, 2, 3)")
+        assert isinstance(ast, SequenceExpr) and len(ast.items) == 3
+
+    def test_bare_name_is_context_step(self):
+        ast = parse_query("Section")
+        assert isinstance(ast, PathApply)
+        assert isinstance(ast.steps[0], AxisStep)
+
+    def test_range(self):
+        ast = parse_query("1 to 5")
+        assert type(ast).__name__ == "RangeExpr"
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "for $x return $x",  # missing in
+            "let $x = 1 return $x",  # = instead of :=
+            "if (1) then 2",  # missing else
+            "1 +",
+            "collection(",
+            "for in x return 1",
+        ],
+    )
+    def test_rejects_malformed(self, text):
+        with pytest.raises(XQuerySyntaxError):
+            parse_query(text)
+
+    def test_trailing_tokens_rejected(self):
+        with pytest.raises(XQuerySyntaxError, match="trailing"):
+            parse_query("1 2 3 oops (")
+
+
+class TestUnparse:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            'for $i in collection("c")/Item where $i/Section = "CD" return $i/Name/text()',
+            'count(for $i in collection("c")/Item where contains($i/D, "good") return $i)',
+            "for $x at $p in (1 to 5) order by $x descending return ($x, $p)",
+            'element r { attribute n { "x" }, $y/Name }',
+            "if ($a = 1) then 2 else 3",
+            "some $x in $s satisfies $x/a = 5",
+            "let $x := avg($s) return $x * 2",
+            '$a//Picture/@id[. = "7"]',
+            "-1 + 2 div 3 mod 4",
+            '(collection("a")/x | collection("b")/y)',
+            'doc("d.xml")/a/b[3]/text()',
+        ],
+    )
+    def test_parse_unparse_fixpoint(self, query):
+        ast = parse_query(query)
+        text = unparse(ast)
+        assert parse_query(text) == ast

@@ -1,0 +1,95 @@
+"""Unit tests for the XQuery value model (atomization, EBV, comparison)."""
+
+import math
+
+import pytest
+
+from repro.datamodel import elem
+from repro.errors import XQueryTypeError
+from repro.xquery.values import (
+    atomic_to_string,
+    atomize,
+    compare_atomics,
+    effective_boolean,
+    general_compare,
+    is_numeric_like,
+    string_value,
+    to_number,
+)
+
+
+class TestAtomization:
+    def test_nodes_become_string_values(self):
+        node = elem("a", elem("b", "x"), elem("c", "y"))
+        assert atomize([node, 3, "z"]) == ["xy", 3, "z"]
+
+    def test_attribute_atomizes_to_value(self):
+        from repro.datamodel import XMLNode
+
+        assert atomize([XMLNode.attribute("id", "7")]) == ["7"]
+
+
+class TestEffectiveBoolean:
+    def test_empty_sequence_false(self):
+        assert effective_boolean([]) is False
+
+    def test_node_first_true(self):
+        assert effective_boolean([elem("a"), 0]) is True
+
+    def test_single_atomics(self):
+        assert effective_boolean([True]) is True
+        assert effective_boolean([0]) is False
+        assert effective_boolean([0.5]) is True
+        assert effective_boolean([float("nan")]) is False
+        assert effective_boolean([""]) is False
+        assert effective_boolean(["x"]) is True
+
+    def test_multi_atomic_raises(self):
+        with pytest.raises(XQueryTypeError):
+            effective_boolean([1, 2])
+
+
+class TestNumbers:
+    def test_to_number_coercions(self):
+        assert to_number(True) == 1.0
+        assert to_number(" 3.5 ") == 3.5
+        assert math.isnan(to_number("abc"))
+        assert to_number(7) == 7.0
+
+    def test_is_numeric_like(self):
+        assert is_numeric_like("42")
+        assert not is_numeric_like("forty-two")
+
+
+class TestComparison:
+    def test_numeric_promotion(self):
+        assert compare_atomics("10", 9, ">")
+        assert not compare_atomics("10", "9", "<")  # numeric, not lexicographic
+
+    def test_string_fallback(self):
+        assert compare_atomics("apple", "banana", "<")
+
+    def test_boolean_comparison(self):
+        assert compare_atomics(True, 1, "=")
+        assert compare_atomics(False, "", "=")
+
+    def test_general_compare_existential(self):
+        assert general_compare([1, 2, 3], [3], "=")
+        assert not general_compare([1, 2], [3, 4], "=")
+        assert general_compare([], [1], "=") is False
+
+    def test_general_compare_atomizes_nodes(self):
+        assert general_compare([elem("a", "5")], [5], "=")
+
+
+class TestStringForms:
+    def test_string_value_first_item(self):
+        assert string_value(["a", "b"]) == "a"
+        assert string_value([]) == ""
+        assert string_value([elem("a", "hi")]) == "hi"
+
+    def test_atomic_to_string_numbers(self):
+        assert atomic_to_string(3.0) == "3"
+        assert atomic_to_string(3.5) == "3.5"
+        assert atomic_to_string(True) == "true"
+        assert atomic_to_string(False) == "false"

@@ -1,0 +1,188 @@
+"""Unit tests for the schema layer: validation and path analysis."""
+
+import pytest
+
+from repro.datamodel import doc, elem
+from repro.errors import SchemaError, ValidationError
+from repro.xschema import (
+    AttributeDecl,
+    ChildDecl,
+    ElementDecl,
+    Schema,
+    SimpleType,
+)
+
+
+@pytest.fixture
+def store_schema():
+    schema = Schema("s")
+    schema.element("Code", content=SimpleType.STRING)
+    schema.element("Price", content=SimpleType.DECIMAL)
+    schema.element("Date", content=SimpleType.DATE)
+    schema.element(
+        "PriceHistory", children=[ChildDecl("Price"), ChildDecl("Date")]
+    )
+    schema.element(
+        "PricesHistory",
+        children=[ChildDecl("PriceHistory", min_occurs=1, max_occurs=None)],
+    )
+    schema.element(
+        "Item",
+        children=[
+            ChildDecl("Code"),
+            ChildDecl("PricesHistory", min_occurs=0, max_occurs=1),
+        ],
+        attributes=[AttributeDecl("id", SimpleType.INTEGER, required=True)],
+    )
+    return schema
+
+
+class TestSimpleTypes:
+    @pytest.mark.parametrize(
+        "stype,good,bad",
+        [
+            (SimpleType.INTEGER, "42", "4.2"),
+            (SimpleType.DECIMAL, "-3.14", "abc"),
+            (SimpleType.BOOLEAN, "true", "yes"),
+            (SimpleType.DATE, "2005-01-31", "01/31/2005"),
+        ],
+    )
+    def test_accepts(self, stype, good, bad):
+        assert stype.accepts(good)
+        assert not stype.accepts(bad)
+
+    def test_string_accepts_anything(self):
+        assert SimpleType.STRING.accepts("")
+        assert SimpleType.STRING.accepts("anything at all")
+
+
+class TestDeclarations:
+    def test_duplicate_declaration_rejected(self):
+        schema = Schema("s")
+        schema.element("a")
+        with pytest.raises(SchemaError):
+            schema.element("a")
+
+    def test_bad_cardinality_rejected(self):
+        with pytest.raises(SchemaError):
+            ChildDecl("x", min_occurs=3, max_occurs=2)
+        with pytest.raises(SchemaError):
+            ChildDecl("x", min_occurs=-1)
+
+    def test_content_and_children_exclusive(self):
+        with pytest.raises(SchemaError):
+            ElementDecl("a", children=[ChildDecl("b")], content=SimpleType.STRING)
+
+    def test_cardinality_str(self):
+        assert ChildDecl("x", 1, None).cardinality_str() == "1..n"
+        assert ChildDecl("x", 0, 1).cardinality_str() == "0..1"
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(SchemaError):
+            Schema("s").get("missing")
+
+
+class TestValidation:
+    def test_valid_document(self, store_schema):
+        item = doc(
+            elem(
+                "Item",
+                elem("Code", "I-1"),
+                elem(
+                    "PricesHistory",
+                    elem("PriceHistory", elem("Price", "9.99"), elem("Date", "2005-01-01")),
+                ),
+                id="7",
+            )
+        )
+        assert store_schema.satisfies(item.root, "Item")
+
+    def test_optional_child_may_be_absent(self, store_schema):
+        item = doc(elem("Item", elem("Code", "I-1"), id="7"))
+        assert store_schema.satisfies(item.root, "Item")
+
+    def test_missing_required_child(self, store_schema):
+        item = doc(elem("Item", id="7"))
+        with pytest.raises(ValidationError, match="Code"):
+            store_schema.validate(item.root, "Item")
+
+    def test_missing_required_attribute(self, store_schema):
+        item = doc(elem("Item", elem("Code", "I-1")))
+        with pytest.raises(ValidationError, match="id"):
+            store_schema.validate(item.root, "Item")
+
+    def test_invalid_attribute_type(self, store_schema):
+        item = doc(elem("Item", elem("Code", "I-1"), id="not-a-number"))
+        with pytest.raises(ValidationError, match="invalid"):
+            store_schema.validate(item.root, "Item")
+
+    def test_undeclared_attribute(self, store_schema):
+        item = doc(elem("Item", elem("Code", "I-1"), id="1", extra="x"))
+        with pytest.raises(ValidationError, match="undeclared"):
+            store_schema.validate(item.root, "Item")
+
+    def test_wrong_root_label(self, store_schema):
+        with pytest.raises(ValidationError, match="expected element"):
+            store_schema.validate(elem("Other"), "Item")
+
+    def test_bad_simple_content(self, store_schema):
+        bad = elem("Price", "not-a-number")
+        with pytest.raises(ValidationError, match="not a valid"):
+            store_schema.validate(bad, "Price")
+
+    def test_unexpected_child(self, store_schema):
+        item = doc(elem("Item", elem("Code", "I-1"), elem("Code", "I-2"), id="1"))
+        with pytest.raises(ValidationError):
+            store_schema.validate(item.root, "Item")
+
+    def test_unbounded_children_accepted(self, store_schema):
+        history = elem(
+            "PricesHistory",
+            *[
+                elem("PriceHistory", elem("Price", "1.0"), elem("Date", "2001-01-01"))
+                for _ in range(5)
+            ],
+        )
+        assert store_schema.satisfies(history, "PricesHistory")
+
+    def test_min_occurs_enforced(self, store_schema):
+        with pytest.raises(ValidationError, match="at least"):
+            store_schema.validate(elem("PricesHistory"), "PricesHistory")
+
+    def test_declared_empty_element(self):
+        schema = Schema("s")
+        schema.element("empty")
+        assert schema.satisfies(elem("empty"), "empty")
+        with pytest.raises(ValidationError, match="declared empty"):
+            schema.validate(elem("empty", elem("x")), "empty")
+
+
+class TestPathAnalysis:
+    def test_type_at_path(self, store_schema):
+        decl = store_schema.type_at_path(["PricesHistory", "PriceHistory"], "Item")
+        assert decl.name == "PriceHistory"
+
+    def test_type_at_unknown_path(self, store_schema):
+        with pytest.raises(SchemaError, match="no child"):
+            store_schema.type_at_path(["Nope"], "Item")
+
+    def test_cardinality_single(self, store_schema):
+        assert store_schema.max_path_cardinality(["Code"], "Item") == 1
+
+    def test_cardinality_optional_is_one(self, store_schema):
+        assert store_schema.max_path_cardinality(["PricesHistory"], "Item") == 1
+
+    def test_cardinality_unbounded(self, store_schema):
+        assert (
+            store_schema.max_path_cardinality(
+                ["PricesHistory", "PriceHistory"], "Item"
+            )
+            is None
+        )
+
+    def test_cardinality_multiplies(self):
+        schema = Schema("s")
+        schema.element("c")
+        schema.element("b", children=[ChildDecl("c", 0, 3)])
+        schema.element("a", children=[ChildDecl("b", 0, 2)])
+        assert schema.max_path_cardinality(["b", "c"], "a") == 6
