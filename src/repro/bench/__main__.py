@@ -6,6 +6,7 @@ Usage::
     python -m repro.bench --figure 7c
     python -m repro.bench --figure 7d --transmission
     python -m repro.bench --figure headline
+    python -m repro.bench --figure modes
 
 Prints the same per-query tables the benchmark suite asserts on.
 """
@@ -14,12 +15,17 @@ from __future__ import annotations
 
 import argparse
 
-from repro.bench.reporting import format_scenario_table, format_speedup_series
+from repro.bench.reporting import (
+    format_mode_comparison,
+    format_scenario_table,
+    format_speedup_series,
+)
 from repro.bench.scale import DEFAULT_SCALE
 from repro.bench.scenarios import (
     build_items_scenario,
     build_store_scenario,
     build_xbench_scenario,
+    compare_execution_modes,
 )
 from repro.partix.publisher import FragMode
 
@@ -68,12 +74,22 @@ def run_headline(scale: float, repetitions: int, transmission: bool) -> None:
     print(f"\nbest Q8 speedup: {best:.1f}x (paper reports up to 72x)")
 
 
+def run_modes(scale: float, repetitions: int, transmission: bool) -> None:
+    """Simulated vs real-threads execution on a 4-site horizontal split."""
+    scenario = build_items_scenario(
+        "small", paper_mb=100, fragment_count=4, scale=scale
+    )
+    runs = compare_execution_modes(scenario, repetitions)
+    print(format_mode_comparison(scenario.name, runs))
+
+
 FIGURES = {
     "7a": run_figure_7a,
     "7b": run_figure_7b,
     "7c": run_figure_7c,
     "7d": run_figure_7d,
     "headline": run_headline,
+    "modes": run_modes,
 }
 
 

@@ -2,7 +2,33 @@
 
 from __future__ import annotations
 
-from repro.bench.scenarios import QueryRun, ScenarioResult
+from repro.bench.scenarios import ModeComparisonRun, QueryRun, ScenarioResult
+
+
+def format_mode_comparison(
+    name: str, runs: list[ModeComparisonRun]
+) -> str:
+    """Simulated vs threads execution, one row per query.
+
+    ``modelled`` is the paper-style simulated parallel time (slowest site
+    + compose); the two wall columns are real machine time for the
+    sequential loop vs the concurrent dispatcher.
+    """
+    header = f"{name} — simulated vs threads execution"
+    lines = [header, "-" * len(header)]
+    lines.append(
+        f"{'query':<6} {'modelled':>10} {'seq-wall':>10} {'thr-wall':>10}"
+        f" {'speedup':>8} {'subq':>5} {'match':>6}  description"
+    )
+    for run in runs:
+        lines.append(
+            f"{run.qid:<6} {run.parallel_seconds * 1000:>8.1f}ms"
+            f" {run.simulated_wall_seconds * 1000:>8.1f}ms"
+            f" {run.threads_wall_seconds * 1000:>8.1f}ms"
+            f" {run.wall_speedup:>7.2f}x {run.subqueries:>5}"
+            f" {'ok' if run.byte_identical else 'DIFF':>6}  {run.description}"
+        )
+    return "\n".join(lines)
 
 
 def format_scenario_table(result: ScenarioResult, transmission: bool = False) -> str:

@@ -169,6 +169,83 @@ def _avg(values) -> float:
 
 
 # ----------------------------------------------------------------------
+# Execution-mode comparison (simulated vs real threads)
+# ----------------------------------------------------------------------
+@dataclass
+class ModeComparisonRun:
+    """One query's simulated-mode vs threads-mode wall-clock comparison.
+
+    ``parallel_seconds`` is the *modelled* time (slowest site + compose)
+    — it is mode-independent by construction. The two wall columns are
+    real machine time: the sequential in-process loop vs the concurrent
+    dispatcher.
+    """
+
+    qid: str
+    description: str
+    parallel_seconds: float
+    sequential_seconds: float
+    simulated_wall_seconds: float
+    threads_wall_seconds: float
+    subqueries: int
+    byte_identical: bool
+
+    @property
+    def wall_speedup(self) -> float:
+        """Sequential-loop wall / concurrent-dispatch wall."""
+        if self.threads_wall_seconds <= 0:
+            return float("inf")
+        return self.simulated_wall_seconds / self.threads_wall_seconds
+
+
+def compare_execution_modes(
+    scenario: Scenario, repetitions: int = 2
+) -> list[ModeComparisonRun]:
+    """Run a scenario's queries in both execution modes, side by side.
+
+    Asserts the paper-faithful invariant along the way: the two modes
+    must produce **byte-identical** answers (composition is plan-ordered
+    in both). First run of each configuration is discarded (warm-up).
+    """
+    runs = []
+    for query in scenario.queries:
+        simulated = [
+            scenario.partix.execute(
+                query.text, collection=scenario.collection_name
+            )
+            for _ in range(repetitions + 1)
+        ][1:]
+        threaded = [
+            scenario.partix.execute(
+                query.text,
+                collection=scenario.collection_name,
+                execution_mode="threads",
+            )
+            for _ in range(repetitions + 1)
+        ][1:]
+        runs.append(
+            ModeComparisonRun(
+                qid=query.qid,
+                description=query.description,
+                parallel_seconds=_avg(r.parallel_seconds for r in simulated),
+                sequential_seconds=_avg(
+                    r.sequential_seconds for r in simulated
+                ),
+                simulated_wall_seconds=_avg(
+                    r.measured_wall_seconds for r in simulated
+                ),
+                threads_wall_seconds=_avg(
+                    r.measured_wall_seconds for r in threaded
+                ),
+                subqueries=len(threaded[-1].round.executions),
+                byte_identical=simulated[-1].result_text
+                == threaded[-1].result_text,
+            )
+        )
+    return runs
+
+
+# ----------------------------------------------------------------------
 # Scenario builders (one per paper experiment)
 # ----------------------------------------------------------------------
 #: Simulated per-document access overhead for paper-faithful scenarios.

@@ -1,14 +1,27 @@
-"""Simulated cluster: sites, network model, parallel-round accounting."""
+"""Simulated cluster: sites, network model, parallel-round accounting,
+and the real concurrent dispatcher."""
 
+from repro.cluster.dispatch import (
+    DEGRADE,
+    FAIL_FAST,
+    DispatchOutcome,
+    ParallelDispatcher,
+    SubQueryFailure,
+)
 from repro.cluster.network import FREE_NETWORK, GIGABIT_PER_SECOND, NetworkModel
 from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
 
 __all__ = [
     "Cluster",
+    "DEGRADE",
+    "DispatchOutcome",
+    "FAIL_FAST",
     "FREE_NETWORK",
     "GIGABIT_PER_SECOND",
     "NetworkModel",
+    "ParallelDispatcher",
     "ParallelRound",
     "Site",
     "SubQueryExecution",
+    "SubQueryFailure",
 ]

@@ -1,0 +1,297 @@
+"""Concurrent sub-query dispatch (the real counterpart of §5's simulation).
+
+The paper *simulated* inter-site parallelism: sub-queries ran one after
+another and the reported parallel time was the slowest site's busy time.
+:class:`ParallelDispatcher` executes a round for real — a thread pool with
+one worker lane per site, so sub-queries targeting different sites overlap
+while sub-queries sharing a site serialize, exactly the schedule the
+simulated accounting assumes. The measured wall-clock of the round lands
+in ``ParallelRound.measured_wall_seconds``, letting benchmarks print
+simulated and real parallel time side by side.
+
+Failure handling is explicit because real dispatch can fail in ways the
+sequential loop never did:
+
+* every sub-query gets ``retries`` extra attempts with exponential
+  backoff (transient driver errors);
+* a per-sub-query ``subquery_timeout`` bounds how long one sub-query may
+  take. In-process engine threads cannot be preempted, so the timeout is
+  enforced *after the fact*: an over-budget attempt is discarded and
+  counted as a failure (a driver for a remote DBMS would enforce the same
+  budget on the wire);
+* an exhausted sub-query is handled per ``failure_policy`` —
+  ``"fail_fast"`` cancels the remaining work and raises
+  :class:`~repro.errors.DispatchError`, ``"degrade"`` drops the fragment
+  from the answer and records a note so the caller can surface the
+  partial-result caveat.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
+from repro.errors import DispatchError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partix.decomposer import SubQuery
+
+FAIL_FAST = "fail_fast"
+DEGRADE = "degrade"
+
+
+@dataclass
+class SubQueryFailure:
+    """One sub-query that exhausted all its attempts."""
+
+    site: str
+    fragment: str
+    query: str
+    attempts: int
+    error: Exception
+    timed_out: bool = False
+
+    def describe(self) -> str:
+        kind = "timed out" if self.timed_out else "failed"
+        return (
+            f"sub-query for fragment {self.fragment!r} at site {self.site!r}"
+            f" {kind} after {self.attempts} attempt(s): {self.error}"
+        )
+
+
+@dataclass
+class DispatchOutcome:
+    """Everything a round of concurrent dispatch produced.
+
+    ``executions_by_index`` aligns with the dispatched sub-query list —
+    ``None`` marks a sub-query that failed (degrade policy) or was
+    cancelled — so the caller can re-pair results with their plan entries
+    in deterministic plan order. ``round`` holds the surviving executions
+    (already in plan order) plus the measured wall-clock.
+    """
+
+    round: ParallelRound
+    executions_by_index: list[Optional[SubQueryExecution]]
+    failures: list[SubQueryFailure] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+    cancelled: int = 0
+
+    @property
+    def complete(self) -> bool:
+        return not self.failures and not self.cancelled
+
+
+class ParallelDispatcher:
+    """Executes one round of sub-queries concurrently across sites.
+
+    Parameters
+    ----------
+    max_workers:
+        Upper bound on concurrent site lanes. Defaults to one worker per
+        distinct site in the round (full fan-out).
+    subquery_timeout:
+        Per-sub-query budget in seconds (see module docstring for the
+        after-the-fact enforcement caveat). ``None`` disables it.
+    retries:
+        Extra attempts per sub-query after the first failure/timeout.
+    backoff_seconds / backoff_multiplier:
+        Exponential backoff between attempts: the wait before retry *n*
+        (0-based) is ``backoff_seconds * backoff_multiplier ** n``.
+    failure_policy:
+        ``"fail_fast"`` (default) — cancel outstanding work and raise
+        :class:`DispatchError` once any sub-query exhausts its attempts;
+        ``"degrade"`` — keep going, drop the failed fragment from the
+        answer, and record an explanatory note.
+    sleep:
+        Injection point for the backoff sleep (tests pass a recorder).
+    """
+
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        subquery_timeout: Optional[float] = None,
+        retries: int = 1,
+        backoff_seconds: float = 0.02,
+        backoff_multiplier: float = 2.0,
+        failure_policy: str = FAIL_FAST,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if failure_policy not in (FAIL_FAST, DEGRADE):
+            raise ValueError(
+                f"failure_policy must be {FAIL_FAST!r} or {DEGRADE!r},"
+                f" got {failure_policy!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.max_workers = max_workers
+        self.subquery_timeout = subquery_timeout
+        self.retries = retries
+        self.backoff_seconds = backoff_seconds
+        self.backoff_multiplier = backoff_multiplier
+        self.failure_policy = failure_policy
+        self._sleep = sleep
+
+    # ------------------------------------------------------------------
+    def dispatch(
+        self,
+        cluster: Cluster,
+        subqueries: Sequence["SubQuery"],
+        default_collection: Optional[str] = None,
+    ) -> DispatchOutcome:
+        """Run ``subqueries`` concurrently; one worker lane per site."""
+        lanes: dict[str, list[tuple[int, "SubQuery"]]] = {}
+        for index, subquery in enumerate(subqueries):
+            lanes.setdefault(subquery.site, []).append((index, subquery))
+        # Resolve sites up front: an unknown site is a plan error, not a
+        # runtime sub-query failure, and raises regardless of policy.
+        sites = {name: cluster.site(name) for name in lanes}
+
+        results: list[Optional[SubQueryExecution]] = [None] * len(subqueries)
+        failures: list[SubQueryFailure] = []
+        failures_lock = threading.Lock()
+        cancel = threading.Event()
+        skipped = [0]
+
+        wall_started = time.perf_counter()
+        if lanes:
+            workers = len(lanes)
+            if self.max_workers is not None:
+                workers = min(workers, self.max_workers)
+            with ThreadPoolExecutor(
+                max_workers=workers, thread_name_prefix="partix-dispatch"
+            ) as pool:
+                futures = [
+                    pool.submit(
+                        self._run_lane,
+                        sites[name],
+                        lane,
+                        default_collection,
+                        results,
+                        failures,
+                        failures_lock,
+                        cancel,
+                        skipped,
+                    )
+                    for name, lane in lanes.items()
+                ]
+                for future in futures:
+                    future.result()
+        wall_seconds = time.perf_counter() - wall_started
+
+        if failures and self.failure_policy == FAIL_FAST:
+            raise DispatchError(
+                "; ".join(failure.describe() for failure in failures),
+                failures=failures,
+            )
+        notes = [f"degraded: {failure.describe()}" for failure in failures]
+        if skipped[0]:
+            notes.append(
+                f"cancelled: {skipped[0]} sub-quer"
+                f"{'y' if skipped[0] == 1 else 'ies'} never dispatched"
+            )
+        round_ = ParallelRound(
+            executions=[result for result in results if result is not None],
+            measured_wall_seconds=wall_seconds,
+        )
+        return DispatchOutcome(
+            round=round_,
+            executions_by_index=results,
+            failures=failures,
+            notes=notes,
+            cancelled=skipped[0],
+        )
+
+    # ------------------------------------------------------------------
+    def _run_lane(
+        self,
+        site: Site,
+        lane: list[tuple[int, "SubQuery"]],
+        default_collection: Optional[str],
+        results: list[Optional[SubQueryExecution]],
+        failures: list[SubQueryFailure],
+        failures_lock: threading.Lock,
+        cancel: threading.Event,
+        skipped: list[int],
+    ) -> None:
+        """One site's sub-queries, in plan order, with retry + timeout."""
+        for position, (index, subquery) in enumerate(lane):
+            if cancel.is_set():
+                with failures_lock:
+                    skipped[0] += len(lane) - position
+                return
+            failure = self._run_subquery(
+                site, index, subquery, default_collection, results, cancel
+            )
+            if failure is not None:
+                with failures_lock:
+                    failures.append(failure)
+                    if self.failure_policy == FAIL_FAST:
+                        skipped[0] += len(lane) - position - 1
+                if self.failure_policy == FAIL_FAST:
+                    cancel.set()
+                    return
+
+    def _run_subquery(
+        self,
+        site: Site,
+        index: int,
+        subquery: "SubQuery",
+        default_collection: Optional[str],
+        results: list[Optional[SubQueryExecution]],
+        cancel: threading.Event,
+    ) -> Optional[SubQueryFailure]:
+        """One sub-query with its retry/backoff/timeout envelope."""
+        failure: Optional[SubQueryFailure] = None
+        for attempt in range(self.retries + 1):
+            if cancel.is_set():
+                return failure
+            started = time.perf_counter()
+            try:
+                result = site.execute(
+                    subquery.query, default_collection=default_collection
+                )
+            except Exception as exc:
+                failure = SubQueryFailure(
+                    site=subquery.site,
+                    fragment=subquery.fragment,
+                    query=subquery.query,
+                    attempts=attempt + 1,
+                    error=exc,
+                )
+            else:
+                took = time.perf_counter() - started
+                if (
+                    self.subquery_timeout is not None
+                    and took > self.subquery_timeout
+                ):
+                    failure = SubQueryFailure(
+                        site=subquery.site,
+                        fragment=subquery.fragment,
+                        query=subquery.query,
+                        attempts=attempt + 1,
+                        error=TimeoutError(
+                            f"exceeded {self.subquery_timeout:.3f}s budget"
+                            f" (took {took:.3f}s)"
+                        ),
+                        timed_out=True,
+                    )
+                else:
+                    # Each slot is written by exactly one lane thread.
+                    results[index] = SubQueryExecution(
+                        site=subquery.site,
+                        fragment=subquery.fragment,
+                        query=subquery.query,
+                        result=result,
+                    )
+                    return None
+            if attempt < self.retries:
+                self._sleep(
+                    self.backoff_seconds * self.backoff_multiplier ** attempt
+                )
+        return failure

@@ -11,8 +11,13 @@ add up — the conservative reading of the paper's methodology).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional, Sequence
 
 GIGABIT_PER_SECOND = 1_000_000_000.0
+
+#: Fallback dispatch-message size when the caller cannot supply the real
+#: per-sub-query text sizes.
+DEFAULT_QUERY_BYTES = 256
 
 
 @dataclass(frozen=True)
@@ -34,16 +39,24 @@ class NetworkModel:
         """Time to move one payload over the link."""
         return self.latency_seconds + (payload_bytes * 8.0) / self.bandwidth_bits_per_second
 
-    def gather_seconds(self, result_sizes: list[int], query_bytes: int = 256) -> float:
+    def gather_seconds(
+        self,
+        result_sizes: Sequence[int],
+        query_sizes: Optional[Sequence[int]] = None,
+        query_bytes: int = DEFAULT_QUERY_BYTES,
+    ) -> float:
         """Time to dispatch sub-queries and gather all partial results.
 
-        Dispatch is one small message per site (counted as latency +
-        ``query_bytes``); results funnel through the coordinator's single
+        Dispatch is one message per sub-query, charged at the **actual**
+        serialized query size when the caller passes ``query_sizes`` (the
+        middleware does — sub-query texts differ per fragment and can far
+        exceed a fixed guess); without them, each dispatch falls back to
+        ``query_bytes``. Results funnel through the coordinator's single
         inbound link, so their transfer times accumulate.
         """
-        dispatch = sum(
-            self.transfer_seconds(query_bytes) for _ in result_sizes
-        )
+        if query_sizes is None:
+            query_sizes = [query_bytes] * len(result_sizes)
+        dispatch = sum(self.transfer_seconds(size) for size in query_sizes)
         gather = sum(self.transfer_seconds(size) for size in result_sizes)
         return dispatch + gather
 

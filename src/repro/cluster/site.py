@@ -148,9 +148,16 @@ class ParallelRound:
     ``parallel_seconds`` is the slowest site's busy time (a site running
     several sub-queries sums them); ``executions`` keeps every sub-query's
     own metrics for reporting.
+
+    ``measured_wall_seconds`` is the *real* wall-clock time the round took
+    on this machine — in ``"simulated"`` execution mode that is the
+    sequential loop's duration, in ``"threads"`` mode the concurrent
+    dispatcher's, so benchmarks can print simulated parallel time and
+    measured parallel time side by side.
     """
 
     executions: list[SubQueryExecution] = field(default_factory=list)
+    measured_wall_seconds: float = 0.0
 
     @property
     def parallel_seconds(self) -> float:

@@ -20,6 +20,7 @@ ablation benchmark flips it on to quantify the difference.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from typing import Optional, Union
@@ -29,7 +30,11 @@ from repro.datamodel.tree import XMLNode
 from repro.engine.planner import Planner
 from repro.engine.stats import EngineStats, QueryResult
 from repro.engine.store import DocumentStore, StoredDocument
-from repro.errors import StorageError, XQueryEvaluationError
+from repro.errors import (
+    CollectionNotFoundError,
+    StorageError,
+    XQueryEvaluationError,
+)
 from repro.paths.predicates import Predicate
 from repro.xmltext.parser import parse_xml
 from repro.xmltext.serializer import serialize
@@ -84,6 +89,12 @@ class XMLEngine:
         self.per_document_overhead = per_document_overhead
         self._cache: OrderedDict[tuple[str, str], XMLDocument] = OrderedDict()
         self._cache_size = cache_size
+        # Concurrency: queries may run on several threads against one
+        # engine (the cluster dispatcher's "threads" mode). Shared stats
+        # only change via single locked commits of per-query accumulators,
+        # and the parsed-document LRU is guarded by its own lock.
+        self._stats_lock = threading.Lock()
+        self._cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Data definition / manipulation
@@ -93,9 +104,12 @@ class XMLEngine:
 
     def drop_collection(self, name: str) -> None:
         self.store.drop_collection(name)
-        self._cache = OrderedDict(
-            (key, value) for key, value in self._cache.items() if key[0] != name
-        )
+        with self._cache_lock:
+            self._cache = OrderedDict(
+                (key, value)
+                for key, value in self._cache.items()
+                if key[0] != name
+            )
 
     def has_collection(self, name: str) -> bool:
         return self.store.has_collection(name)
@@ -115,31 +129,78 @@ class XMLEngine:
             self.store.create_collection(collection)
         return self.store.store_document(collection, document, name=name, origin=origin)
 
+    def _require_collection(self, name: str) -> None:
+        """Fail with a clear engine-level error for a missing collection.
+
+        The engine contract is strict (raise); the driver boundary is
+        lenient (return 0) — see ``MiniXDriver.document_count``.
+        """
+        if not self.store.has_collection(name):
+            raise CollectionNotFoundError(
+                f"engine {self.name!r} has no collection {name!r}"
+            )
+
     def document_count(self, collection: str) -> int:
+        self._require_collection(collection)
         return len(self.store.collection(collection))
 
     def collection_bytes(self, collection: str) -> int:
+        self._require_collection(collection)
         return self.store.collection(collection).total_bytes()
 
-    def load_parsed(self, collection: str, name: str) -> XMLDocument:
-        """Parse-on-access with optional LRU caching; updates stats."""
+    def load_parsed(
+        self,
+        collection: str,
+        name: str,
+        stats: Optional[EngineStats] = None,
+    ) -> XMLDocument:
+        """Parse-on-access with optional LRU caching; updates stats.
+
+        ``stats`` is the accumulator to charge — a query in flight passes
+        its private per-query accumulator so concurrent queries never
+        interleave read-modify-write cycles on the shared counters. Direct
+        callers may omit it; the access is then committed to the engine's
+        cumulative stats immediately (under the stats lock).
+
+        A cache hit still charges ``per_document_overhead`` (and a
+        ``cache_hits`` counter): the simulated per-document access cost
+        models catalog lookup / locking / buffer traffic, which a real
+        DBMS pays whether or not the parsed tree is resident.
+        """
         key = (collection, name)
-        if self.cache_parsed and key in self._cache:
-            self._cache.move_to_end(key)
-            return self._cache[key]
+        charge = EngineStats() if stats is None else stats
+        if self.cache_parsed:
+            with self._cache_lock:
+                cached = self._cache.get(key)
+                if cached is not None:
+                    self._cache.move_to_end(key)
+            if cached is not None:
+                charge.cache_hits += 1
+                charge.simulated_overhead_seconds += self.per_document_overhead
+                if stats is None:
+                    self._commit_stats(charge)
+                return cached
         stored = self.store.load_document(collection, name)
         started = time.perf_counter()
         document = parse_xml(stored.data.decode("utf-8"), name=name)
         document.origin = stored.origin
-        self.stats.parse_seconds += time.perf_counter() - started
-        self.stats.documents_parsed += 1
-        self.stats.bytes_parsed += stored.size
-        self.stats.simulated_overhead_seconds += self.per_document_overhead
+        charge.parse_seconds += time.perf_counter() - started
+        charge.documents_parsed += 1
+        charge.bytes_parsed += stored.size
+        charge.simulated_overhead_seconds += self.per_document_overhead
         if self.cache_parsed:
-            self._cache[key] = document
-            if len(self._cache) > self._cache_size:
-                self._cache.popitem(last=False)
+            with self._cache_lock:
+                self._cache[key] = document
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+        if stats is None:
+            self._commit_stats(charge)
         return document
+
+    def _commit_stats(self, delta: EngineStats) -> None:
+        """Fold a per-query accumulator into the shared counters."""
+        with self._stats_lock:
+            self.stats.absorb(delta)
 
     # ------------------------------------------------------------------
     # Query execution
@@ -158,7 +219,11 @@ class XMLEngine:
         match documents satisfying a fragment's μ).
         """
         started = time.perf_counter()
-        before = self.stats.snapshot()
+        # Per-query accumulator: every counter this query touches lands
+        # here first and is committed to the shared stats exactly once,
+        # so concurrent queries cannot lose each other's updates (and the
+        # reported deltas cannot include a neighbour's work).
+        delta = EngineStats()
         expr = parse_query(query) if isinstance(query, str) else query
         analysis = analyze_query(expr)
         predicate = analysis.predicate
@@ -170,14 +235,16 @@ class XMLEngine:
                 if predicate is None
                 else And((predicate, extra_predicate))
             )
-        provider = _EngineProvider(self, default_collection, predicate)
+        provider = _EngineProvider(self, default_collection, predicate, delta)
         eval_started = time.perf_counter()
         items = Evaluator().evaluate(expr, DynamicContext(provider=provider))
-        self.stats.evaluation_seconds += time.perf_counter() - eval_started
-        self.stats.queries_executed += 1
+        delta.evaluation_seconds += time.perf_counter() - eval_started
+        delta.queries_executed += 1
         result_text = serialize_sequence(items)
         elapsed = time.perf_counter() - started
-        delta = self.stats.diff(before)
+        self._commit_stats(delta)
+        with self._stats_lock:
+            cumulative = self.stats.snapshot()
         return QueryResult(
             items=items,
             result_text=result_text,
@@ -188,8 +255,9 @@ class XMLEngine:
             bytes_parsed=delta.bytes_parsed,
             documents_scanned=delta.documents_scanned,
             documents_pruned=delta.documents_pruned,
+            cache_hits=delta.cache_hits,
             simulated_overhead_seconds=delta.simulated_overhead_seconds,
-            stats=self.stats.snapshot(),
+            stats=cumulative,
         )
 
 
@@ -232,17 +300,23 @@ class XMLEngine:
 
 
 class _EngineProvider:
-    """DocumentProvider backed by the engine's store and planner."""
+    """DocumentProvider backed by the engine's store and planner.
+
+    All counters charge the query's private ``stats`` accumulator — never
+    the engine's shared stats — so concurrent queries stay race-free.
+    """
 
     def __init__(
         self,
         engine: XMLEngine,
         default_collection: Optional[str],
         predicate: Optional[Predicate],
+        stats: EngineStats,
     ):
         self._engine = engine
         self._default = default_collection
         self._predicate = predicate
+        self._stats = stats
 
     def collection_roots(self, name: Optional[str]) -> list[XMLNode]:
         collection_name = name or self._default
@@ -256,11 +330,13 @@ class _EngineProvider:
         candidates, lookups = self._engine.planner.candidate_documents(
             collection, self._predicate
         )
-        self._engine.stats.index_lookups += lookups
-        self._engine.stats.documents_scanned += len(candidates)
-        self._engine.stats.documents_pruned += len(collection) - len(candidates)
+        self._stats.index_lookups += lookups
+        self._stats.documents_scanned += len(candidates)
+        self._stats.documents_pruned += len(collection) - len(candidates)
         return [
-            self._engine.load_parsed(collection_name, doc_name).root
+            self._engine.load_parsed(
+                collection_name, doc_name, stats=self._stats
+            ).root
             for doc_name in candidates
         ]
 
@@ -268,8 +344,10 @@ class _EngineProvider:
         for collection_name in self._engine.store.collection_names():
             collection = self._engine.store.collection(collection_name)
             if name in collection:
-                self._engine.stats.documents_scanned += 1
-                return self._engine.load_parsed(collection_name, name).root
+                self._stats.documents_scanned += 1
+                return self._engine.load_parsed(
+                    collection_name, name, stats=self._stats
+                ).root
         return None
 
 

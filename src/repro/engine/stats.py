@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 
 @dataclass
 class EngineStats:
-    """Cumulative counters of one engine instance."""
+    """Cumulative counters of one engine instance.
+
+    Engines never mutate a shared instance mid-query: each query charges a
+    private accumulator and commits it once, under the engine's lock, via
+    :meth:`absorb` — the invariant that keeps concurrent sub-queries from
+    losing updates.
+    """
 
     queries_executed: int = 0
     documents_parsed: int = 0
@@ -21,6 +27,8 @@ class EngineStats:
     documents_scanned: int = 0
     documents_pruned: int = 0
     index_lookups: int = 0
+    #: Parsed-document LRU cache hits (documents served without a re-parse).
+    cache_hits: int = 0
     parse_seconds: float = 0.0
     evaluation_seconds: float = 0.0
     #: Simulated per-document access overhead (never slept; see
@@ -54,6 +62,12 @@ class EngineStats:
             }
         )
 
+    def absorb(self, delta: "EngineStats") -> None:
+        """Add ``delta``'s counters in place (commit of a per-query
+        accumulator; callers serialize commits with a lock)."""
+        for name in vars(delta):
+            setattr(self, name, getattr(self, name) + getattr(delta, name))
+
 
 @dataclass
 class QueryResult:
@@ -74,6 +88,7 @@ class QueryResult:
     bytes_parsed: int
     documents_scanned: int
     documents_pruned: int
+    cache_hits: int = 0
     simulated_overhead_seconds: float = 0.0
     stats: EngineStats = field(repr=False, default_factory=EngineStats)
 

@@ -105,3 +105,16 @@ class DecompositionError(PartixError):
 
 class ClusterError(PartixError):
     """Raised by the simulated cluster (unknown site, no driver, ...)."""
+
+
+class DispatchError(ClusterError):
+    """Raised when concurrent sub-query dispatch fails under the
+    ``fail_fast`` policy.
+
+    ``failures`` lists each exhausted sub-query as a
+    :class:`repro.cluster.dispatch.SubQueryFailure`.
+    """
+
+    def __init__(self, message: str, failures: list | None = None):
+        super().__init__(message)
+        self.failures = failures or []

@@ -49,11 +49,21 @@ class PartixDriver(abc.ABC):
 
     @abc.abstractmethod
     def document_count(self, collection: str) -> int:
-        """Number of documents in ``collection``."""
+        """Number of documents in ``collection``.
+
+        Contract: a missing collection is **0 documents**, not an error —
+        the middleware probes sites that may simply not host a fragment.
+        (The engine layer underneath is strict and raises; the driver is
+        the lenient boundary.)
+        """
 
     @abc.abstractmethod
     def collection_bytes(self, collection: str) -> int:
-        """Total serialized size of ``collection``."""
+        """Total serialized size of ``collection``.
+
+        Contract: a missing collection is **0 bytes** (see
+        :meth:`document_count`).
+        """
 
 
 class MiniXDriver(PartixDriver):

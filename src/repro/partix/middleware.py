@@ -9,18 +9,31 @@ reconstructs the query answer."
 
 :class:`Partix` wires the catalog services, the data publisher, the query
 decomposer and the result composer over a simulated cluster. Timing
-follows the paper's methodology: sub-queries actually execute
-(sequentially, in-process); the reported parallel time is the slowest
-site's busy time plus composition, with transmission estimated from
-result sizes over the network model and reported separately (the paper's
-FragModeX-T / FragModeX-NT series).
+follows the paper's methodology: the reported parallel time is the
+slowest site's busy time plus composition, with transmission estimated
+from result sizes over the network model and reported separately (the
+paper's FragModeX-T / FragModeX-NT series).
+
+Two execution modes cover the paper's simulation *and* the real thing:
+
+* ``execution_mode="simulated"`` (default) — sub-queries run
+  sequentially in-process, as the paper's prototype did;
+* ``execution_mode="threads"`` — sub-queries run concurrently through a
+  :class:`~repro.cluster.dispatch.ParallelDispatcher` (one worker lane
+  per site, timeout/retry/failure policy).
+
+Either way ``ParallelRound.measured_wall_seconds`` records the real
+wall-clock of the round, and results are byte-identical across modes
+(partial results always compose in plan order).
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from repro.cluster.dispatch import ParallelDispatcher
 from repro.cluster.network import NetworkModel
 from repro.cluster.site import Cluster, ParallelRound, SubQueryExecution
 from repro.datamodel.collection import Collection
@@ -68,6 +81,12 @@ class PartixResult:
         """Sum of all sub-query times (a one-site-at-a-time lower bound)."""
         return self.round.sequential_seconds + self.composed.compose_seconds
 
+    @property
+    def measured_wall_seconds(self) -> float:
+        """Real wall-clock of the round + composition on this machine
+        (concurrent in ``"threads"`` mode, sequential in ``"simulated"``)."""
+        return self.round.measured_wall_seconds + self.composed.compose_seconds
+
 
 class Partix:
     """Coordinator for distributed XQuery over fragmented repositories."""
@@ -78,9 +97,13 @@ class Partix:
         network: Optional[NetworkModel] = None,
         schema_catalog: Optional[SchemaCatalog] = None,
         distribution_catalog: Optional[DistributionCatalog] = None,
+        dispatcher: Optional[ParallelDispatcher] = None,
     ):
         self.cluster = cluster
         self.network = network if network is not None else NetworkModel()
+        self.dispatcher = (
+            dispatcher if dispatcher is not None else ParallelDispatcher()
+        )
         self.schema_catalog = (
             schema_catalog if schema_catalog is not None else SchemaCatalog()
         )
@@ -134,6 +157,8 @@ class Partix:
         query: str,
         collection: Optional[str] = None,
         plan: Optional[DecomposedQuery] = None,
+        execution_mode: str = "simulated",
+        dispatcher: Optional[ParallelDispatcher] = None,
     ) -> PartixResult:
         """Run a query over the fragmented repository.
 
@@ -141,11 +166,60 @@ class Partix:
         from the distribution catalog (our extension); passing a plan
         reproduces the paper's annotated mode ("data location is provided
         along with sub-queries").
+
+        ``execution_mode`` selects how sub-queries run: ``"simulated"``
+        executes them sequentially in-process (paper methodology),
+        ``"threads"`` dispatches them concurrently — one worker lane per
+        site — through ``dispatcher`` (default: this instance's
+        :class:`ParallelDispatcher`). Both modes compose partial results
+        in plan order, so the answer is byte-identical.
         """
         if plan is None:
             plan = self.decomposer.decompose(query, collection)
+        notes = list(plan.notes)
+        if execution_mode == "simulated":
+            round_, partials = self._execute_simulated(plan)
+        elif execution_mode == "threads":
+            active = dispatcher if dispatcher is not None else self.dispatcher
+            outcome = active.dispatch(self.cluster, plan.subqueries)
+            round_ = outcome.round
+            partials = [
+                (plan.subqueries[index], execution.result.result_text)
+                for index, execution in enumerate(outcome.executions_by_index)
+                if execution is not None
+            ]
+            notes.extend(outcome.notes)
+        else:
+            raise ValueError(
+                "execution_mode must be 'simulated' or 'threads',"
+                f" got {execution_mode!r}"
+            )
+        composed = self.composer.compose(plan.composition, partials)
+        transmission = self.network.gather_seconds(
+            round_.result_sizes,
+            query_sizes=[
+                len(subquery.query.encode("utf-8"))
+                for subquery in plan.subqueries
+            ],
+        )
+        return PartixResult(
+            query=query,
+            result_text=composed.result_text,
+            result_bytes=composed.result_bytes,
+            round=round_,
+            composed=composed,
+            transmission_seconds=transmission,
+            plan=plan,
+            notes=notes,
+        )
+
+    def _execute_simulated(
+        self, plan: DecomposedQuery
+    ) -> tuple[ParallelRound, list[tuple[SubQuery, str]]]:
+        """The paper's sequential in-process round (parallelism simulated)."""
         round_ = ParallelRound()
         partials: list[tuple[SubQuery, str]] = []
+        started = time.perf_counter()
         for subquery in plan.subqueries:
             site = self.cluster.site(subquery.site)
             result = site.execute(subquery.query)
@@ -158,18 +232,8 @@ class Partix:
                 )
             )
             partials.append((subquery, result.result_text))
-        composed = self.composer.compose(plan.composition, partials)
-        transmission = self.network.gather_seconds(round_.result_sizes)
-        return PartixResult(
-            query=query,
-            result_text=composed.result_text,
-            result_bytes=composed.result_bytes,
-            round=round_,
-            composed=composed,
-            transmission_seconds=transmission,
-            plan=plan,
-            notes=list(plan.notes),
-        )
+        round_.measured_wall_seconds = time.perf_counter() - started
+        return round_, partials
 
     def explain(
         self, query: str, collection: Optional[str] = None
@@ -185,7 +249,9 @@ class Partix:
     ) -> PartixResult:
         """Run a query directly at one site (the centralized baseline)."""
         site = self.cluster.site(site_name)
+        started = time.perf_counter()
         result = site.execute(query)
+        wall_seconds = time.perf_counter() - started
         round_ = ParallelRound(
             executions=[
                 SubQueryExecution(
@@ -194,14 +260,18 @@ class Partix:
                     query=query,
                     result=result,
                 )
-            ]
+            ],
+            measured_wall_seconds=wall_seconds,
         )
         composed = ComposedResult(
             result_text=result.result_text,
             result_bytes=result.result_bytes,
             compose_seconds=0.0,
         )
-        transmission = self.network.gather_seconds([result.result_bytes])
+        transmission = self.network.gather_seconds(
+            [result.result_bytes],
+            query_sizes=[len(query.encode("utf-8"))],
+        )
         return PartixResult(
             query=query,
             result_text=result.result_text,

@@ -7,7 +7,16 @@ from repro.bench.__main__ import FIGURES, main
 
 class TestCli:
     def test_figures_registry(self):
-        assert set(FIGURES) == {"7a", "7b", "7c", "7d", "headline"}
+        assert set(FIGURES) == {"7a", "7b", "7c", "7d", "headline", "modes"}
+
+    def test_runs_modes_figure(self, capsys):
+        exit_code = main(
+            ["--figure", "modes", "--scale", "0.0005", "--repetitions", "1"]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "simulated vs threads" in output
+        assert "DIFF" not in output
 
     def test_runs_a_tiny_figure(self, capsys):
         exit_code = main(

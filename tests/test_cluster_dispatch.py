@@ -1,0 +1,241 @@
+"""Unit tests for the concurrent sub-query dispatcher."""
+
+import threading
+import time
+
+import pytest
+
+from repro.cluster import (
+    Cluster,
+    DEGRADE,
+    FAIL_FAST,
+    ParallelDispatcher,
+    Site,
+)
+from repro.engine.stats import QueryResult
+from repro.errors import DispatchError
+from repro.partix.decomposer import SubQuery
+from repro.partix.driver import PartixDriver
+
+
+def _query_result(text: str = "ok") -> QueryResult:
+    return QueryResult(
+        items=[],
+        result_text=text,
+        result_bytes=len(text.encode()),
+        elapsed_seconds=0.001,
+        parse_seconds=0.0,
+        documents_parsed=0,
+        bytes_parsed=0,
+        documents_scanned=0,
+        documents_pruned=0,
+    )
+
+
+class StubDriver(PartixDriver):
+    """Scriptable driver: optional sleep, optional failures, call log."""
+
+    def __init__(self, delay=0.0, fail_times=0, error=RuntimeError("boom")):
+        self.delay = delay
+        self.fail_times = fail_times
+        self.error = error
+        self.calls = []
+        self.active = 0
+        self.max_active = 0
+        self._lock = threading.Lock()
+
+    def create_collection(self, name):
+        pass
+
+    def store_document(self, collection, document, name=None, origin=None):
+        pass
+
+    def document_count(self, collection):
+        return 0
+
+    def collection_bytes(self, collection):
+        return 0
+
+    def execute(self, query, default_collection=None, extra_predicate=None):
+        with self._lock:
+            self.calls.append(query)
+            self.active += 1
+            self.max_active = max(self.max_active, self.active)
+        try:
+            if self.delay:
+                time.sleep(self.delay)
+            with self._lock:
+                remaining = self.fail_times
+                if remaining > 0:
+                    self.fail_times -= 1
+            if remaining > 0:
+                raise self.error
+            return _query_result(f"result:{query}")
+        finally:
+            with self._lock:
+                self.active -= 1
+
+
+def _cluster(drivers):
+    return Cluster(
+        Site(f"site{i}", driver=driver) for i, driver in enumerate(drivers)
+    )
+
+
+def _subqueries(count, site_for=None):
+    site_for = site_for or (lambda i: f"site{i}")
+    return [
+        SubQuery(
+            fragment=f"F{i}", site=site_for(i), collection="C", query=f"q{i}"
+        )
+        for i in range(count)
+    ]
+
+
+class TestDispatchBasics:
+    def test_all_subqueries_run_and_stay_in_plan_order(self):
+        drivers = [StubDriver() for _ in range(3)]
+        outcome = ParallelDispatcher().dispatch(
+            _cluster(drivers), _subqueries(3)
+        )
+        assert outcome.complete
+        assert [e.fragment for e in outcome.round.executions] == [
+            "F0",
+            "F1",
+            "F2",
+        ]
+        assert [
+            e.result.result_text for e in outcome.executions_by_index
+        ] == ["result:q0", "result:q1", "result:q2"]
+        assert outcome.round.measured_wall_seconds > 0.0
+
+    def test_sites_actually_overlap(self):
+        drivers = [StubDriver(delay=0.15) for _ in range(4)]
+        started = time.perf_counter()
+        outcome = ParallelDispatcher().dispatch(
+            _cluster(drivers), _subqueries(4)
+        )
+        wall = time.perf_counter() - started
+        assert outcome.complete
+        # Four 150ms sub-queries: sequential would be >= 600ms.
+        assert wall < 0.45
+        assert outcome.round.measured_wall_seconds < 0.45
+
+    def test_same_site_subqueries_serialize_in_one_lane(self):
+        driver = StubDriver(delay=0.02)
+        outcome = ParallelDispatcher().dispatch(
+            _cluster([driver]), _subqueries(4, site_for=lambda i: "site0")
+        )
+        assert outcome.complete
+        assert driver.max_active == 1
+        assert driver.calls == ["q0", "q1", "q2", "q3"]
+
+    def test_max_workers_one_still_completes(self):
+        drivers = [StubDriver() for _ in range(3)]
+        outcome = ParallelDispatcher(max_workers=1).dispatch(
+            _cluster(drivers), _subqueries(3)
+        )
+        assert outcome.complete
+        assert len(outcome.round.executions) == 3
+
+    def test_empty_round(self):
+        outcome = ParallelDispatcher().dispatch(Cluster(), [])
+        assert outcome.complete
+        assert outcome.round.executions == []
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelDispatcher(failure_policy="shrug")
+        with pytest.raises(ValueError):
+            ParallelDispatcher(max_workers=0)
+        with pytest.raises(ValueError):
+            ParallelDispatcher(retries=-1)
+
+
+class TestRetries:
+    def test_transient_failure_retried_with_backoff(self):
+        waits = []
+        drivers = [StubDriver(fail_times=2)]
+        dispatcher = ParallelDispatcher(
+            retries=2,
+            backoff_seconds=0.01,
+            backoff_multiplier=2.0,
+            sleep=waits.append,
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        assert outcome.complete
+        assert drivers[0].calls == ["q0", "q0", "q0"]
+        assert waits == [pytest.approx(0.01), pytest.approx(0.02)]
+
+    def test_retries_exhausted_fails(self):
+        drivers = [StubDriver(fail_times=3)]
+        dispatcher = ParallelDispatcher(retries=1, sleep=lambda s: None)
+        with pytest.raises(DispatchError) as info:
+            dispatcher.dispatch(
+                _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+            )
+        (failure,) = info.value.failures
+        assert failure.attempts == 2
+        assert failure.fragment == "F0"
+        assert "boom" in str(info.value)
+
+
+class TestFailurePolicies:
+    def test_fail_fast_cancels_rest_of_lane(self):
+        driver = StubDriver(fail_times=1)
+        dispatcher = ParallelDispatcher(retries=0, failure_policy=FAIL_FAST)
+        with pytest.raises(DispatchError):
+            dispatcher.dispatch(
+                _cluster([driver]),
+                _subqueries(3, site_for=lambda i: "site0"),
+            )
+        # q0 failed; q1/q2 never dispatched.
+        assert driver.calls == ["q0"]
+
+    def test_degrade_drops_failed_fragment_and_notes_it(self):
+        failing = StubDriver(fail_times=5)
+        healthy = StubDriver()
+        dispatcher = ParallelDispatcher(
+            retries=1, failure_policy=DEGRADE, sleep=lambda s: None
+        )
+        outcome = dispatcher.dispatch(
+            _cluster([failing, healthy]), _subqueries(2)
+        )
+        assert not outcome.complete
+        assert [e.fragment for e in outcome.round.executions] == ["F1"]
+        assert outcome.executions_by_index[0] is None
+        (failure,) = outcome.failures
+        assert failure.attempts == 2
+        assert any("degraded" in note and "F0" in note for note in outcome.notes)
+
+    def test_unknown_site_raises_regardless_of_policy(self):
+        from repro.errors import ClusterError
+
+        dispatcher = ParallelDispatcher(failure_policy=DEGRADE)
+        with pytest.raises(ClusterError):
+            dispatcher.dispatch(Cluster(), _subqueries(1))
+
+
+class TestTimeouts:
+    def test_overbudget_subquery_counts_as_timeout(self):
+        drivers = [StubDriver(delay=0.05)]
+        dispatcher = ParallelDispatcher(
+            subquery_timeout=0.005, retries=0, failure_policy=DEGRADE
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        (failure,) = outcome.failures
+        assert failure.timed_out
+        assert isinstance(failure.error, TimeoutError)
+        assert any("timed out" in note for note in outcome.notes)
+
+    def test_fast_subquery_passes_timeout(self):
+        drivers = [StubDriver()]
+        dispatcher = ParallelDispatcher(subquery_timeout=5.0)
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        assert outcome.complete

@@ -1,0 +1,209 @@
+"""Concurrent execution: threads-vs-simulated determinism, engine
+thread-safety under hammering, and the real-parallelism acceptance check."""
+
+import threading
+
+import pytest
+
+from repro.bench import build_items_scenario, build_xbench_scenario
+from repro.cluster import Cluster, DEGRADE, ParallelDispatcher, Site
+from repro.engine.database import XMLEngine
+from repro.partix import (
+    CompositionSpec,
+    FragmentationSchema,
+    HorizontalFragment,
+    Partix,
+    SubQuery,
+    annotated,
+)
+from repro.paths import eq, ne
+
+TINY = 1 / 2000
+
+
+class TestModeDeterminism:
+    """``threads`` must answer byte-identically to ``simulated``."""
+
+    def _assert_modes_agree(self, scenario):
+        for query in scenario.queries:
+            simulated = scenario.partix.execute(
+                query.text, collection=scenario.collection_name
+            )
+            threaded = scenario.partix.execute(
+                query.text,
+                collection=scenario.collection_name,
+                execution_mode="threads",
+            )
+            assert simulated.result_text == threaded.result_text, query.qid
+            assert threaded.round.measured_wall_seconds > 0.0
+
+    def test_items_horizontal_queries(self):
+        self._assert_modes_agree(
+            build_items_scenario(
+                "small", paper_mb=100, fragment_count=4, scale=TINY
+            )
+        )
+
+    def test_xbench_vertical_queries(self):
+        self._assert_modes_agree(
+            build_xbench_scenario(paper_mb=100, scale=TINY)
+        )
+
+    def test_invalid_mode_rejected(self):
+        scenario = build_items_scenario(
+            "small", paper_mb=100, fragment_count=2, scale=TINY
+        )
+        with pytest.raises(ValueError):
+            scenario.partix.execute(
+                scenario.queries[0].text,
+                collection=scenario.collection_name,
+                execution_mode="warp",
+            )
+
+
+class TestRealParallelismAcceptance:
+    def test_threads_wall_below_sequential_on_four_sites(self):
+        scenario = build_items_scenario(
+            "small", paper_mb=100, fragment_count=4, scale=TINY
+        )
+        query = scenario.queries[7]  # Q8: touches every fragment
+        result = scenario.partix.execute(
+            query.text,
+            collection=scenario.collection_name,
+            execution_mode="threads",
+        )
+        assert len({e.site for e in result.round.executions}) >= 4
+        assert result.measured_wall_seconds < result.sequential_seconds
+
+
+class TestEngineThreadSafety:
+    THREADS = 8
+    QUERIES_PER_THREAD = 25
+    DOCS = 12
+
+    def _engine(self, cache: bool) -> XMLEngine:
+        engine = XMLEngine(
+            "stress", cache_parsed=cache, cache_size=8, use_indexes=False
+        )
+        for i in range(self.DOCS):
+            engine.store_document(
+                "c", f"<Item><Code>I{i}</Code></Item>", name=f"{i}.xml"
+            )
+        return engine
+
+    def _hammer(self, engine: XMLEngine) -> list:
+        errors = []
+
+        def worker():
+            try:
+                for _ in range(self.QUERIES_PER_THREAD):
+                    result = engine.execute('collection("c")/Item/Code')
+                    assert result.documents_scanned == self.DOCS
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker) for _ in range(self.THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        return errors
+
+    def test_no_lost_stat_updates_without_cache(self):
+        engine = self._engine(cache=False)
+        assert self._hammer(engine) == []
+        total = self.THREADS * self.QUERIES_PER_THREAD
+        assert engine.stats.queries_executed == total
+        assert engine.stats.documents_parsed == total * self.DOCS
+        assert engine.stats.documents_scanned == total * self.DOCS
+        assert engine.stats.cache_hits == 0
+
+    def test_no_lost_stat_updates_with_lru_cache(self):
+        engine = self._engine(cache=True)
+        assert self._hammer(engine) == []
+        total = self.THREADS * self.QUERIES_PER_THREAD
+        assert engine.stats.queries_executed == total
+        assert engine.stats.documents_scanned == total * self.DOCS
+        # Every document access either re-parsed or hit the cache: the two
+        # counters partition the accesses exactly (no lost updates).
+        assert (
+            engine.stats.documents_parsed + engine.stats.cache_hits
+            == total * self.DOCS
+        )
+        # LRU integrity: never over capacity, keys all valid.
+        assert len(engine._cache) <= 8
+        valid = {("c", f"{i}.xml") for i in range(self.DOCS)}
+        assert set(engine._cache) <= valid
+
+    def test_one_site_hammered_through_partix_threads_mode(self):
+        """≥8 concurrent lanes all funnel into a single engine."""
+        engine = self._engine(cache=True)
+        site = Site("solo", driver=None)
+        site.driver.engine = engine  # type: ignore[attr-defined]
+        cluster = Cluster([site])
+        partix = Partix(cluster)
+        plan = annotated(
+            "c",
+            [
+                SubQuery(
+                    fragment=f"F{i}",
+                    site="solo",
+                    collection="c",
+                    query='collection("c")/Item/Code',
+                )
+                for i in range(8)
+            ],
+            CompositionSpec(kind="concat"),
+        )
+        result = partix.execute(
+            'collection("c")/Item/Code', plan=plan, execution_mode="threads"
+        )
+        assert len(result.round.executions) == 8
+        assert engine.stats.queries_executed == 8
+        assert (
+            engine.stats.documents_parsed + engine.stats.cache_hits
+            == 8 * self.DOCS
+        )
+
+
+class TestDegradedExecutionThroughMiddleware:
+    def test_degrade_policy_surfaces_notes_and_partial_answer(self):
+        cluster = Cluster.with_sites(2)
+        for i in range(4):
+            cluster.site("site0").driver.store_document(
+                "frag0", f"<Item><Code>A{i}</Code></Item>", name=f"a{i}.xml"
+            )
+        partix = Partix(
+            cluster,
+            dispatcher=ParallelDispatcher(
+                retries=0, failure_policy=DEGRADE
+            ),
+        )
+        plan = annotated(
+            "frag0",
+            [
+                SubQuery(
+                    fragment="F_ok",
+                    site="site0",
+                    collection="frag0",
+                    query='collection("frag0")/Item/Code',
+                ),
+                SubQuery(
+                    fragment="F_missing",
+                    site="site1",
+                    collection="nope",
+                    query='collection("nope")/Item/Code',
+                ),
+            ],
+            CompositionSpec(kind="concat"),
+        )
+        result = partix.execute(
+            'collection("frag0")/Item/Code',
+            plan=plan,
+            execution_mode="threads",
+        )
+        assert result.result_text.count("<Code>") == 4
+        assert any("degraded" in note for note in result.notes)
+        assert [e.fragment for e in result.round.executions] == ["F_ok"]

@@ -302,6 +302,65 @@ class TestExecution:
         assert not eng.has_collection("c")
 
 
+class TestCacheHitAccounting:
+    """Regression: cache hits must still pay per-document accounting."""
+
+    def _engine(self) -> XMLEngine:
+        eng = XMLEngine(
+            "hit", cache_parsed=True, per_document_overhead=0.01,
+            use_indexes=False,
+        )
+        for i in range(5):
+            eng.store_document("c", f"<a>{i}</a>", name=f"d{i}.xml")
+        return eng
+
+    def test_cache_hits_counted_and_overhead_charged(self):
+        eng = self._engine()
+        cold = eng.execute('collection("c")/a')
+        warm = eng.execute('collection("c")/a')
+        assert cold.cache_hits == 0
+        assert cold.documents_parsed == 5
+        assert warm.cache_hits == 5
+        assert warm.documents_parsed == 0
+        # The simulated per-document access cost applies on hits too:
+        # a resident tree still costs catalog/locking/buffer work.
+        assert warm.simulated_overhead_seconds == pytest.approx(0.05)
+        assert warm.elapsed_seconds >= 0.05
+        assert eng.stats.cache_hits == 5
+        assert eng.stats.simulated_overhead_seconds == pytest.approx(0.10)
+
+    def test_direct_load_parsed_hit_updates_shared_stats(self):
+        eng = self._engine()
+        eng.load_parsed("c", "d0.xml")
+        eng.load_parsed("c", "d0.xml")
+        assert eng.stats.documents_parsed == 1
+        assert eng.stats.cache_hits == 1
+        assert eng.stats.simulated_overhead_seconds == pytest.approx(0.02)
+
+
+class TestMissingCollectionContract:
+    """Regression: engine raises, driver returns 0 — one explicit contract."""
+
+    def test_engine_raises_clear_storage_error(self):
+        eng = XMLEngine("strict")
+        with pytest.raises(CollectionNotFoundError, match="no collection 'ghost'"):
+            eng.document_count("ghost")
+        with pytest.raises(StorageError, match="'ghost'"):
+            eng.collection_bytes("ghost")
+
+    def test_driver_boundary_is_lenient(self):
+        from repro.partix.driver import MiniXDriver
+
+        driver = MiniXDriver(XMLEngine("lenient"))
+        assert driver.document_count("ghost") == 0
+        assert driver.collection_bytes("ghost") == 0
+        driver.store_document("real", "<a/>", name="d.xml")
+        assert driver.document_count("real") == 1
+        assert driver.collection_bytes("real") > 0
+        with pytest.raises(StorageError):
+            driver.engine.document_count("ghost")
+
+
 class TestSimulatedOverhead:
     def test_overhead_added_to_elapsed_not_slept(self):
         import time

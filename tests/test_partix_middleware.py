@@ -103,6 +103,35 @@ class TestNetworkModel:
 
         assert FREE_NETWORK.gather_seconds([10 ** 9]) == 0.0
 
+    def test_gather_charges_real_query_sizes(self):
+        """Regression: dispatch cost uses actual sub-query text sizes,
+        not a fixed 256-byte guess per sub-query."""
+        network = NetworkModel(bandwidth_bits_per_second=1e9, latency_seconds=0)
+        small = network.gather_seconds([0, 0], query_sizes=[100, 100])
+        large = network.gather_seconds([0, 0], query_sizes=[10_000, 30_000])
+        assert large == pytest.approx(200 * small)
+        # Without explicit sizes the legacy fallback still applies.
+        legacy = network.gather_seconds([0], query_bytes=256)
+        assert legacy == pytest.approx(network.transfer_seconds(256) * 1)
+
+    def test_middleware_transmission_uses_plan_query_sizes(self, partix):
+        query = 'count(collection("Citems")/Item)'
+        result = partix.execute(query)
+        network = partix.network
+        expected = network.gather_seconds(
+            result.round.result_sizes,
+            query_sizes=[
+                len(sq.query.encode("utf-8")) for sq in result.plan.subqueries
+            ],
+        )
+        assert result.transmission_seconds == pytest.approx(expected)
+        # The fixed-guess estimate differs whenever the real sub-query
+        # texts do not happen to be 256 bytes each.
+        guessed = network.gather_seconds(result.round.result_sizes)
+        sizes = [len(sq.query.encode()) for sq in result.plan.subqueries]
+        if any(size != 256 for size in sizes):
+            assert result.transmission_seconds != pytest.approx(guessed)
+
 
 class TestExecution:
     def test_distributed_matches_centralized(self, partix):
