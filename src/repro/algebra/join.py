@@ -68,10 +68,15 @@ def reconstruct_one(
     skeletons = [p for p in parts if read_annotation(p.root, PXPARENT) is None]
     grafts = [p for p in parts if read_annotation(p.root, PXPARENT) is not None]
     if len(skeletons) > 1:
-        raise FragmentationError(
-            f"{len(skeletons)} fragments claim the document root of"
-            f" {origin!r}; vertical fragments must be disjoint"
-        )
+        # FragMode2 hybrid fragments ship the whole root→region spine, so
+        # several parts legitimately claim the root — as long as they are
+        # clones of the *same* original root (equal pxid), they merge.
+        root_ids = {read_annotation(p.root, PXID) for p in skeletons}
+        if len(root_ids) != 1 or None in root_ids:
+            raise FragmentationError(
+                f"{len(skeletons)} fragments claim the document root of"
+                f" {origin!r}; vertical fragments must be disjoint"
+            )
     if skeletons:
         skeleton = skeletons[0].root.clone(deep=True)
     else:
@@ -95,6 +100,8 @@ def reconstruct_one(
         annotate(skeleton, PXID, int(root_id or 0))
 
     targets = _index_targets(skeleton)
+    for extra in skeletons[1:]:
+        _merge_spine(targets, extra.root.clone(deep=True))
     # Outer subtrees first so nested grafts find their (just-grafted) parents.
     for part in sorted(grafts, key=_graft_sort_key):
         part_root = part.root.clone(deep=True)
@@ -120,6 +127,42 @@ def reconstruct_one(
     if strip:
         skeleton = strip_annotations(skeleton)
     return XMLDocument(skeleton, name=origin, assign_ids=True, origin=origin)
+
+
+def _merge_spine(targets: dict[int, XMLNode], root: XMLNode) -> None:
+    """Fold an extra root-claiming part into the already-indexed skeleton.
+
+    Spine nodes (same ``pxid`` as an indexed node) are duplicates of what
+    the skeleton — or a previously merged part — already provides, so
+    only their children are descended into; anything not yet indexed is a
+    genuine payload subtree and is grafted wholesale at its pre-order
+    position.
+    """
+    existing = targets[read_annotation(root, PXID)]
+    for child in [c for c in root.children if c.kind is NodeKind.ELEMENT]:
+        _merge_child(targets, existing, child)
+
+
+def _merge_child(
+    targets: dict[int, XMLNode], parent_target: XMLNode, node: XMLNode
+) -> None:
+    node_id = read_annotation(node, PXID)
+    if node_id is None:
+        # Spine duplicates and unit grafts are always id-annotated; an
+        # unannotated element here means two fragments projected the same
+        # region — a real disjointness violation, not FragMode2 packaging.
+        raise FragmentationError(
+            "overlapping root-claiming fragments: duplicated spine carries"
+            f" an element <{node.label}> without a reconstruction id"
+        )
+    if node_id in targets:
+        target = targets[node_id]
+        for child in [c for c in node.children if c.kind is NodeKind.ELEMENT]:
+            _merge_child(targets, target, child)
+        return
+    _insert_in_order(parent_target, node)
+    for merged_id, merged in _index_targets(node).items():
+        targets.setdefault(merged_id, merged)
 
 
 def _is_stub(node: XMLNode) -> bool:

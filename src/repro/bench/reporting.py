@@ -2,7 +2,17 @@
 
 from __future__ import annotations
 
+from typing import Sequence
+
 from repro.bench.scenarios import ModeComparisonRun, QueryRun, ScenarioResult
+
+
+def format_kv_table(title: str, rows: Sequence[tuple[str, object]]) -> str:
+    """A titled, aligned label/value table (shared with the fuzz CLI)."""
+    width = max((len(label) for label, _ in rows), default=0)
+    lines = [title, "-" * len(title)]
+    lines.extend(f"{label:<{width}}  {value}" for label, value in rows)
+    return "\n".join(lines)
 
 
 def format_mode_comparison(

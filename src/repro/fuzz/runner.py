@@ -1,0 +1,306 @@
+"""The differential oracle: centralized vs fragmented, simulated vs threads.
+
+For each generated case the runner stands up a fresh cluster (one site
+per fragment plus a ``central`` baseline site), publishes the collection
+both ways, re-verifies the §3.3 correctness rules empirically, and runs
+every query three times: centralized, fragmented ``simulated`` and
+fragmented ``threads``. Two comparisons apply:
+
+* **mode** — the composed answers of ``simulated`` and ``threads`` must
+  be byte-identical, always. Plan-order composition is a hard contract:
+  the middleware aligns partial results by plan index no matter in which
+  order the dispatcher's lanes complete.
+* **answer** — the fragmented answer must match the centralized one.
+  Byte-identical when the composition is an aggregate or a
+  reconstruction, or when the plan has at most one sub-query; for
+  multi-fragment ``concat`` plans the comparison is an order-insensitive
+  line multiset, because fragments legitimately interleave the document
+  order of the centralized repository (same policy as
+  ``bench.scenarios``).
+
+Execution errors must be symmetric: a query that raises centrally must
+raise the same error class against the fragmented repository, and vice
+versa — an asymmetric error is reported as a mismatch of kind
+``error``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.cluster.site import Cluster, Site
+from repro.fuzz.generator import CaseSpec, GeneratedCase, generate_case, spec_for_iteration
+from repro.partix.correctness import verify_fragmentation
+from repro.partix.middleware import Partix
+
+CENTRAL_SITE = "central"
+EXECUTION_MODES = ("simulated", "threads")
+
+
+@dataclass
+class Mismatch:
+    """One oracle violation observed while running a case."""
+
+    kind: str  # "answer" | "mode" | "correctness" | "error"
+    detail: str
+    query_index: Optional[int] = None
+    query: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "detail": self.detail,
+            "query_index": self.query_index,
+            "query": self.query,
+        }
+
+
+@dataclass
+class CaseOutcome:
+    """Everything the oracle observed for one case."""
+
+    spec: CaseSpec
+    mismatches: list[Mismatch] = field(default_factory=list)
+    queries_run: int = 0
+    queries_skipped: int = 0
+    comparisons: int = 0
+    composition_kinds: Counter = field(default_factory=Counter)
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.mismatches
+
+    def mismatch_kinds(self) -> tuple[str, ...]:
+        """Stable fingerprint used by the minimizer to match failures."""
+        return tuple(sorted({m.kind for m in self.mismatches}))
+
+    def to_dict(self) -> dict:
+        return {
+            "spec": self.spec.to_dict(),
+            "ok": self.ok,
+            "queries_run": self.queries_run,
+            "queries_skipped": self.queries_skipped,
+            "comparisons": self.comparisons,
+            "composition_kinds": dict(self.composition_kinds),
+            "mismatches": [m.to_dict() for m in self.mismatches],
+            "notes": self.notes,
+        }
+
+
+def _diff_snippet(left: str, right: str, limit: int = 240) -> str:
+    left_lines = left.splitlines()
+    right_lines = right.splitlines()
+    for index, (a, b) in enumerate(zip(left_lines, right_lines)):
+        if a != b:
+            return (
+                f"first differing line {index}:"
+                f" {a[:limit]!r} vs {b[:limit]!r}"
+            )
+    return (
+        f"line counts differ: {len(left_lines)} vs {len(right_lines)}"
+        f" (tail: {left_lines[len(right_lines):len(right_lines)+1]!r}"
+        f" vs {right_lines[len(left_lines):len(left_lines)+1]!r})"
+    )
+
+
+def _signature(text: str) -> tuple[str, ...]:
+    """Order-insensitive line multiset (fragments interleave doc order)."""
+    return tuple(sorted(line for line in text.splitlines() if line.strip()))
+
+
+def run_case(
+    spec: CaseSpec,
+    case: Optional[GeneratedCase] = None,
+    partix_factory: Optional[Callable[[Cluster], Partix]] = None,
+) -> CaseOutcome:
+    """Generate (unless given) and differentially execute one case.
+
+    ``partix_factory`` lets tests swap in a middleware with a tampered
+    dispatcher — that is how the injected-bug acceptance test proves the
+    oracle actually bites.
+    """
+    outcome = CaseOutcome(spec=spec)
+    if case is None:
+        case = generate_case(spec)
+    outcome.notes.extend(case.notes)
+
+    report = verify_fragmentation(case.design, case.collection)
+    if not report.ok:
+        for violation in report.violations:
+            outcome.mismatches.append(
+                Mismatch(kind="correctness", detail=violation)
+            )
+        return outcome
+
+    cluster = Cluster.with_sites(len(case.design), prefix="site")
+    partix = (
+        partix_factory(cluster) if partix_factory is not None else Partix(cluster)
+    )
+    partix.publish(case.collection, case.design, frag_mode=case.frag_mode)
+    cluster.add(Site(CENTRAL_SITE))
+    partix.publish_centralized(case.collection, CENTRAL_SITE)
+
+    for index, query in case.active_queries:
+        _run_query(partix, index, query, outcome)
+    return outcome
+
+
+def _run_query(
+    partix: Partix, index: int, query: str, outcome: CaseOutcome
+) -> None:
+    central_text, central_error = _attempt(
+        lambda: partix.execute_centralized(query, CENTRAL_SITE).result_text
+    )
+    by_mode: dict[str, str] = {}
+    for mode in EXECUTION_MODES:
+        text, error = _attempt(
+            lambda mode=mode: partix.execute(
+                query, collection="Cfuzz", execution_mode=mode
+            ).result_text
+        )
+        if (error is None) != (central_error is None) or (
+            error is not None
+            and central_error is not None
+            and type(error) is not type(central_error)
+        ):
+            outcome.mismatches.append(
+                Mismatch(
+                    kind="error",
+                    detail=(
+                        f"asymmetric failure in mode {mode!r}:"
+                        f" centralized {central_error!r},"
+                        f" fragmented {error!r}"
+                    ),
+                    query_index=index,
+                    query=query,
+                )
+            )
+            return
+        if text is not None:
+            by_mode[mode] = text
+
+    if central_error is not None:
+        # Same error everywhere: consistent, but nothing to compare.
+        outcome.queries_skipped += 1
+        outcome.notes.append(
+            f"query {index} raises {type(central_error).__name__} in all"
+            " configurations"
+        )
+        return
+
+    outcome.queries_run += 1
+    plan = partix.explain(query, "Cfuzz")
+    outcome.composition_kinds[plan.composition.kind] += 1
+
+    simulated = by_mode[EXECUTION_MODES[0]]
+    for mode in EXECUTION_MODES[1:]:
+        outcome.comparisons += 1
+        if by_mode[mode] != simulated:
+            outcome.mismatches.append(
+                Mismatch(
+                    kind="mode",
+                    detail=(
+                        f"simulated vs {mode} answers differ;"
+                        f" {_diff_snippet(simulated, by_mode[mode])}"
+                    ),
+                    query_index=index,
+                    query=query,
+                )
+            )
+
+    outcome.comparisons += 1
+    byte_strict = (
+        plan.composition.kind in ("aggregate", "reconstruct")
+        or len(plan.subqueries) <= 1
+    )
+    if byte_strict:
+        matches = simulated == central_text
+    else:
+        matches = _signature(simulated) == _signature(central_text)
+    if not matches:
+        policy = "byte-identical" if byte_strict else "line-multiset"
+        outcome.mismatches.append(
+            Mismatch(
+                kind="answer",
+                detail=(
+                    f"centralized vs fragmented ({policy},"
+                    f" composition={plan.composition.kind},"
+                    f" subqueries={len(plan.subqueries)});"
+                    f" {_diff_snippet(central_text, simulated)}"
+                ),
+                query_index=index,
+                query=query,
+            )
+        )
+
+
+def _attempt(thunk: Callable[[], str]) -> tuple[Optional[str], Optional[Exception]]:
+    try:
+        return thunk(), None
+    except Exception as error:  # noqa: BLE001 — the oracle compares failures
+        return None, error
+
+
+def run_fuzz(
+    seed: int,
+    iterations: int,
+    minimize: bool = True,
+    repro_dir: Optional[str] = None,
+    partix_factory: Optional[Callable[[Cluster], Partix]] = None,
+    max_failures: int = 5,
+) -> dict:
+    """Run the full differential session; returns a JSON-able summary.
+
+    Stops early once ``max_failures`` distinct failing cases have been
+    collected (each one is expensive: it triggers minimization and a
+    written reproducer when ``repro_dir`` is set).
+    """
+    summary: dict = {
+        "seed": seed,
+        "iterations": iterations,
+        "execution_modes": list(EXECUTION_MODES),
+        "cases": 0,
+        "queries_run": 0,
+        "queries_skipped": 0,
+        "comparisons": 0,
+        "families": {},
+        "composition_kinds": {},
+        "failures": [],
+        "ok": True,
+    }
+    families: Counter = Counter()
+    kinds: Counter = Counter()
+    for iteration in range(iterations):
+        spec = spec_for_iteration(seed, iteration)
+        outcome = run_case(spec, partix_factory=partix_factory)
+        summary["cases"] += 1
+        summary["queries_run"] += outcome.queries_run
+        summary["queries_skipped"] += outcome.queries_skipped
+        summary["comparisons"] += outcome.comparisons
+        families[spec.family] += 1
+        kinds.update(outcome.composition_kinds)
+        if outcome.ok:
+            continue
+        summary["ok"] = False
+        failure: dict = {"iteration": iteration, **outcome.to_dict()}
+        if minimize or repro_dir is not None:
+            from repro.fuzz.minimize import minimize_spec, write_repro
+
+            minimized = (
+                minimize_spec(spec, outcome, partix_factory=partix_factory)
+                if minimize
+                else outcome
+            )
+            failure["minimized"] = minimized.to_dict()
+            if repro_dir is not None:
+                failure["repro_path"] = write_repro(minimized, repro_dir)
+        summary["failures"].append(failure)
+        if len(summary["failures"]) >= max_failures:
+            summary["stopped_early_at"] = iteration
+            break
+    summary["families"] = dict(families)
+    summary["composition_kinds"] = dict(kinds)
+    return summary

@@ -229,10 +229,45 @@ class TestJoinReconstruction:
         with pytest.raises(FragmentationError, match="grafts under"):
             reconstruct_one(skeleton + orphan, origin="item.xml")
 
-    def test_two_skeletons_rejected(self, item):
+    def test_overlapping_skeletons_rejected(self, item):
         full = Projection("/Item").apply(item)
-        with pytest.raises(FragmentationError, match="claim the document root"):
+        with pytest.raises(FragmentationError, match="overlapping"):
             reconstruct_one(full + full, origin="item.xml")
+
+    def test_fragmode2_root_claims_merge(self):
+        # FragMode2 hybrid parts ship the whole root→region spine, so the
+        # remainder and every hybrid part claim the root; same-pxid claims
+        # must merge back into the original document (fuzz-found bug).
+        from repro.partix.fragments import HybridFragment
+        from repro.partix.publisher import DataPublisher
+        from repro.paths.predicates import eq, ne
+
+        store = doc(
+            elem("Store", elem("Meta", elem("x", "1")),
+                 elem("Items",
+                      elem("Item", elem("Code", "1"), elem("Section", "CD")),
+                      elem("Item", elem("Code", "2"), elem("Section", "DVD")),
+                      elem("Item", elem("Code", "3"), elem("Section", "CD")))),
+            name="s.xml",
+        )
+        remainder = Projection(
+            "/Store", prune=["/Store/Items"], stub_prunes=True
+        ).apply(store)
+        publisher = DataPublisher.__new__(DataPublisher)  # no cluster needed
+        parts = list(remainder)
+        for name, predicate in (
+            ("F2", eq("/Item/Section", "CD")),
+            ("F3", ne("/Item/Section", "CD")),
+        ):
+            fragment = HybridFragment(
+                name, "c", path="/Store/Items", unit_label="Item",
+                predicate=predicate,
+            )
+            part = publisher._materialize_single_document(fragment, store)
+            assert part is not None
+            parts.append(part)
+        rebuilt = self._roundtrip(parts, origin="s.xml")
+        assert rebuilt.tree_equal(store)
 
     def test_reconstruct_documents_groups_by_origin(self):
         docs = [

@@ -160,6 +160,76 @@ class TestHybridRules:
         assert not report.complete
 
 
+class TestEdgeCaseRejections:
+    """Each malformed design is rejected with its *specific* error: an
+    empty design fails construction, overlap trips ``disjointness``, a
+    dropped path trips ``completeness`` — never a generic failure."""
+
+    def test_empty_fragment_list_rejected(self):
+        from repro.errors import FragmentationError
+
+        with pytest.raises(FragmentationError, match="needs fragments"):
+            FragmentationSchema("c", [])
+
+    def test_fragment_selecting_nothing_is_legal_but_noted(self):
+        # An *empty* fragment (predicate matches no document) is not a
+        # correctness violation — the design stays complete and disjoint.
+        collection = make_items(["CD", "CD"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            HorizontalFragment("F2", "c", predicate=ne("/Item/Section", "CD")),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert report.ok
+
+    def test_overlapping_horizontal_predicates_rejected_as_disjointness(self):
+        collection = make_items(["CD", "DVD"])
+        schema = FragmentationSchema("c", [
+            HorizontalFragment("F1", "c", predicate=eq("/Item/Section", "CD")),
+            # Overlaps F1 on every CD document and misses nothing else.
+            HorizontalFragment("F2", "c", predicate=TruePredicate()),
+        ])
+        report = verify_fragmentation(schema, collection)
+        assert report.complete  # the overlap is *only* a disjointness issue
+        assert not report.disjoint
+        with pytest.raises(CorrectnessViolation) as info:
+            report.raise_if_invalid()
+        assert info.value.rule == "disjointness"
+
+    def test_vertical_design_dropping_required_path_rejected_as_completeness(self):
+        collection = Collection("c", [
+            doc(elem("article",
+                     elem("prolog", elem("title", "t")),
+                     elem("body", elem("p", "data lives here"))),
+                name="a.xml"),
+        ])
+        schema = FragmentationSchema("c", [
+            VerticalFragment("F1", "c", path="/article/prolog"),
+            # /article/body carries real data but belongs to no fragment.
+        ], root_label="article")
+        report = verify_fragmentation(schema, collection)
+        assert report.disjoint  # dropping a path is *only* a completeness issue
+        assert not report.complete
+        with pytest.raises(CorrectnessViolation) as info:
+            report.raise_if_invalid()
+        assert info.value.rule == "completeness"
+
+    def test_hybrid_overlapping_unit_predicates_rejected(self, store_collection):
+        schema = FragmentationSchema("Cstore", [
+            VerticalFragment("F1", "Cstore", path="/Store",
+                             prune=("/Store/Items",), stub_prunes=True),
+            HybridFragment("F2", "Cstore", path="/Store/Items",
+                           unit_label="Item", predicate=eq("/Item/Section", "CD")),
+            HybridFragment("F3", "Cstore", path="/Store/Items",
+                           unit_label="Item", predicate=TruePredicate()),
+        ], root_label="Store")
+        report = verify_fragmentation(schema, store_collection)
+        assert not report.disjoint
+        with pytest.raises(CorrectnessViolation) as info:
+            report.raise_if_invalid()
+        assert info.value.rule == "disjointness"
+
+
 class TestSymbolicReport:
     def test_complement_pair_proves_coverage(self):
         schema = FragmentationSchema("c", [
