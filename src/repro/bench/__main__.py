@@ -7,6 +7,7 @@ Usage::
     python -m repro.bench --figure 7d --transmission
     python -m repro.bench --figure headline
     python -m repro.bench --figure modes
+    python -m repro.bench --figure transport --json transport.json
 
 Prints the same per-query tables the benchmark suite asserts on.
 """
@@ -14,18 +15,24 @@ Prints the same per-query tables the benchmark suite asserts on.
 from __future__ import annotations
 
 import argparse
+import json
+import sys
 
 from repro.bench.reporting import (
     format_mode_comparison,
     format_scenario_table,
     format_speedup_series,
+    format_transport_comparison,
+    transport_comparison_payload,
 )
 from repro.bench.scale import DEFAULT_SCALE
 from repro.bench.scenarios import (
+    TRANSPORT_MODES,
     build_items_scenario,
     build_store_scenario,
     build_xbench_scenario,
     compare_execution_modes,
+    compare_transports,
 )
 from repro.partix.publisher import FragMode
 
@@ -83,6 +90,21 @@ def run_modes(scale: float, repetitions: int, transmission: bool) -> None:
     print(format_mode_comparison(scenario.name, runs))
 
 
+def run_transport(scale: float, repetitions: int, transmission: bool) -> dict:
+    """Simulated vs threads vs real tcp processes, 4-site horizontal split.
+
+    The tcp lane spawns one site-server process per site, mirrors the
+    published fragments over the wire, and measures real wall time and
+    real framed bytes-on-wire next to the network model's estimates.
+    """
+    scenario = build_items_scenario(
+        "small", paper_mb=100, fragment_count=4, scale=scale
+    )
+    runs = compare_transports(scenario, repetitions, modes=TRANSPORT_MODES)
+    print(format_transport_comparison(scenario.name, runs))
+    return transport_comparison_payload(scenario.name, runs, TRANSPORT_MODES)
+
+
 FIGURES = {
     "7a": run_figure_7a,
     "7b": run_figure_7b,
@@ -90,6 +112,7 @@ FIGURES = {
     "7d": run_figure_7d,
     "headline": run_headline,
     "modes": run_modes,
+    "transport": run_transport,
 }
 
 
@@ -114,8 +137,19 @@ def main(argv: list[str] | None = None) -> int:
         "--transmission", action="store_true",
         help="include estimated transmission times (the paper's -T series)",
     )
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="write the figure's JSON summary here (figures that emit one)",
+    )
     args = parser.parse_args(argv)
-    FIGURES[args.figure](args.scale, args.repetitions, args.transmission)
+    payload = FIGURES[args.figure](args.scale, args.repetitions, args.transmission)
+    if args.json is not None:
+        if payload is None:
+            parser.error(f"--figure {args.figure} does not emit a JSON summary")
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"JSON summary written to {args.json}", file=sys.stderr)
     return 0
 
 

@@ -4,7 +4,12 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.bench.scenarios import ModeComparisonRun, QueryRun, ScenarioResult
+from repro.bench.scenarios import (
+    ModeComparisonRun,
+    QueryRun,
+    ScenarioResult,
+    TransportComparisonRun,
+)
 
 
 def format_kv_table(title: str, rows: Sequence[tuple[str, object]]) -> str:
@@ -39,6 +44,49 @@ def format_mode_comparison(
             f" {'ok' if run.byte_identical else 'DIFF':>6}  {run.description}"
         )
     return "\n".join(lines)
+
+
+def format_transport_comparison(
+    name: str, runs: list[TransportComparisonRun]
+) -> str:
+    """Per-transport wall time and bytes-on-wire, one block per query.
+
+    The in-process lanes report the payload bytes that *would* have
+    traveled; the ``tcp`` lane ("wire") reports real framed socket bytes,
+    printed next to the :class:`NetworkModel`'s transmission estimate so
+    the model can be eyeballed against the measurement.
+    """
+    header = f"{name} — transport comparison (wall time and bytes)"
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        lines.append(
+            f"{run.qid}: {run.description}"
+            f" (subqueries={run.subqueries},"
+            f" {'byte-identical' if run.byte_identical else 'ANSWERS DIFFER'},"
+            f" est. transmission"
+            f" {run.estimated_transmission_seconds * 1000:.2f}ms)"
+        )
+        for lane in run.lanes:
+            kind = "wire" if lane.wire_measured else "payload"
+            lines.append(
+                f"  {lane.mode:<10} {lane.wall_seconds * 1000:>8.1f}ms"
+                f"  sent {lane.bytes_sent:>8}B"
+                f"  recv {lane.bytes_received:>8}B  ({kind})"
+            )
+    return "\n".join(lines)
+
+
+def transport_comparison_payload(
+    name: str, runs: list[TransportComparisonRun], modes: Sequence[str]
+) -> dict:
+    """JSON-able summary of a transport comparison (CI artifact)."""
+    return {
+        "figure": "transport",
+        "scenario": name,
+        "modes": list(modes),
+        "byte_identical": all(run.byte_identical for run in runs),
+        "runs": [run.to_dict() for run in runs],
+    }
 
 
 def format_scenario_table(result: ScenarioResult, transmission: bool = False) -> str:

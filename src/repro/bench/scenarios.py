@@ -246,6 +246,133 @@ def compare_execution_modes(
 
 
 # ----------------------------------------------------------------------
+# Transport comparison (simulated vs threads vs real tcp processes)
+# ----------------------------------------------------------------------
+@dataclass
+class TransportLane:
+    """One execution mode's measurements for one query."""
+
+    mode: str
+    wall_seconds: float
+    bytes_sent: int
+    bytes_received: int
+    wire_measured: bool
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "wire_measured": self.wire_measured,
+        }
+
+
+@dataclass
+class TransportComparisonRun:
+    """One query compared across transports.
+
+    ``wall_seconds`` per lane is real machine time; byte counts are real
+    framed socket bytes for the ``tcp`` lane (``wire_measured``) and the
+    would-have-traveled payload sizes for the in-process lanes.
+    ``estimated_transmission_seconds`` is what the
+    :class:`~repro.cluster.network.NetworkModel` predicts for the same
+    round, so the estimate sits next to the measurement.
+    """
+
+    qid: str
+    description: str
+    subqueries: int
+    byte_identical: bool
+    estimated_transmission_seconds: float
+    lanes: list[TransportLane] = field(default_factory=list)
+
+    def lane(self, mode: str) -> TransportLane:
+        for lane in self.lanes:
+            if lane.mode == mode:
+                return lane
+        raise KeyError(mode)
+
+    def to_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "description": self.description,
+            "subqueries": self.subqueries,
+            "byte_identical": self.byte_identical,
+            "estimated_transmission_seconds": (
+                self.estimated_transmission_seconds
+            ),
+            "lanes": [lane.to_dict() for lane in self.lanes],
+        }
+
+
+TRANSPORT_MODES = ("simulated", "threads", "tcp")
+
+
+def compare_transports(
+    scenario: Scenario,
+    repetitions: int = 2,
+    modes: tuple = TRANSPORT_MODES,
+) -> list[TransportComparisonRun]:
+    """Run a scenario's queries through every transport, side by side.
+
+    When ``"tcp"`` is requested, real site-server processes are spawned
+    (and the published fragments mirrored to them over the wire) for the
+    duration of the comparison, then reaped. The byte-identical invariant
+    is checked against the first mode's answer. First run of each
+    configuration is discarded (warm-up).
+    """
+    runs: list[TransportComparisonRun] = []
+    started_tcp = False
+    if "tcp" in modes and scenario.partix.tcp is None:
+        scenario.partix.start_tcp()
+        started_tcp = True
+    try:
+        for query in scenario.queries:
+            by_mode: dict[str, list[PartixResult]] = {}
+            for mode in modes:
+                by_mode[mode] = [
+                    scenario.partix.execute(
+                        query.text,
+                        collection=scenario.collection_name,
+                        execution_mode=mode,
+                    )
+                    for _ in range(repetitions + 1)
+                ][1:]
+            reference = by_mode[modes[0]][-1]
+            run = TransportComparisonRun(
+                qid=query.qid,
+                description=query.description,
+                subqueries=len(reference.round.executions),
+                byte_identical=all(
+                    by_mode[mode][-1].result_text == reference.result_text
+                    for mode in modes[1:]
+                ),
+                estimated_transmission_seconds=_avg(
+                    r.transmission_seconds for r in by_mode[modes[0]]
+                ),
+            )
+            for mode in modes:
+                last = by_mode[mode][-1]
+                run.lanes.append(
+                    TransportLane(
+                        mode=mode,
+                        wall_seconds=_avg(
+                            r.measured_wall_seconds for r in by_mode[mode]
+                        ),
+                        bytes_sent=last.bytes_sent,
+                        bytes_received=last.bytes_received,
+                        wire_measured=last.wire_measured,
+                    )
+                )
+            runs.append(run)
+    finally:
+        if started_tcp:
+            scenario.partix.stop_tcp()
+    return runs
+
+
+# ----------------------------------------------------------------------
 # Scenario builders (one per paper experiment)
 # ----------------------------------------------------------------------
 #: Simulated per-document access overhead for paper-faithful scenarios.

@@ -5,8 +5,10 @@ from repro.cluster.dispatch import (
     DEGRADE,
     FAIL_FAST,
     DispatchOutcome,
+    InProcessTransport,
     ParallelDispatcher,
     SubQueryFailure,
+    Transport,
 )
 from repro.cluster.network import FREE_NETWORK, GIGABIT_PER_SECOND, NetworkModel
 from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
@@ -18,7 +20,9 @@ __all__ = [
     "FAIL_FAST",
     "FREE_NETWORK",
     "GIGABIT_PER_SECOND",
+    "InProcessTransport",
     "NetworkModel",
+    "Transport",
     "ParallelDispatcher",
     "ParallelRound",
     "Site",

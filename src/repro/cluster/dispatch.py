@@ -24,17 +24,27 @@ sequential loop never did:
   :class:`~repro.errors.DispatchError`, ``"degrade"`` drops the fragment
   from the answer and records a note so the caller can surface the
   partial-result caveat.
+
+The dispatcher is transport-agnostic: it drives a :class:`Transport`,
+which decides where a sub-query physically runs. The built-in
+:class:`InProcessTransport` calls a :class:`Cluster`'s engines directly;
+:class:`repro.net.client.TcpTransport` sends the same sub-queries to
+site-server processes over sockets. The fan-out / retry / fail-fast /
+degrade logic is identical either way — only the lane's ``execute``
+changes.
 """
 
 from __future__ import annotations
 
+import abc
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence, TYPE_CHECKING
+from typing import Callable, Optional, Sequence, Union, TYPE_CHECKING
 
-from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
+from repro.cluster.site import Cluster, ParallelRound, SubQueryExecution
 from repro.errors import DispatchError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -42,6 +52,68 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 FAIL_FAST = "fail_fast"
 DEGRADE = "degrade"
+
+
+class Transport(abc.ABC):
+    """Where sub-queries physically run.
+
+    ``resolve`` validates that every site a round targets exists (an
+    unknown site is a plan error and must raise
+    :class:`~repro.errors.ClusterError` before any work starts).
+    ``execute`` runs one sub-query and returns its
+    :class:`SubQueryExecution`, including the bytes that crossed (or, in
+    process, *would have* crossed) the transport.
+    """
+
+    @abc.abstractmethod
+    def resolve(self, site_names: Sequence[str]) -> None:
+        """Raise ClusterError if any of ``site_names`` is unknown."""
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        subquery: "SubQuery",
+        default_collection: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SubQueryExecution:
+        """Run one sub-query at its site. ``timeout`` is the per-sub-query
+        budget; transports that can enforce it on the wire (sockets)
+        should, in-process transports may ignore it (the dispatcher then
+        checks the budget after the fact)."""
+
+
+class InProcessTransport(Transport):
+    """Direct engine calls against a :class:`Cluster` (no sockets).
+
+    The recorded byte counts are the payload sizes that *would* travel —
+    query text out, serialized result back — flagged ``on_wire=False``
+    so reports can distinguish modeled from measured transfers.
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    def resolve(self, site_names: Sequence[str]) -> None:
+        for name in site_names:
+            self.cluster.site(name)
+
+    def execute(
+        self,
+        subquery: "SubQuery",
+        default_collection: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SubQueryExecution:
+        site = self.cluster.site(subquery.site)
+        result = site.execute(subquery.query, default_collection=default_collection)
+        return SubQueryExecution(
+            site=subquery.site,
+            fragment=subquery.fragment,
+            query=subquery.query,
+            result=result,
+            bytes_sent=len(subquery.query.encode("utf-8")),
+            bytes_received=result.result_bytes,
+            on_wire=False,
+        )
 
 
 @dataclass
@@ -101,6 +173,13 @@ class ParallelDispatcher:
     backoff_seconds / backoff_multiplier:
         Exponential backoff between attempts: the wait before retry *n*
         (0-based) is ``backoff_seconds * backoff_multiplier ** n``.
+    backoff_jitter / jitter_seed:
+        ``backoff_jitter`` spreads each wait by a uniform factor in
+        ``[1 - j, 1 + j]`` so retries against a struggling site do not
+        synchronize. The spread is *deterministic*: it is seeded from
+        ``jitter_seed`` plus the sub-query's site/fragment/attempt, so a
+        rerun of the same round waits the same amounts (the property the
+        differential fuzz harness depends on). Defaults to 0 (off).
     failure_policy:
         ``"fail_fast"`` (default) — cancel outstanding work and raise
         :class:`DispatchError` once any sub-query exhausts its attempts;
@@ -117,6 +196,8 @@ class ParallelDispatcher:
         retries: int = 1,
         backoff_seconds: float = 0.02,
         backoff_multiplier: float = 2.0,
+        backoff_jitter: float = 0.0,
+        jitter_seed: int = 0,
         failure_policy: str = FAIL_FAST,
         sleep: Callable[[float], None] = time.sleep,
     ):
@@ -129,28 +210,56 @@ class ParallelDispatcher:
             raise ValueError("max_workers must be at least 1")
         if retries < 0:
             raise ValueError("retries must be non-negative")
+        if not 0.0 <= backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
         self.max_workers = max_workers
         self.subquery_timeout = subquery_timeout
         self.retries = retries
         self.backoff_seconds = backoff_seconds
         self.backoff_multiplier = backoff_multiplier
+        self.backoff_jitter = backoff_jitter
+        self.jitter_seed = jitter_seed
         self.failure_policy = failure_policy
         self._sleep = sleep
+
+    def _backoff_wait(self, subquery: "SubQuery", attempt: int) -> float:
+        """Wait before retry ``attempt`` (0-based), jitter applied."""
+        wait = self.backoff_seconds * self.backoff_multiplier ** attempt
+        if self.backoff_jitter:
+            key = (
+                f"{self.jitter_seed}:{subquery.site}:{subquery.fragment}:"
+                f"{attempt}"
+            )
+            spread = self.backoff_jitter * (
+                2.0 * random.Random(key).random() - 1.0
+            )
+            wait = max(0.0, wait * (1.0 + spread))
+        return wait
 
     # ------------------------------------------------------------------
     def dispatch(
         self,
-        cluster: Cluster,
+        cluster: Union[Cluster, Transport],
         subqueries: Sequence["SubQuery"],
         default_collection: Optional[str] = None,
     ) -> DispatchOutcome:
-        """Run ``subqueries`` concurrently; one worker lane per site."""
+        """Run ``subqueries`` concurrently; one worker lane per site.
+
+        ``cluster`` may be a :class:`Cluster` (wrapped in an
+        :class:`InProcessTransport`) or any :class:`Transport` — socket
+        lanes to real site servers run through the exact same code path.
+        """
+        transport = (
+            cluster
+            if isinstance(cluster, Transport)
+            else InProcessTransport(cluster)
+        )
         lanes: dict[str, list[tuple[int, "SubQuery"]]] = {}
         for index, subquery in enumerate(subqueries):
             lanes.setdefault(subquery.site, []).append((index, subquery))
         # Resolve sites up front: an unknown site is a plan error, not a
         # runtime sub-query failure, and raises regardless of policy.
-        sites = {name: cluster.site(name) for name in lanes}
+        transport.resolve(list(lanes))
 
         results: list[Optional[SubQueryExecution]] = [None] * len(subqueries)
         failures: list[SubQueryFailure] = []
@@ -169,7 +278,7 @@ class ParallelDispatcher:
                 futures = [
                     pool.submit(
                         self._run_lane,
-                        sites[name],
+                        transport,
                         lane,
                         default_collection,
                         results,
@@ -178,7 +287,7 @@ class ParallelDispatcher:
                         cancel,
                         skipped,
                     )
-                    for name, lane in lanes.items()
+                    for lane in lanes.values()
                 ]
                 for future in futures:
                     future.result()
@@ -210,7 +319,7 @@ class ParallelDispatcher:
     # ------------------------------------------------------------------
     def _run_lane(
         self,
-        site: Site,
+        transport: Transport,
         lane: list[tuple[int, "SubQuery"]],
         default_collection: Optional[str],
         results: list[Optional[SubQueryExecution]],
@@ -226,7 +335,7 @@ class ParallelDispatcher:
                     skipped[0] += len(lane) - position
                 return
             failure = self._run_subquery(
-                site, index, subquery, default_collection, results, cancel
+                transport, index, subquery, default_collection, results, cancel
             )
             if failure is not None:
                 with failures_lock:
@@ -239,22 +348,35 @@ class ParallelDispatcher:
 
     def _run_subquery(
         self,
-        site: Site,
+        transport: Transport,
         index: int,
         subquery: "SubQuery",
         default_collection: Optional[str],
         results: list[Optional[SubQueryExecution]],
         cancel: threading.Event,
     ) -> Optional[SubQueryFailure]:
-        """One sub-query with its retry/backoff/timeout envelope."""
+        """One sub-query with its retry/backoff/timeout envelope.
+
+        ``subquery_timeout`` bounds the sub-query's *total* budget:
+        attempts plus backoff waits. A retry whose backoff would cross
+        the deadline is not taken — the sub-query fails as timed out
+        instead of overshooting its budget.
+        """
         failure: Optional[SubQueryFailure] = None
+        deadline = (
+            time.perf_counter() + self.subquery_timeout
+            if self.subquery_timeout is not None
+            else None
+        )
         for attempt in range(self.retries + 1):
             if cancel.is_set():
                 return failure
             started = time.perf_counter()
             try:
-                result = site.execute(
-                    subquery.query, default_collection=default_collection
+                execution = transport.execute(
+                    subquery,
+                    default_collection=default_collection,
+                    timeout=self.subquery_timeout,
                 )
             except Exception as exc:
                 failure = SubQueryFailure(
@@ -263,6 +385,7 @@ class ParallelDispatcher:
                     query=subquery.query,
                     attempts=attempt + 1,
                     error=exc,
+                    timed_out=isinstance(exc, TimeoutError),
                 )
             else:
                 took = time.perf_counter() - started
@@ -283,15 +406,26 @@ class ParallelDispatcher:
                     )
                 else:
                     # Each slot is written by exactly one lane thread.
-                    results[index] = SubQueryExecution(
-                        site=subquery.site,
-                        fragment=subquery.fragment,
-                        query=subquery.query,
-                        result=result,
-                    )
+                    results[index] = execution
                     return None
             if attempt < self.retries:
-                self._sleep(
-                    self.backoff_seconds * self.backoff_multiplier ** attempt
-                )
+                wait = self._backoff_wait(subquery, attempt)
+                if deadline is not None:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0 or wait >= remaining:
+                        return SubQueryFailure(
+                            site=subquery.site,
+                            fragment=subquery.fragment,
+                            query=subquery.query,
+                            attempts=attempt + 1,
+                            error=TimeoutError(
+                                f"retry budget exhausted after {attempt + 1}"
+                                f" attempt(s): next backoff ({wait:.3f}s)"
+                                f" would overshoot the"
+                                f" {self.subquery_timeout:.3f}s deadline;"
+                                f" last error: {failure.error}"
+                            ),
+                            timed_out=True,
+                        )
+                self._sleep(wait)
         return failure

@@ -125,12 +125,23 @@ class Cluster:
 
 @dataclass
 class SubQueryExecution:
-    """Metrics of one sub-query run at one site."""
+    """Metrics of one sub-query run at one site.
+
+    ``bytes_sent``/``bytes_received`` are the transport's byte counts
+    for this sub-query: real framed socket bytes when ``on_wire`` is
+    True (tcp execution), otherwise the payload sizes that *would* have
+    traveled (query text out, serialized result back) — the quantities
+    the :class:`~repro.cluster.network.NetworkModel` estimates from, now
+    recorded so the model can be validated against measured transfers.
+    """
 
     site: str
     fragment: str
     query: str
     result: QueryResult
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    on_wire: bool = False
 
     @property
     def elapsed(self) -> float:
@@ -177,3 +188,20 @@ class ParallelRound:
     @property
     def total_result_bytes(self) -> int:
         return sum(self.result_sizes)
+
+    @property
+    def total_bytes_sent(self) -> int:
+        """Transport bytes sent for the round (see SubQueryExecution)."""
+        return sum(execution.bytes_sent for execution in self.executions)
+
+    @property
+    def total_bytes_received(self) -> int:
+        """Transport bytes received for the round."""
+        return sum(execution.bytes_received for execution in self.executions)
+
+    @property
+    def wire_measured(self) -> bool:
+        """True when every byte count came off a real socket."""
+        return bool(self.executions) and all(
+            execution.on_wire for execution in self.executions
+        )

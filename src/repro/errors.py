@@ -107,6 +107,29 @@ class ClusterError(PartixError):
     """Raised by the simulated cluster (unknown site, no driver, ...)."""
 
 
+class ProtocolError(PartixError):
+    """Raised for malformed, truncated or oversized ``repro.net`` frames,
+    and for protocol-version handshake refusals."""
+
+
+class TransportError(ClusterError):
+    """Raised when talking to a remote site server fails at the transport
+    level (connect refused, connection reset, read timeout, bad frame).
+
+    Transport errors are *retryable*: the dispatcher treats them like any
+    transient sub-query failure.
+    """
+
+
+class TransportTimeout(TransportError, TimeoutError):
+    """A remote site server did not answer within the read timeout."""
+
+
+class RemoteExecutionError(ClusterError):
+    """A site server reported an error whose class could not be mapped
+    back to a local exception type (see ``repro.net.protocol``)."""
+
+
 class DispatchError(ClusterError):
     """Raised when concurrent sub-query dispatch fails under the
     ``fail_fast`` policy.

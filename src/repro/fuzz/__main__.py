@@ -14,7 +14,12 @@ import sys
 
 from repro.bench.reporting import format_kv_table
 from repro.fuzz.generator import CaseSpec
-from repro.fuzz.runner import run_case, run_fuzz
+from repro.fuzz.runner import (
+    ALL_EXECUTION_MODES,
+    EXECUTION_MODES,
+    run_case,
+    run_fuzz,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -56,10 +61,30 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SPEC_JSON",
         help="run one CaseSpec (JSON dict) instead of a fuzz session",
     )
+    parser.add_argument(
+        "--modes",
+        default=",".join(EXECUTION_MODES),
+        help="comma-separated fragmented execution modes to compare"
+        " (subset of %s; default: %%(default)s)"
+        % "/".join(ALL_EXECUTION_MODES),
+    )
     options = parser.parse_args(argv)
 
+    modes = tuple(
+        mode.strip() for mode in options.modes.split(",") if mode.strip()
+    )
+    unknown = [mode for mode in modes if mode not in ALL_EXECUTION_MODES]
+    if not modes or unknown:
+        parser.error(
+            f"--modes must name at least one of"
+            f" {', '.join(ALL_EXECUTION_MODES)}"
+            + (f" (got {', '.join(unknown)})" if unknown else "")
+        )
+
     if options.replay is not None:
-        outcome = run_case(CaseSpec.from_dict(json.loads(options.replay)))
+        outcome = run_case(
+            CaseSpec.from_dict(json.loads(options.replay)), modes=modes
+        )
         payload = outcome.to_dict()
         ok = outcome.ok
     else:
@@ -69,6 +94,7 @@ def main(argv: list[str] | None = None) -> int:
             minimize=not options.no_minimize,
             repro_dir=None if options.no_repros else options.repro_dir,
             max_failures=options.max_failures,
+            modes=modes,
         )
         ok = payload["ok"]
         _print_digest(payload)

@@ -38,6 +38,7 @@ def minimize_spec(
     outcome: CaseOutcome,
     partix_factory: Optional[Callable] = None,
     budget: int = DEFAULT_BUDGET,
+    modes: Optional[tuple] = None,
 ) -> CaseOutcome:
     """Shrink ``spec`` greedily while it keeps failing the same way.
 
@@ -57,7 +58,7 @@ def minimize_spec(
         if failing:
             candidate = replace(best_spec, query_index=failing[0])
             attempts += 1
-            reproduced = _reproduces(candidate, fingerprint, partix_factory)
+            reproduced = _reproduces(candidate, fingerprint, partix_factory, modes)
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
 
@@ -68,7 +69,7 @@ def minimize_spec(
             if attempts >= budget:
                 break
             attempts += 1
-            reproduced = _reproduces(candidate, fingerprint, partix_factory)
+            reproduced = _reproduces(candidate, fingerprint, partix_factory, modes)
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
                 progress = True
@@ -80,9 +81,13 @@ def _reproduces(
     spec: CaseSpec,
     fingerprint: tuple[str, ...],
     partix_factory: Optional[Callable],
+    modes: Optional[tuple] = None,
 ) -> Optional[CaseOutcome]:
     try:
-        outcome = run_case(spec, partix_factory=partix_factory)
+        if modes is None:
+            outcome = run_case(spec, partix_factory=partix_factory)
+        else:
+            outcome = run_case(spec, partix_factory=partix_factory, modes=modes)
     except Exception:  # noqa: BLE001 — a crashing shrink is just rejected
         return None
     if not outcome.ok and outcome.mismatch_kinds() == fingerprint:

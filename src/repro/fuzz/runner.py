@@ -1,13 +1,16 @@
-"""The differential oracle: centralized vs fragmented, simulated vs threads.
+"""The differential oracle: centralized vs fragmented, across transports.
 
 For each generated case the runner stands up a fresh cluster (one site
 per fragment plus a ``central`` baseline site), publishes the collection
 both ways, re-verifies the §3.3 correctness rules empirically, and runs
-every query three times: centralized, fragmented ``simulated`` and
-fragmented ``threads``. Two comparisons apply:
+every query once per configuration: centralized, then fragmented in each
+requested execution mode (``simulated`` and ``threads`` by default;
+``tcp`` adds real site-server processes — the case's repository is
+mirrored over the wire and sub-queries travel through sockets). Two
+comparisons apply:
 
-* **mode** — the composed answers of ``simulated`` and ``threads`` must
-  be byte-identical, always. Plan-order composition is a hard contract:
+* **mode** — the composed answers of every execution mode must be
+  byte-identical, always. Plan-order composition is a hard contract:
   the middleware aligns partial results by plan index no matter in which
   order the dispatcher's lanes complete.
 * **answer** — the fragmented answer must match the centralized one.
@@ -28,7 +31,7 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 from repro.cluster.site import Cluster, Site
 from repro.fuzz.generator import CaseSpec, GeneratedCase, generate_case, spec_for_iteration
@@ -37,6 +40,7 @@ from repro.partix.middleware import Partix
 
 CENTRAL_SITE = "central"
 EXECUTION_MODES = ("simulated", "threads")
+ALL_EXECUTION_MODES = ("simulated", "threads", "tcp")
 
 
 @dataclass
@@ -115,12 +119,15 @@ def run_case(
     spec: CaseSpec,
     case: Optional[GeneratedCase] = None,
     partix_factory: Optional[Callable[[Cluster], Partix]] = None,
+    modes: Sequence[str] = EXECUTION_MODES,
 ) -> CaseOutcome:
     """Generate (unless given) and differentially execute one case.
 
     ``partix_factory`` lets tests swap in a middleware with a tampered
     dispatcher — that is how the injected-bug acceptance test proves the
-    oracle actually bites.
+    oracle actually bites. ``modes`` selects the fragmented execution
+    modes to compare; including ``"tcp"`` spawns real site-server
+    processes for the case (mirrored over the wire, reaped afterwards).
     """
     outcome = CaseOutcome(spec=spec)
     if case is None:
@@ -143,19 +150,28 @@ def run_case(
     cluster.add(Site(CENTRAL_SITE))
     partix.publish_centralized(case.collection, CENTRAL_SITE)
 
-    for index, query in case.active_queries:
-        _run_query(partix, index, query, outcome)
+    try:
+        if "tcp" in modes:
+            partix.start_tcp()
+        for index, query in case.active_queries:
+            _run_query(partix, index, query, outcome, modes)
+    finally:
+        partix.stop_tcp()
     return outcome
 
 
 def _run_query(
-    partix: Partix, index: int, query: str, outcome: CaseOutcome
+    partix: Partix,
+    index: int,
+    query: str,
+    outcome: CaseOutcome,
+    modes: Sequence[str],
 ) -> None:
     central_text, central_error = _attempt(
         lambda: partix.execute_centralized(query, CENTRAL_SITE).result_text
     )
     by_mode: dict[str, str] = {}
-    for mode in EXECUTION_MODES:
+    for mode in modes:
         text, error = _attempt(
             lambda mode=mode: partix.execute(
                 query, collection="Cfuzz", execution_mode=mode
@@ -195,15 +211,16 @@ def _run_query(
     plan = partix.explain(query, "Cfuzz")
     outcome.composition_kinds[plan.composition.kind] += 1
 
-    simulated = by_mode[EXECUTION_MODES[0]]
-    for mode in EXECUTION_MODES[1:]:
+    reference_mode = modes[0]
+    simulated = by_mode[reference_mode]
+    for mode in modes[1:]:
         outcome.comparisons += 1
         if by_mode[mode] != simulated:
             outcome.mismatches.append(
                 Mismatch(
                     kind="mode",
                     detail=(
-                        f"simulated vs {mode} answers differ;"
+                        f"{reference_mode} vs {mode} answers differ;"
                         f" {_diff_snippet(simulated, by_mode[mode])}"
                     ),
                     query_index=index,
@@ -251,6 +268,7 @@ def run_fuzz(
     repro_dir: Optional[str] = None,
     partix_factory: Optional[Callable[[Cluster], Partix]] = None,
     max_failures: int = 5,
+    modes: Sequence[str] = EXECUTION_MODES,
 ) -> dict:
     """Run the full differential session; returns a JSON-able summary.
 
@@ -261,7 +279,7 @@ def run_fuzz(
     summary: dict = {
         "seed": seed,
         "iterations": iterations,
-        "execution_modes": list(EXECUTION_MODES),
+        "execution_modes": list(modes),
         "cases": 0,
         "queries_run": 0,
         "queries_skipped": 0,
@@ -275,7 +293,7 @@ def run_fuzz(
     kinds: Counter = Counter()
     for iteration in range(iterations):
         spec = spec_for_iteration(seed, iteration)
-        outcome = run_case(spec, partix_factory=partix_factory)
+        outcome = run_case(spec, partix_factory=partix_factory, modes=modes)
         summary["cases"] += 1
         summary["queries_run"] += outcome.queries_run
         summary["queries_skipped"] += outcome.queries_skipped
@@ -290,7 +308,9 @@ def run_fuzz(
             from repro.fuzz.minimize import minimize_spec, write_repro
 
             minimized = (
-                minimize_spec(spec, outcome, partix_factory=partix_factory)
+                minimize_spec(
+                    spec, outcome, partix_factory=partix_factory, modes=modes
+                )
                 if minimize
                 else outcome
             )

@@ -1,0 +1,52 @@
+"""repro.net — real networked site servers for PartiX.
+
+The paper's cluster was real: eXist nodes reached over the network. The
+previous cluster layer simulated that (thread lanes over one Python
+heap), so serialization and transport costs were *modeled*, never paid.
+This package pays them: a length-prefixed binary frame protocol
+(:mod:`repro.net.protocol`), a standalone one-engine-per-process site
+server (:mod:`repro.net.server`, ``python -m repro.serve``), a pooled
+client speaking the protocol (:mod:`repro.net.client`), and a
+``multiprocessing`` bootstrapper that spawns a local cluster of site
+servers and mirrors published fragments to them
+(:mod:`repro.net.bootstrap`). The middleware drives it through
+``Partix.execute(execution_mode="tcp")``.
+"""
+
+from repro.net.bootstrap import SpawnedSite, TcpSiteCluster, mirror_site
+from repro.net.client import RemoteSiteDriver, SiteClient, TcpTransport
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    exception_to_payload,
+    payload_to_exception,
+    recv_frame,
+    send_frame,
+)
+from repro.net.server import SiteServer
+
+__all__ = [
+    "Frame",
+    "FrameType",
+    "HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "PROTOCOL_VERSION",
+    "RemoteSiteDriver",
+    "SiteClient",
+    "SiteServer",
+    "SpawnedSite",
+    "TcpSiteCluster",
+    "TcpTransport",
+    "decode_frame",
+    "encode_frame",
+    "exception_to_payload",
+    "mirror_site",
+    "payload_to_exception",
+    "recv_frame",
+    "send_frame",
+]

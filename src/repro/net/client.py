@@ -1,0 +1,410 @@
+"""Client side of the PartiX wire protocol.
+
+:class:`SiteClient` talks to one site server through a small connection
+pool: each request borrows an idle connection (or dials a new one, with
+a connect timeout and the HELLO/WELCOME handshake), sends one frame, and
+reads one reply under the caller's read timeout. Transport-level
+failures — refused/reset connections, mid-frame EOF, read timeouts —
+surface as :class:`~repro.errors.TransportError` /
+:class:`~repro.errors.TransportTimeout`, which the dispatcher treats as
+retryable; the broken connection is discarded, never repooled.
+
+Every request records its real bytes on the wire (frames in both
+directions). :class:`RemoteSiteDriver` adapts the client to the
+:class:`~repro.partix.driver.PartixDriver` interface so the existing
+publisher stores fragments through the very same path it uses for local
+engines, and :class:`TcpTransport` plugs the client pool into
+:class:`~repro.cluster.dispatch.ParallelDispatcher`.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Optional, Sequence, Union, TYPE_CHECKING
+
+from repro.cluster.dispatch import Transport
+from repro.cluster.site import SubQueryExecution
+from repro.engine.stats import QueryResult
+from repro.errors import ClusterError, ProtocolError, TransportError, TransportTimeout
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    PROTOCOL_VERSION,
+    payload_to_exception,
+    recv_frame,
+    send_frame,
+)
+from repro.partix.driver import PartixDriver
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.datamodel.document import XMLDocument
+    from repro.partix.decomposer import SubQuery
+    from repro.paths.predicates import Predicate
+
+
+class SiteClient:
+    """Pooled connections to one site server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        site: str = "",
+        connect_timeout: float = 5.0,
+        read_timeout: Optional[float] = None,
+        pool_size: int = 8,
+    ):
+        self.host = host
+        self.port = port
+        self.site = site
+        self.connect_timeout = connect_timeout
+        self.read_timeout = read_timeout
+        self.pool_size = pool_size
+        self._idle: list[socket.socket] = []
+        self._lock = threading.Lock()
+        self._request_id = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.requests = 0
+
+    # ------------------------------------------------------------------
+    # Connection pool
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout
+            )
+        except OSError as exc:
+            raise TransportError(
+                f"cannot connect to site {self.site or self.host!r} at"
+                f" {self.host}:{self.port}: {exc}"
+            ) from exc
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            sent = send_frame(
+                sock,
+                Frame(
+                    type=FrameType.HELLO,
+                    request_id=self._next_request_id(),
+                    payload={"version": PROTOCOL_VERSION},
+                ),
+            )
+            reply, received = recv_frame(sock)
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise TransportError(
+                f"handshake with site {self.site or self.host!r} failed: {exc}"
+            ) from exc
+        self._count(sent, received)
+        if reply.type is FrameType.REJECT:
+            sock.close()
+            raise ProtocolError(
+                f"site {self.site or self.host!r} rejected the connection:"
+                f" {reply.payload.get('reason', 'no reason given')}"
+            )
+        if reply.type is not FrameType.WELCOME:
+            sock.close()
+            raise ProtocolError(
+                f"expected WELCOME from site {self.site or self.host!r},"
+                f" got {reply.type.name}"
+            )
+        return sock
+
+    def _borrow(self) -> socket.socket:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return self._connect()
+
+    def _repool(self, sock: socket.socket) -> None:
+        with self._lock:
+            if len(self._idle) < self.pool_size:
+                self._idle.append(sock)
+                return
+        sock.close()
+
+    def _next_request_id(self) -> int:
+        with self._lock:
+            self._request_id += 1
+            return self._request_id
+
+    def _count(self, sent: int, received: int) -> None:
+        with self._lock:
+            self.bytes_sent += sent
+            self.bytes_received += received
+
+    def close(self) -> None:
+        """Close every pooled connection."""
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for sock in idle:
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def request(
+        self,
+        type_: FrameType,
+        payload: dict,
+        read_timeout: Optional[float] = None,
+    ) -> tuple[Frame, int, int]:
+        """One request/reply round trip.
+
+        Returns ``(reply, bytes_sent, bytes_received)``. ERROR replies are
+        *not* raised here — :meth:`call` does that — so callers that need
+        the raw frame (health checks, tests) can inspect it.
+        """
+        rid = self._next_request_id()
+        sock = self._borrow()
+        timeout = read_timeout if read_timeout is not None else self.read_timeout
+        try:
+            sock.settimeout(timeout)
+            sent = send_frame(
+                sock, Frame(type=type_, request_id=rid, payload=payload)
+            )
+            reply, received = recv_frame(sock)
+        except socket.timeout as exc:
+            sock.close()
+            raise TransportTimeout(
+                f"site {self.site or self.host!r} did not answer a"
+                f" {type_.name} within {timeout:.3f}s"
+            ) from exc
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise TransportError(
+                f"request {type_.name} to site {self.site or self.host!r}"
+                f" failed: {exc}"
+            ) from exc
+        if reply.request_id != rid:
+            sock.close()
+            raise TransportError(
+                f"site {self.site or self.host!r} answered request"
+                f" {reply.request_id}, expected {rid} — stream desynchronized"
+            )
+        self._repool(sock)
+        self._count(sent, received)
+        with self._lock:
+            self.requests += 1
+        return reply, sent, received
+
+    def call(
+        self,
+        type_: FrameType,
+        payload: dict,
+        read_timeout: Optional[float] = None,
+    ) -> tuple[Frame, int, int]:
+        """Like :meth:`request`, but ERROR replies raise their mapped
+        exception (the same class the site raised locally)."""
+        reply, sent, received = self.request(type_, payload, read_timeout)
+        if reply.type is FrameType.ERROR:
+            raise payload_to_exception(reply.payload)
+        return reply, sent, received
+
+    # ------------------------------------------------------------------
+    # Typed operations
+    # ------------------------------------------------------------------
+    def ping(self, read_timeout: Optional[float] = 5.0) -> dict:
+        """Health check; returns the site's stats payload."""
+        reply, _, _ = self.call(FrameType.PING, {}, read_timeout)
+        if reply.type is not FrameType.PONG:
+            raise TransportError(f"PING answered with {reply.type.name}")
+        return reply.payload
+
+    def server_stats(self) -> dict:
+        reply, _, _ = self.call(FrameType.STATS, {})
+        return reply.payload
+
+    def execute(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional["Predicate"] = None,
+        read_timeout: Optional[float] = None,
+        debug_sleep_seconds: Optional[float] = None,
+    ) -> tuple[QueryResult, int, int]:
+        """Run a query remotely; returns ``(result, sent, received)``.
+
+        The result's ``items`` stay empty — only the serialized text
+        crosses the wire, as with any real remote DBMS.
+        """
+        payload: dict = {"query": query}
+        if default_collection is not None:
+            payload["default_collection"] = default_collection
+        if extra_predicate is not None:
+            from repro.partix.serialization import predicate_to_dict
+
+            payload["extra_predicate"] = predicate_to_dict(extra_predicate)
+        if debug_sleep_seconds:
+            payload["debug_sleep_seconds"] = debug_sleep_seconds
+        reply, sent, received = self.call(FrameType.EXECUTE, payload, read_timeout)
+        if reply.type is not FrameType.RESULT:
+            raise TransportError(f"EXECUTE answered with {reply.type.name}")
+        data = reply.payload
+        text = data["result_text"]
+        return (
+            QueryResult(
+                items=[],
+                result_text=text,
+                result_bytes=len(text.encode("utf-8")),
+                elapsed_seconds=data["elapsed_seconds"],
+                parse_seconds=data["parse_seconds"],
+                documents_parsed=data["documents_parsed"],
+                bytes_parsed=data["bytes_parsed"],
+                documents_scanned=data["documents_scanned"],
+                documents_pruned=data["documents_pruned"],
+                cache_hits=data.get("cache_hits", 0),
+                simulated_overhead_seconds=data.get(
+                    "simulated_overhead_seconds", 0.0
+                ),
+            ),
+            sent,
+            received,
+        )
+
+    def create_collection(self, name: str) -> None:
+        self.call(FrameType.CREATE_COLLECTION, {"collection": name})
+
+    def store_document(
+        self,
+        collection: str,
+        document: str,
+        name: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        self.call(
+            FrameType.STORE_DOCUMENT,
+            {
+                "collection": collection,
+                "document": document,
+                "name": name,
+                "origin": origin,
+            },
+        )
+
+    def document_count(self, collection: str) -> int:
+        reply, _, _ = self.call(FrameType.DOCUMENT_COUNT, {"collection": collection})
+        return reply.payload["count"]
+
+    def collection_bytes(self, collection: str) -> int:
+        reply, _, _ = self.call(FrameType.COLLECTION_BYTES, {"collection": collection})
+        return reply.payload["bytes"]
+
+    def shutdown_server(self, read_timeout: Optional[float] = 5.0) -> bool:
+        """Ask the server to drain and exit; False if it was unreachable."""
+        try:
+            self.request(FrameType.SHUTDOWN, {}, read_timeout)
+        except (TransportError, ProtocolError):
+            return False
+        return True
+
+
+class RemoteSiteDriver(PartixDriver):
+    """The PartiX driver contract over a :class:`SiteClient`.
+
+    This is the piece §4 promised: "a PartiX Driver, which allows
+    accessing remote DBMSs to store and retrieve XML documents" — the
+    publisher and middleware use it exactly like the in-process
+    :class:`~repro.partix.driver.MiniXDriver`.
+    """
+
+    def __init__(self, client: SiteClient):
+        self.client = client
+
+    def create_collection(self, name: str) -> None:
+        self.client.create_collection(name)
+
+    def store_document(
+        self,
+        collection: str,
+        document: Union["XMLDocument", str, bytes],
+        name: Optional[str] = None,
+        origin: Optional[str] = None,
+    ) -> None:
+        from repro.datamodel.document import XMLDocument
+        from repro.xmltext.serializer import serialize
+
+        if isinstance(document, XMLDocument):
+            name = name or document.name
+            origin = origin or document.origin
+            text = serialize(document)
+        elif isinstance(document, bytes):
+            text = document.decode("utf-8")
+        else:
+            text = document
+        self.client.store_document(collection, text, name=name, origin=origin)
+
+    def execute(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional["Predicate"] = None,
+    ) -> QueryResult:
+        result, _, _ = self.client.execute(
+            query,
+            default_collection=default_collection,
+            extra_predicate=extra_predicate,
+        )
+        return result
+
+    def document_count(self, collection: str) -> int:
+        try:
+            return self.client.document_count(collection)
+        except Exception as exc:
+            if "no collection" in str(exc):
+                return 0
+            raise
+
+    def collection_bytes(self, collection: str) -> int:
+        try:
+            return self.client.collection_bytes(collection)
+        except Exception as exc:
+            if "no collection" in str(exc):
+                return 0
+            raise
+
+
+class TcpTransport(Transport):
+    """Socket lanes for :class:`ParallelDispatcher`: one client per site.
+
+    ``execute`` applies the dispatcher's per-sub-query timeout as the
+    socket *read* timeout, so over TCP the budget is enforced on the
+    wire (the in-process transport can only check it after the fact).
+    """
+
+    def __init__(self, clients: dict[str, SiteClient]):
+        self.clients = dict(clients)
+
+    def resolve(self, site_names: Sequence[str]) -> None:
+        for name in site_names:
+            if name not in self.clients:
+                raise ClusterError(f"no site named {name!r}")
+
+    def execute(
+        self,
+        subquery: "SubQuery",
+        default_collection: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> SubQueryExecution:
+        client = self.clients.get(subquery.site)
+        if client is None:
+            raise ClusterError(f"no site named {subquery.site!r}")
+        result, sent, received = client.execute(
+            subquery.query,
+            default_collection=default_collection,
+            read_timeout=timeout,
+        )
+        return SubQueryExecution(
+            site=subquery.site,
+            fragment=subquery.fragment,
+            query=subquery.query,
+            result=result,
+            bytes_sent=sent,
+            bytes_received=received,
+            on_wire=True,
+        )

@@ -1,0 +1,236 @@
+"""The PartiX wire protocol: length-prefixed binary frames.
+
+Every message between a coordinator and a site server is one *frame*:
+
+====== ======= ======================================================
+offset size    field
+====== ======= ======================================================
+0      2       magic ``b"PX"``
+2      1       protocol version (:data:`PROTOCOL_VERSION`)
+3      1       frame type (:class:`FrameType`)
+4      8       request id (unsigned big-endian; replies echo it)
+12     4       payload length in bytes (unsigned big-endian)
+16     n       payload — a UTF-8 JSON object
+====== ======= ======================================================
+
+The framing is fixed-layout binary so a reader always knows how many
+bytes to wait for; the payload is JSON so sub-query texts, XML document
+bodies and stats ride in one self-describing envelope (the same policy
+as :mod:`repro.partix.serialization` for designs). Frames larger than
+:data:`MAX_PAYLOAD_BYTES` are refused on both encode and decode — a
+garbage length prefix must not make a reader allocate gigabytes.
+
+Handshake: a client's first frame must be ``HELLO {"version": N}``. The
+server answers ``WELCOME {"version", "site"}`` when the version matches
+and ``REJECT {"reason"}`` (then closes) when it does not — version skew
+fails loudly at connect time, never mid-query.
+
+Error transparency: a site server maps an execution failure to an
+``ERROR`` frame carrying the exception class name and message;
+:func:`payload_to_exception` maps it back to the *same* class (from
+:mod:`repro.errors` or builtins) so remote execution raises exactly what
+in-process execution would — the differential fuzz oracle relies on
+this symmetry.
+"""
+
+from __future__ import annotations
+
+import builtins
+import enum
+import json
+import socket
+import struct
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ProtocolError, RemoteExecutionError
+
+MAGIC = b"PX"
+PROTOCOL_VERSION = 1
+
+#: ``!`` network byte order: magic, version, type, request id, payload size.
+_HEADER = struct.Struct("!2sBBQI")
+HEADER_BYTES = _HEADER.size
+
+#: Hard ceiling on one frame's payload (64 MiB). Large enough for any
+#: mirrored fragment document; small enough that a corrupt length prefix
+#: cannot trigger a runaway allocation.
+MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+
+class FrameType(enum.IntEnum):
+    """Every message the protocol knows."""
+
+    HELLO = 1  # client → server: {"version": int}
+    WELCOME = 2  # server → client: {"version": int, "site": str}
+    REJECT = 3  # server → client: {"reason": str} (connection closes)
+    PING = 4  # health check: {}
+    PONG = 5  # {"site": str, "queries_executed": int, ...}
+    EXECUTE = 6  # {"query", "default_collection"?, "extra_predicate"?}
+    RESULT = 7  # {"result_text", "elapsed_seconds", per-query stats...}
+    ERROR = 8  # {"error_type": str, "message": str}
+    CREATE_COLLECTION = 9  # {"collection": str}
+    STORE_DOCUMENT = 10  # {"collection", "document", "name"?, "origin"?}
+    DOCUMENT_COUNT = 11  # {"collection": str}
+    COLLECTION_BYTES = 12  # {"collection": str}
+    STATS = 13  # {} → OK with the server's cumulative wire/query stats
+    SHUTDOWN = 14  # {} → OK, then the server drains and exits
+    OK = 15  # generic success reply, payload depends on the request
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One decoded protocol frame."""
+
+    type: FrameType
+    request_id: int = 0
+    payload: dict = field(default_factory=dict)
+    version: int = PROTOCOL_VERSION
+
+
+def encode_frame(frame: Frame) -> bytes:
+    """Serialize a frame to its wire form (header + JSON payload)."""
+    body = json.dumps(frame.payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"refusing to encode oversized frame: payload is {len(body)}"
+            f" bytes (limit {MAX_PAYLOAD_BYTES})"
+        )
+    header = _HEADER.pack(
+        MAGIC, frame.version, int(frame.type), frame.request_id, len(body)
+    )
+    return header + body
+
+
+def decode_frame(data: bytes) -> tuple[Frame, int]:
+    """Decode one frame from ``data``; returns ``(frame, bytes_consumed)``.
+
+    Raises :class:`ProtocolError` for truncated input, a bad magic, an
+    unknown frame type, an oversized payload length, or a payload that is
+    not a JSON object.
+    """
+    if len(data) < HEADER_BYTES:
+        raise ProtocolError(
+            f"truncated frame header: need {HEADER_BYTES} bytes, got"
+            f" {len(data)}"
+        )
+    magic, version, type_code, request_id, size = _HEADER.unpack_from(data)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}) — peer is not"
+            " speaking the PartiX protocol"
+        )
+    if size > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload length {size} exceeds the"
+            f" {MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    try:
+        frame_type = FrameType(type_code)
+    except ValueError:
+        raise ProtocolError(f"unknown frame type {type_code}") from None
+    end = HEADER_BYTES + size
+    if len(data) < end:
+        raise ProtocolError(
+            f"truncated frame payload: header promises {size} bytes, got"
+            f" {len(data) - HEADER_BYTES}"
+        )
+    body = data[HEADER_BYTES:end]
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"garbage frame payload (not JSON): {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame payload must be a JSON object, got {type(payload).__name__}"
+        )
+    return (
+        Frame(
+            type=frame_type,
+            request_id=request_id,
+            payload=payload,
+            version=version,
+        ),
+        end,
+    )
+
+
+# ----------------------------------------------------------------------
+# Socket helpers
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, frame: Frame) -> int:
+    """Send one frame; returns the number of bytes put on the wire."""
+    data = encode_frame(frame)
+    sock.sendall(data)
+    return len(data)
+
+
+def _recv_exactly(read: Callable[[int], bytes], count: int) -> bytes:
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = read(remaining)
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-frame ({count - remaining} of"
+                f" {count} bytes read)"
+            )
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> tuple[Frame, int]:
+    """Read one frame off a socket; returns ``(frame, bytes_received)``.
+
+    The header is read first and validated, so a corrupt length prefix is
+    caught before any payload allocation.
+    """
+    header = _recv_exactly(sock.recv, HEADER_BYTES)
+    magic, version, type_code, request_id, size = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}) — peer is not"
+            " speaking the PartiX protocol"
+        )
+    if size > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload length {size} exceeds the"
+            f" {MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    body = _recv_exactly(sock.recv, size) if size else b""
+    frame, _ = decode_frame(header + body)
+    return frame, HEADER_BYTES + size
+
+
+# ----------------------------------------------------------------------
+# Error mapping (ERROR frames ↔ exceptions)
+# ----------------------------------------------------------------------
+def exception_to_payload(error: BaseException) -> dict:
+    """The ERROR-frame payload describing ``error``."""
+    return {"error_type": type(error).__name__, "message": str(error)}
+
+
+def payload_to_exception(payload: dict) -> Exception:
+    """Rebuild the exception an ERROR frame describes.
+
+    Classes are resolved by name from :mod:`repro.errors` first, then
+    from builtins, so a remote ``CollectionNotFoundError`` raises a local
+    ``CollectionNotFoundError`` — execution errors stay symmetric across
+    transports. Unknown or unreconstructable classes degrade to
+    :class:`RemoteExecutionError` (still a clear failure, just untyped).
+    """
+    import repro.errors as error_module
+
+    name = payload.get("error_type", "")
+    message = payload.get("message", "")
+    for namespace in (error_module, builtins):
+        candidate = getattr(namespace, name, None)
+        if isinstance(candidate, type) and issubclass(candidate, Exception):
+            try:
+                return candidate(message)
+            except TypeError:
+                # Constructor needs more than a message (e.g.
+                # CorrectnessViolation); fall through to the generic class.
+                break
+    return RemoteExecutionError(f"{name or 'unknown error'}: {message}")

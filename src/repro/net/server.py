@@ -1,0 +1,367 @@
+"""A standalone PartiX site server: one engine database per process.
+
+``SiteServer`` hosts one :class:`~repro.partix.driver.PartixDriver`
+(by default a fresh MiniX engine) behind the frame protocol of
+:mod:`repro.net.protocol`. Connections are handled on threads — the
+engine is concurrency-correct since PR 1 — so one server serves the
+coordinator's publisher and several dispatcher lanes at once.
+
+Lifecycle
+---------
+* every connection starts with the HELLO/WELCOME version handshake;
+  a version mismatch gets a REJECT frame and a closed socket;
+* ``SHUTDOWN`` answers OK, then the server stops accepting connections
+  and drains: in-flight requests finish before the process exits
+  (``ThreadingTCPServer`` joins its handler threads on close);
+* SIGTERM/SIGINT trigger the same graceful drain when serving as a
+  process (``python -m repro.serve``).
+
+The server keeps cumulative *site stats* — queries executed, frames and
+bytes in/out — returned by the ``STATS`` frame, so measured transfer
+sizes can be audited from the site side as well as the client side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import signal
+import socket
+import socketserver
+import threading
+import time
+from typing import Optional
+
+from repro.errors import ProtocolError
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    PROTOCOL_VERSION,
+    exception_to_payload,
+    recv_frame,
+    send_frame,
+)
+from repro.partix.driver import MiniXDriver, PartixDriver
+
+
+def _result_payload(result) -> dict:
+    """RESULT-frame payload for one QueryResult (items stay site-local:
+    only the serialized text travels, exactly as with a real DBMS)."""
+    return {
+        "result_text": result.result_text,
+        "elapsed_seconds": result.elapsed_seconds,
+        "parse_seconds": result.parse_seconds,
+        "documents_parsed": result.documents_parsed,
+        "bytes_parsed": result.bytes_parsed,
+        "documents_scanned": result.documents_scanned,
+        "documents_pruned": result.documents_pruned,
+        "cache_hits": result.cache_hits,
+        "simulated_overhead_seconds": result.simulated_overhead_seconds,
+    }
+
+
+class _SiteHandler(socketserver.BaseRequestHandler):
+    """One client connection: handshake, then a request/reply loop."""
+
+    server: "_SiteTCPServer"
+
+    def handle(self) -> None:  # noqa: C901 - one branch per frame type
+        sock = self.request
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        owner = self.server.owner
+        if not self._handshake(sock, owner):
+            return
+        while True:
+            try:
+                frame, received = recv_frame(sock)
+            except ProtocolError as exc:
+                # EOF between frames is a normal disconnect; anything
+                # else gets a best-effort ERROR before closing.
+                if "connection closed mid-frame (0 of" not in str(exc):
+                    self._reply(
+                        sock, 0, FrameType.ERROR, exception_to_payload(exc)
+                    )
+                return
+            except OSError:
+                return
+            owner._count_in(received)
+            if not self._serve_frame(sock, owner, frame):
+                return
+
+    # ------------------------------------------------------------------
+    def _handshake(self, sock: socket.socket, owner: "SiteServer") -> bool:
+        try:
+            frame, received = recv_frame(sock)
+        except (ProtocolError, OSError):
+            return False
+        owner._count_in(received)
+        if frame.type is not FrameType.HELLO:
+            self._reply(
+                sock,
+                frame.request_id,
+                FrameType.REJECT,
+                {"reason": f"expected HELLO, got {frame.type.name}"},
+            )
+            return False
+        version = frame.payload.get("version", frame.version)
+        if version != PROTOCOL_VERSION:
+            self._reply(
+                sock,
+                frame.request_id,
+                FrameType.REJECT,
+                {
+                    "reason": (
+                        f"protocol version mismatch: server speaks"
+                        f" {PROTOCOL_VERSION}, client sent {version}"
+                    )
+                },
+            )
+            return False
+        self._reply(
+            sock,
+            frame.request_id,
+            FrameType.WELCOME,
+            {"version": PROTOCOL_VERSION, "site": owner.site},
+        )
+        return True
+
+    def _serve_frame(
+        self, sock: socket.socket, owner: "SiteServer", frame: Frame
+    ) -> bool:
+        """Handle one request frame; False ends the connection."""
+        rid = frame.request_id
+        payload = frame.payload
+        try:
+            if frame.type is FrameType.PING:
+                self._reply(sock, rid, FrameType.PONG, owner.stats_payload())
+            elif frame.type is FrameType.STATS:
+                self._reply(sock, rid, FrameType.OK, owner.stats_payload())
+            elif frame.type is FrameType.EXECUTE:
+                self._execute(sock, owner, rid, payload)
+            elif frame.type is FrameType.CREATE_COLLECTION:
+                owner.driver.create_collection(payload["collection"])
+                self._reply(sock, rid, FrameType.OK, {})
+            elif frame.type is FrameType.STORE_DOCUMENT:
+                owner.driver.store_document(
+                    payload["collection"],
+                    payload["document"],
+                    name=payload.get("name"),
+                    origin=payload.get("origin"),
+                )
+                owner._count_stored()
+                self._reply(sock, rid, FrameType.OK, {})
+            elif frame.type is FrameType.DOCUMENT_COUNT:
+                count = owner.driver.document_count(payload["collection"])
+                self._reply(sock, rid, FrameType.OK, {"count": count})
+            elif frame.type is FrameType.COLLECTION_BYTES:
+                size = owner.driver.collection_bytes(payload["collection"])
+                self._reply(sock, rid, FrameType.OK, {"bytes": size})
+            elif frame.type is FrameType.SHUTDOWN:
+                self._reply(sock, rid, FrameType.OK, {"draining": True})
+                owner.request_shutdown()
+                return False
+            else:
+                self._reply(
+                    sock,
+                    rid,
+                    FrameType.ERROR,
+                    {
+                        "error_type": "ProtocolError",
+                        "message": f"unexpected frame type {frame.type.name}",
+                    },
+                )
+        except Exception as exc:  # noqa: BLE001 - becomes an ERROR frame
+            self._reply(sock, rid, FrameType.ERROR, exception_to_payload(exc))
+        return True
+
+    def _execute(
+        self, sock: socket.socket, owner: "SiteServer", rid: int, payload: dict
+    ) -> None:
+        delay = payload.get("debug_sleep_seconds")
+        if delay:
+            # Test hook: lets fault-injection tests hold a query in
+            # flight while they kill the server.
+            time.sleep(float(delay))
+        extra = payload.get("extra_predicate")
+        predicate = None
+        if extra is not None:
+            from repro.partix.serialization import predicate_from_dict
+
+            predicate = predicate_from_dict(extra)
+        result = owner.driver.execute(
+            payload["query"],
+            default_collection=payload.get("default_collection"),
+            extra_predicate=predicate,
+        )
+        owner._count_query()
+        self._reply(sock, rid, FrameType.RESULT, _result_payload(result))
+
+    def _reply(
+        self, sock: socket.socket, rid: int, type_: FrameType, payload: dict
+    ) -> None:
+        try:
+            sent = send_frame(
+                sock, Frame(type=type_, request_id=rid, payload=payload)
+            )
+        except OSError:
+            return
+        self.server.owner._count_out(sent)
+
+
+class _SiteTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = False  # drain: join in-flight handlers on close
+    block_on_close = True
+
+    def __init__(self, address, owner: "SiteServer"):
+        self.owner = owner
+        super().__init__(address, _SiteHandler)
+
+
+class SiteServer:
+    """One site's frame-protocol server over one local driver."""
+
+    def __init__(
+        self,
+        driver: Optional[PartixDriver] = None,
+        site: str = "site",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.site = site
+        self.driver = driver if driver is not None else MiniXDriver(name=site)
+        self._server = _SiteTCPServer((host, port), self)
+        self._stats_lock = threading.Lock()
+        self._queries_executed = 0
+        self._documents_stored = 0
+        self._bytes_received = 0
+        self._bytes_sent = 0
+        self._started = time.perf_counter()
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown_requested = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def host(self) -> str:
+        return self._server.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._server.server_address[1]
+
+    def stats_payload(self) -> dict:
+        with self._stats_lock:
+            return {
+                "site": self.site,
+                "queries_executed": self._queries_executed,
+                "documents_stored": self._documents_stored,
+                "bytes_received": self._bytes_received,
+                "bytes_sent": self._bytes_sent,
+                "uptime_seconds": time.perf_counter() - self._started,
+            }
+
+    def _count_in(self, count: int) -> None:
+        with self._stats_lock:
+            self._bytes_received += count
+
+    def _count_out(self, count: int) -> None:
+        with self._stats_lock:
+            self._bytes_sent += count
+
+    def _count_query(self) -> None:
+        with self._stats_lock:
+            self._queries_executed += 1
+
+    def _count_stored(self) -> None:
+        with self._stats_lock:
+            self._documents_stored += 1
+
+    # ------------------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown` (blocking)."""
+        try:
+            self._server.serve_forever(poll_interval=0.05)
+        finally:
+            self._server.server_close()
+
+    def serve_in_thread(self) -> "SiteServer":
+        """Serve on a background thread (in-process tests)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name=f"site-server-{self.site}"
+        )
+        self._thread.start()
+        return self
+
+    def request_shutdown(self) -> None:
+        """Stop accepting connections and drain (idempotent, non-blocking)."""
+        if self._shutdown_requested.is_set():
+            return
+        self._shutdown_requested.set()
+        # shutdown() blocks until serve_forever exits; never call it from
+        # a handler thread directly.
+        threading.Thread(target=self._server.shutdown, daemon=True).start()
+
+    def close(self) -> None:
+        """Shut down and wait for the serving thread (if any) to finish."""
+        self.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+
+
+# ----------------------------------------------------------------------
+# CLI (``python -m repro.serve`` delegates here)
+# ----------------------------------------------------------------------
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Run one PartiX site server (one engine per process).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=0, help="0 picks a free port (default)"
+    )
+    parser.add_argument("--site", default="site", help="site name")
+    parser.add_argument(
+        "--storage-dir", default=None, help="persist collections on disk"
+    )
+    parser.add_argument(
+        "--cache-parsed", action="store_true", help="enable the parsed-doc LRU"
+    )
+    parser.add_argument(
+        "--no-indexes",
+        action="store_true",
+        help="disable index-assisted document pruning (paper-faithful)",
+    )
+    parser.add_argument(
+        "--per-document-overhead",
+        type=float,
+        default=0.0,
+        help="simulated per-document access cost in seconds",
+    )
+    options = parser.parse_args(argv)
+
+    from repro.engine.database import XMLEngine
+
+    engine = XMLEngine(
+        options.site,
+        storage_dir=options.storage_dir,
+        cache_parsed=options.cache_parsed,
+        use_indexes=not options.no_indexes,
+        per_document_overhead=options.per_document_overhead,
+    )
+    server = SiteServer(
+        MiniXDriver(engine), site=options.site, host=options.host, port=options.port
+    )
+
+    def _graceful(signum, _frame):
+        server.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _graceful)
+    signal.signal(signal.SIGINT, _graceful)
+    print(
+        f"repro.serve: site {options.site!r} listening on"
+        f" {server.host}:{server.port} (protocol v{PROTOCOL_VERSION})",
+        flush=True,
+    )
+    server.serve_forever()
+    return 0

@@ -14,15 +14,20 @@ slowest site's busy time plus composition, with transmission estimated
 from result sizes over the network model and reported separately (the
 paper's FragModeX-T / FragModeX-NT series).
 
-Two execution modes cover the paper's simulation *and* the real thing:
+Three execution modes cover the paper's simulation *and* the real thing:
 
 * ``execution_mode="simulated"`` (default) — sub-queries run
   sequentially in-process, as the paper's prototype did;
 * ``execution_mode="threads"`` — sub-queries run concurrently through a
   :class:`~repro.cluster.dispatch.ParallelDispatcher` (one worker lane
-  per site, timeout/retry/failure policy).
+  per site, timeout/retry/failure policy);
+* ``execution_mode="tcp"`` — the same dispatcher drives socket lanes to
+  real site-server *processes* (see :mod:`repro.net`): serialization
+  and transport costs are paid, not modeled. Call :meth:`Partix.start_tcp`
+  first — it spawns one server per cluster site and mirrors every
+  published fragment to them over the wire.
 
-Either way ``ParallelRound.measured_wall_seconds`` records the real
+In every mode ``ParallelRound.measured_wall_seconds`` records the real
 wall-clock of the round, and results are byte-identical across modes
 (partial results always compose in plan order).
 """
@@ -31,9 +36,13 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from typing import Optional, Sequence, TYPE_CHECKING
 
 from repro.cluster.dispatch import ParallelDispatcher
+from repro.errors import ClusterError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.bootstrap import TcpSiteCluster
 from repro.cluster.network import NetworkModel
 from repro.cluster.site import Cluster, ParallelRound, SubQueryExecution
 from repro.datamodel.collection import Collection
@@ -84,8 +93,26 @@ class PartixResult:
     @property
     def measured_wall_seconds(self) -> float:
         """Real wall-clock of the round + composition on this machine
-        (concurrent in ``"threads"`` mode, sequential in ``"simulated"``)."""
+        (concurrent in ``"threads"``/``"tcp"`` mode, sequential in
+        ``"simulated"``)."""
         return self.round.measured_wall_seconds + self.composed.compose_seconds
+
+    @property
+    def bytes_sent(self) -> int:
+        """Transport bytes sent dispatching the round's sub-queries —
+        real framed socket bytes when :attr:`wire_measured`, otherwise
+        the payload sizes that would have traveled."""
+        return self.round.total_bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        """Transport bytes received gathering the round's results."""
+        return self.round.total_bytes_received
+
+    @property
+    def wire_measured(self) -> bool:
+        """True when the byte counts were measured on real sockets."""
+        return self.round.wire_measured
 
 
 class Partix:
@@ -115,6 +142,7 @@ class Partix:
         self.publisher = DataPublisher(cluster, self.distribution_catalog)
         self.decomposer = QueryDecomposer(self.distribution_catalog)
         self.composer = ResultComposer()
+        self._tcp: Optional["TcpSiteCluster"] = None
 
     # ------------------------------------------------------------------
     # Publication
@@ -171,17 +199,28 @@ class Partix:
         executes them sequentially in-process (paper methodology),
         ``"threads"`` dispatches them concurrently — one worker lane per
         site — through ``dispatcher`` (default: this instance's
-        :class:`ParallelDispatcher`). Both modes compose partial results
-        in plan order, so the answer is byte-identical.
+        :class:`ParallelDispatcher`), and ``"tcp"`` sends them through
+        the same dispatcher to real site-server processes (requires
+        :meth:`start_tcp`). All modes compose partial results in plan
+        order, so the answer is byte-identical.
         """
         if plan is None:
             plan = self.decomposer.decompose(query, collection)
         notes = list(plan.notes)
         if execution_mode == "simulated":
             round_, partials = self._execute_simulated(plan)
-        elif execution_mode == "threads":
+        elif execution_mode in ("threads", "tcp"):
+            if execution_mode == "tcp":
+                if self._tcp is None:
+                    raise ClusterError(
+                        "execution_mode='tcp' requires running site servers;"
+                        " call Partix.start_tcp() first"
+                    )
+                target = self._tcp.transport()
+            else:
+                target = self.cluster
             active = dispatcher if dispatcher is not None else self.dispatcher
-            outcome = active.dispatch(self.cluster, plan.subqueries)
+            outcome = active.dispatch(target, plan.subqueries)
             round_ = outcome.round
             partials = [
                 (plan.subqueries[index], execution.result.result_text)
@@ -191,7 +230,7 @@ class Partix:
             notes.extend(outcome.notes)
         else:
             raise ValueError(
-                "execution_mode must be 'simulated' or 'threads',"
+                "execution_mode must be 'simulated', 'threads' or 'tcp',"
                 f" got {execution_mode!r}"
             )
         composed = self.composer.compose(plan.composition, partials)
@@ -229,11 +268,66 @@ class Partix:
                     fragment=subquery.fragment,
                     query=subquery.query,
                     result=result,
+                    bytes_sent=len(subquery.query.encode("utf-8")),
+                    bytes_received=result.result_bytes,
+                    on_wire=False,
                 )
             )
             partials.append((subquery, result.result_text))
         round_.measured_wall_seconds = time.perf_counter() - started
         return round_, partials
+
+    # ------------------------------------------------------------------
+    # Real networked sites (execution_mode="tcp")
+    # ------------------------------------------------------------------
+    def start_tcp(
+        self,
+        startup_timeout: float = 15.0,
+        context=None,
+    ) -> "TcpSiteCluster":
+        """Spawn one site-server process per cluster site and mirror the
+        published data to them.
+
+        Each server runs a private engine configured like its local twin
+        (indexes, per-document overhead, cache). Every collection stored
+        at a local site is republished to the matching server through
+        the driver path — the serialized fragment documents themselves
+        travel, so the remote repositories are byte-identical. Idempotent
+        until :meth:`stop_tcp`.
+        """
+        if self._tcp is not None:
+            return self._tcp
+        from repro.net.bootstrap import (
+            TcpSiteCluster,
+            engine_config_of,
+            mirror_site,
+        )
+
+        configs = {
+            site.name: engine_config_of(site) for site in self.cluster.sites()
+        }
+        tcp = TcpSiteCluster.spawn(
+            configs, startup_timeout=startup_timeout, context=context
+        )
+        try:
+            for site in self.cluster.sites():
+                mirror_site(site, tcp.clients[site.name])
+        except BaseException:
+            tcp.shutdown()
+            raise
+        self._tcp = tcp
+        return tcp
+
+    def stop_tcp(self) -> None:
+        """Drain and reap the site-server processes (no-op when absent)."""
+        if self._tcp is not None:
+            self._tcp.shutdown()
+            self._tcp = None
+
+    @property
+    def tcp(self) -> Optional["TcpSiteCluster"]:
+        """The running TCP site cluster, if :meth:`start_tcp` was called."""
+        return self._tcp
 
     def explain(
         self, query: str, collection: Optional[str] = None
@@ -259,6 +353,9 @@ class Partix:
                     fragment="(centralized)",
                     query=query,
                     result=result,
+                    bytes_sent=len(query.encode("utf-8")),
+                    bytes_received=result.result_bytes,
+                    on_wire=False,
                 )
             ],
             measured_wall_seconds=wall_seconds,

@@ -1,0 +1,19 @@
+"""``python -m repro.serve`` — run one PartiX site server.
+
+A thin entry point over :func:`repro.net.server.main`::
+
+    python -m repro.serve --site site0 --port 7310
+    python -m repro.serve --site site0 --port 0          # pick a free port
+    python -m repro.serve --site site0 --storage-dir /var/lib/partix/site0
+
+The server announces ``site NAME listening on HOST:PORT`` on stdout,
+answers the frame protocol of :mod:`repro.net.protocol`, and drains
+gracefully on SIGTERM/SIGINT or a SHUTDOWN frame.
+"""
+
+from __future__ import annotations
+
+from repro.net.server import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,7 +7,9 @@ from repro.bench.__main__ import FIGURES, main
 
 class TestCli:
     def test_figures_registry(self):
-        assert set(FIGURES) == {"7a", "7b", "7c", "7d", "headline", "modes"}
+        assert set(FIGURES) == {
+            "7a", "7b", "7c", "7d", "headline", "modes", "transport",
+        }
 
     def test_runs_modes_figure(self, capsys):
         exit_code = main(
@@ -37,6 +39,46 @@ class TestCli:
             ]
         )
         assert "with transmission" in capsys.readouterr().out
+
+    def test_runs_transport_figure_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "transport.json"
+        exit_code = main(
+            [
+                "--figure", "transport",
+                "--scale", "0.0005",
+                "--repetitions", "1",
+                "--json", str(path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "transport comparison" in output
+        assert "(wire)" in output
+        assert "ANSWERS DIFFER" not in output
+        payload = json.loads(path.read_text())
+        assert payload["byte_identical"] is True
+        assert payload["modes"] == ["simulated", "threads", "tcp"]
+        tcp_lanes = [
+            lane
+            for run in payload["runs"]
+            for lane in run["lanes"]
+            if lane["mode"] == "tcp"
+        ]
+        assert tcp_lanes and all(lane["wire_measured"] for lane in tcp_lanes)
+        assert all(lane["bytes_sent"] > 0 for lane in tcp_lanes)
+
+    def test_json_flag_rejected_for_figures_without_payload(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--figure", "7c",
+                    "--scale", "0.0005",
+                    "--repetitions", "1",
+                    "--json", str(tmp_path / "nope.json"),
+                ]
+            )
 
     def test_requires_figure(self):
         with pytest.raises(SystemExit):

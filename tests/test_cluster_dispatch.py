@@ -218,6 +218,84 @@ class TestFailurePolicies:
             dispatcher.dispatch(Cluster(), _subqueries(1))
 
 
+class TestBackoffJitter:
+    def _waits_for(self, jitter, seed):
+        waits = []
+        drivers = [StubDriver(fail_times=3)]
+        dispatcher = ParallelDispatcher(
+            retries=3,
+            backoff_seconds=0.1,
+            backoff_multiplier=2.0,
+            backoff_jitter=jitter,
+            jitter_seed=seed,
+            sleep=waits.append,
+        )
+        dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        return waits
+
+    def test_jitter_defaults_off(self):
+        assert ParallelDispatcher().backoff_jitter == 0.0
+
+    def test_jitter_is_deterministic_for_a_seed(self):
+        assert self._waits_for(0.5, seed=7) == self._waits_for(0.5, seed=7)
+
+    def test_different_seeds_desynchronize(self):
+        assert self._waits_for(0.5, seed=1) != self._waits_for(0.5, seed=2)
+
+    def test_jittered_waits_stay_within_the_spread(self):
+        waits = self._waits_for(0.25, seed=3)
+        for attempt, wait in enumerate(waits):
+            base = 0.1 * 2.0 ** attempt
+            assert base * 0.75 <= wait <= base * 1.25
+        # And the spread actually moved something off the exact schedule.
+        assert waits != [0.1, 0.2, 0.4]
+
+    def test_invalid_jitter_rejected(self):
+        with pytest.raises(ValueError):
+            ParallelDispatcher(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            ParallelDispatcher(backoff_jitter=-0.1)
+
+
+class TestRetryDeadline:
+    def test_backoff_never_overshoots_the_subquery_deadline(self):
+        waits = []
+        drivers = [StubDriver(fail_times=10)]
+        dispatcher = ParallelDispatcher(
+            retries=5,
+            subquery_timeout=0.05,
+            backoff_seconds=0.1,  # first backoff alone exceeds the budget
+            failure_policy=DEGRADE,
+            sleep=waits.append,
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        (failure,) = outcome.failures
+        assert failure.timed_out
+        assert failure.attempts == 1  # no retry was taken
+        assert "retry budget exhausted" in str(failure.error)
+        assert "boom" in str(failure.error)  # the last real error survives
+        assert waits == []  # the overshooting sleep never happened
+
+    def test_retries_within_budget_still_happen(self):
+        waits = []
+        drivers = [StubDriver(fail_times=2)]
+        dispatcher = ParallelDispatcher(
+            retries=3,
+            subquery_timeout=10.0,
+            backoff_seconds=0.001,
+            sleep=waits.append,
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")
+        )
+        assert outcome.complete
+        assert len(waits) == 2
+
+
 class TestTimeouts:
     def test_overbudget_subquery_counts_as_timeout(self):
         drivers = [StubDriver(delay=0.05)]

@@ -1,0 +1,177 @@
+"""Unit tests for the PartiX wire protocol (framing + error mapping)."""
+
+import json
+import struct
+
+import pytest
+
+import repro.net.protocol as protocol
+from repro.errors import (
+    CollectionNotFoundError,
+    ProtocolError,
+    RemoteExecutionError,
+    XQuerySyntaxError,
+)
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    HEADER_BYTES,
+    MAGIC,
+    MAX_PAYLOAD_BYTES,
+    PROTOCOL_VERSION,
+    decode_frame,
+    encode_frame,
+    exception_to_payload,
+    payload_to_exception,
+)
+
+#: A representative payload for each frame type (round-trip coverage).
+PAYLOADS = {
+    FrameType.HELLO: {"version": PROTOCOL_VERSION},
+    FrameType.WELCOME: {"version": PROTOCOL_VERSION, "site": "site0"},
+    FrameType.REJECT: {"reason": "protocol version mismatch"},
+    FrameType.PING: {},
+    FrameType.PONG: {"site": "site0", "queries_executed": 3},
+    FrameType.EXECUTE: {
+        "query": 'for $i in collection("C")//item return $i',
+        "default_collection": "C",
+    },
+    FrameType.RESULT: {"result_text": "<Item/>", "elapsed_seconds": 0.01},
+    FrameType.ERROR: {"error_type": "ValueError", "message": "boom"},
+    FrameType.CREATE_COLLECTION: {"collection": "C"},
+    FrameType.STORE_DOCUMENT: {
+        "collection": "C",
+        "document": "<Item code=\"1\">café ☃</Item>",
+        "name": "doc1",
+        "origin": "doc1.xml",
+    },
+    FrameType.DOCUMENT_COUNT: {"collection": "C"},
+    FrameType.COLLECTION_BYTES: {"collection": "C"},
+    FrameType.STATS: {},
+    FrameType.SHUTDOWN: {},
+    FrameType.OK: {"count": 7},
+}
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("frame_type", list(FrameType))
+    def test_every_frame_type_round_trips(self, frame_type):
+        frame = Frame(
+            type=frame_type,
+            request_id=41 + int(frame_type),
+            payload=PAYLOADS[frame_type],
+        )
+        decoded, consumed = decode_frame(encode_frame(frame))
+        assert decoded == frame
+        assert consumed == len(encode_frame(frame))
+
+    def test_unicode_payload_survives(self):
+        frame = Frame(
+            type=FrameType.STORE_DOCUMENT,
+            request_id=1,
+            payload={"document": "élément ☃ \U0001f409"},
+        )
+        decoded, _ = decode_frame(encode_frame(frame))
+        assert decoded.payload["document"] == "élément ☃ \U0001f409"
+
+    def test_header_layout_is_stable(self):
+        # The fixed 16-byte layout is the wire contract; a change breaks
+        # every deployed peer.
+        assert HEADER_BYTES == 16
+        data = encode_frame(Frame(type=FrameType.PING, request_id=7))
+        assert data[:2] == MAGIC
+        assert data[2] == PROTOCOL_VERSION
+        assert data[3] == int(FrameType.PING)
+        assert int.from_bytes(data[4:12], "big") == 7
+        assert int.from_bytes(data[12:16], "big") == len(data) - HEADER_BYTES
+
+    def test_trailing_bytes_are_not_consumed(self):
+        data = encode_frame(Frame(type=FrameType.PING)) + b"extra"
+        _, consumed = decode_frame(data)
+        assert consumed == len(data) - len(b"extra")
+
+
+class TestRejection:
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated frame header"):
+            decode_frame(b"PX\x01")
+
+    def test_truncated_payload(self):
+        data = encode_frame(
+            Frame(type=FrameType.OK, payload={"count": 123456})
+        )
+        with pytest.raises(ProtocolError, match="truncated frame payload"):
+            decode_frame(data[:-4])
+
+    def test_bad_magic(self):
+        data = bytearray(encode_frame(Frame(type=FrameType.PING)))
+        data[:2] = b"ZZ"
+        with pytest.raises(ProtocolError, match="bad frame magic"):
+            decode_frame(bytes(data))
+
+    def test_unknown_frame_type(self):
+        header = struct.Struct("!2sBBQI").pack(MAGIC, PROTOCOL_VERSION, 200, 1, 0)
+        with pytest.raises(ProtocolError, match="unknown frame type 200"):
+            decode_frame(header)
+
+    def test_oversized_length_prefix_rejected_before_allocation(self):
+        header = struct.Struct("!2sBBQI").pack(
+            MAGIC, PROTOCOL_VERSION, int(FrameType.PING), 1,
+            MAX_PAYLOAD_BYTES + 1,
+        )
+        with pytest.raises(ProtocolError, match="exceeds"):
+            decode_frame(header)
+
+    def test_oversized_payload_refused_on_encode(self, monkeypatch):
+        monkeypatch.setattr(protocol, "MAX_PAYLOAD_BYTES", 16)
+        with pytest.raises(ProtocolError, match="oversized frame"):
+            encode_frame(
+                Frame(type=FrameType.OK, payload={"blob": "x" * 64})
+            )
+
+    def test_garbage_payload_is_not_json(self):
+        body = b"not json at all"
+        header = struct.Struct("!2sBBQI").pack(
+            MAGIC, PROTOCOL_VERSION, int(FrameType.OK), 1, len(body)
+        )
+        with pytest.raises(ProtocolError, match="garbage frame payload"):
+            decode_frame(header + body)
+
+    def test_payload_must_be_a_json_object(self):
+        body = json.dumps([1, 2, 3]).encode()
+        header = struct.Struct("!2sBBQI").pack(
+            MAGIC, PROTOCOL_VERSION, int(FrameType.OK), 1, len(body)
+        )
+        with pytest.raises(ProtocolError, match="must be a JSON object"):
+            decode_frame(header + body)
+
+
+class TestErrorMapping:
+    def test_repro_error_round_trips_to_same_class(self):
+        payload = exception_to_payload(CollectionNotFoundError("no collection 'C'"))
+        error = payload_to_exception(payload)
+        assert type(error) is CollectionNotFoundError
+        assert str(error) == "no collection 'C'"
+
+    def test_query_error_round_trips(self):
+        error = payload_to_exception(
+            exception_to_payload(XQuerySyntaxError("unexpected token"))
+        )
+        assert type(error) is XQuerySyntaxError
+
+    def test_builtin_error_round_trips(self):
+        error = payload_to_exception(exception_to_payload(ValueError("bad")))
+        assert type(error) is ValueError
+        assert str(error) == "bad"
+
+    def test_unknown_class_degrades_to_remote_execution_error(self):
+        error = payload_to_exception(
+            {"error_type": "SomeProprietaryError", "message": "details"}
+        )
+        assert type(error) is RemoteExecutionError
+        assert "SomeProprietaryError" in str(error)
+        assert "details" in str(error)
+
+    def test_empty_payload_degrades_gracefully(self):
+        error = payload_to_exception({})
+        assert type(error) is RemoteExecutionError

@@ -1,0 +1,311 @@
+"""End-to-end tests for repro.net: servers, clients, faults, tcp mode.
+
+The in-thread tests exercise the server/client pair without process
+overhead; the ``TestSpawnedCluster``/``TestPartixTcp`` classes spawn real
+site-server *processes* and drive them through the same dispatcher the
+middleware uses, including fault injection (killed servers).
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.cluster import DEGRADE, FAIL_FAST, ParallelDispatcher
+from repro.errors import (
+    DispatchError,
+    ProtocolError,
+    StorageError,
+    TransportError,
+    TransportTimeout,
+    XQuerySyntaxError,
+)
+from repro.net import SiteClient, SiteServer, TcpSiteCluster
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    PROTOCOL_VERSION,
+    recv_frame,
+    send_frame,
+)
+from repro.partix.decomposer import SubQuery
+from repro.partix.middleware import Partix
+from repro.cluster.site import Cluster, Site
+from repro.workloads.virtual_store import (
+    build_items_collection,
+    items_horizontal_fragmentation,
+)
+
+ITEM_QUERY = 'for $i in collection("C")//Item return $i/Code'
+
+
+@pytest.fixture()
+def server():
+    srv = SiteServer(site="s0").serve_in_thread()
+    yield srv
+    srv.close()
+
+
+@pytest.fixture()
+def client(server):
+    cli = SiteClient("127.0.0.1", server.port, site="s0")
+    yield cli
+    cli.close()
+
+
+class TestServerOperations:
+    def test_store_count_bytes_and_execute(self, server, client):
+        client.create_collection("C")
+        client.store_document("C", "<Item><Code>7</Code></Item>", name="d0")
+        client.store_document("C", "<Item><Code>8</Code></Item>", name="d1")
+        assert client.document_count("C") == 2
+        assert client.collection_bytes("C") > 0
+        result, sent, received = client.execute(ITEM_QUERY)
+        assert "<Code>7</Code>" in result.result_text
+        assert "<Code>8</Code>" in result.result_text
+        assert sent > 0 and received > len(result.result_text.encode())
+        assert result.items == []  # only serialized text crosses the wire
+
+    def test_remote_error_raises_same_class_as_local(self, client):
+        # StorageError is exactly what the local engine raises for a
+        # missing collection — the fuzz oracle depends on this symmetry.
+        with pytest.raises(StorageError):
+            client.execute('collection("missing")//Item')
+        with pytest.raises(XQuerySyntaxError):
+            client.execute("for for for")
+
+    def test_ping_and_stats(self, server, client):
+        payload = client.ping()
+        assert payload["site"] == "s0"
+        client.create_collection("C")
+        client.store_document("C", "<Item/>", name="d0")
+        client.execute(ITEM_QUERY)
+        stats = client.server_stats()
+        assert stats["queries_executed"] == 1
+        assert stats["documents_stored"] == 1
+        assert stats["bytes_received"] > 0
+        assert stats["bytes_sent"] > 0
+
+    def test_client_counts_real_bytes_both_ways(self, server, client):
+        before_sent, before_received = client.bytes_sent, client.bytes_received
+        client.ping()
+        assert client.bytes_sent > before_sent
+        assert client.bytes_received > before_received
+
+    def test_read_timeout_surfaces_as_transport_timeout(self, server, client):
+        with pytest.raises(TransportTimeout):
+            client.execute(
+                ITEM_QUERY, read_timeout=0.05, debug_sleep_seconds=1.0
+            )
+
+    def test_graceful_shutdown_drains(self, server, client):
+        assert client.shutdown_server()
+        deadline = time.perf_counter() + 5.0
+        while time.perf_counter() < deadline:
+            try:
+                SiteClient("127.0.0.1", server.port, connect_timeout=0.2).ping(
+                    read_timeout=0.2
+                )
+            except (TransportError, ProtocolError):
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail("server kept answering after SHUTDOWN")
+
+
+class TestHandshake:
+    def test_version_mismatch_is_refused(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            send_frame(
+                sock,
+                Frame(
+                    type=FrameType.HELLO,
+                    request_id=1,
+                    payload={"version": PROTOCOL_VERSION + 1},
+                ),
+            )
+            reply, _ = recv_frame(sock)
+            assert reply.type is FrameType.REJECT
+            assert "version mismatch" in reply.payload["reason"]
+            # The server closes its end after the REJECT.
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+
+    def test_first_frame_must_be_hello(self, server):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            send_frame(sock, Frame(type=FrameType.PING, request_id=1))
+            reply, _ = recv_frame(sock)
+            assert reply.type is FrameType.REJECT
+            assert "expected HELLO" in reply.payload["reason"]
+
+    def test_garbage_bytes_do_not_wedge_the_server(self, server, client):
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0) as sock:
+            sock.sendall(b"GET / HTTP/1.1\r\n\r\n" + b"\x00" * 32)
+            sock.settimeout(5.0)
+            assert sock.recv(4096) is not None  # REJECT or close, not a hang
+        # A well-behaved client still gets service afterwards.
+        assert client.ping()["site"] == "s0"
+
+
+def _spawn(names=("s0", "s1")):
+    return TcpSiteCluster.spawn({name: {} for name in names})
+
+
+def _seed_cluster(tcp):
+    """Store one distinct document at every spawned site."""
+    for index, (name, client) in enumerate(sorted(tcp.clients.items())):
+        client.create_collection("C")
+        client.store_document(
+            "C", f"<Item><Code>{index}</Code></Item>", name=f"d{index}"
+        )
+
+
+def _subqueries(names):
+    return [
+        SubQuery(fragment=f"F{i}", site=name, collection="C", query=ITEM_QUERY)
+        for i, name in enumerate(sorted(names))
+    ]
+
+
+class TestSpawnedCluster:
+    def test_spawn_ping_dispatch_shutdown(self):
+        tcp = _spawn()
+        try:
+            health = tcp.ping_all()
+            assert set(health) == {"s0", "s1"}
+            _seed_cluster(tcp)
+            outcome = ParallelDispatcher().dispatch(
+                tcp.transport(), _subqueries(tcp.clients)
+            )
+            assert outcome.complete
+            assert outcome.round.wire_measured
+            assert outcome.round.total_bytes_sent > 0
+            assert outcome.round.total_bytes_received > 0
+            texts = [e.result.result_text for e in outcome.round.executions]
+            assert "<Code>0</Code>" in texts[0]
+            assert "<Code>1</Code>" in texts[1]
+        finally:
+            tcp.shutdown()
+        assert not any(site.alive for site in tcp.sites.values())
+
+    def test_dead_site_fail_fast_raises(self):
+        tcp = _spawn()
+        try:
+            _seed_cluster(tcp)
+            tcp.kill("s1")
+            dispatcher = ParallelDispatcher(
+                retries=0, failure_policy=FAIL_FAST
+            )
+            with pytest.raises(DispatchError) as info:
+                dispatcher.dispatch(tcp.transport(), _subqueries(tcp.clients))
+            assert "s1" in str(info.value)
+        finally:
+            tcp.shutdown()
+
+    def test_dead_site_degrade_returns_partial_with_note(self):
+        tcp = _spawn()
+        try:
+            _seed_cluster(tcp)
+            tcp.kill("s1")
+            dispatcher = ParallelDispatcher(
+                retries=1, failure_policy=DEGRADE, sleep=lambda s: None
+            )
+            outcome = dispatcher.dispatch(
+                tcp.transport(), _subqueries(tcp.clients)
+            )
+            assert not outcome.complete
+            assert [e.site for e in outcome.round.executions] == ["s0"]
+            (failure,) = outcome.failures
+            assert failure.site == "s1"
+            assert failure.attempts == 2  # the dead site was retried
+            assert isinstance(failure.error, TransportError)
+            assert any("degraded" in note and "s1" in note for note in outcome.notes)
+        finally:
+            tcp.shutdown()
+
+    def test_kill_mid_query_surfaces_as_transport_error(self):
+        tcp = _spawn(("s0",))
+        try:
+            _seed_cluster(tcp)
+            killer = threading.Timer(0.3, lambda: tcp.kill("s0"))
+            killer.start()
+            try:
+                with pytest.raises((TransportError, ProtocolError)):
+                    tcp.clients["s0"].execute(
+                        ITEM_QUERY, debug_sleep_seconds=5.0, read_timeout=10.0
+                    )
+            finally:
+                killer.join()
+        finally:
+            tcp.shutdown()
+
+
+def _published_partix(fragment_count=2, item_count=24):
+    collection = build_items_collection(item_count, kind="small", seed=9)
+    cluster = Cluster.with_sites(fragment_count)
+    cluster.add(Site("central"))
+    partix = Partix(cluster)
+    partix.publish(collection, items_horizontal_fragmentation(fragment_count))
+    partix.publish_centralized(collection, "central")
+    return partix, collection
+
+
+class TestPartixTcp:
+    def test_tcp_mode_requires_start_tcp(self):
+        partix, collection = _published_partix()
+        from repro.errors import ClusterError
+
+        with pytest.raises(ClusterError, match="start_tcp"):
+            partix.execute(
+                'collection("%s")//Item' % collection.name,
+                collection=collection.name,
+                execution_mode="tcp",
+            )
+
+    def test_tcp_answers_match_other_modes_byte_for_byte(self):
+        partix, collection = _published_partix()
+        queries = [
+            'for $i in collection("%s")//Item where $i/Section = "S1"'
+            " return $i" % collection.name,
+            'count(collection("%s")//Item)' % collection.name,
+            'for $i in collection("%s")//Item return $i/Code' % collection.name,
+        ]
+        partix.start_tcp()
+        try:
+            for query in queries:
+                results = {
+                    mode: partix.execute(
+                        query,
+                        collection=collection.name,
+                        execution_mode=mode,
+                    )
+                    for mode in ("simulated", "threads", "tcp")
+                }
+                texts = {r.result_text for r in results.values()}
+                assert len(texts) == 1, f"modes disagree on {query!r}"
+                tcp_result = results["tcp"]
+                assert tcp_result.wire_measured
+                assert tcp_result.bytes_sent > results["simulated"].bytes_sent
+                assert not results["simulated"].wire_measured
+        finally:
+            partix.stop_tcp()
+
+    def test_start_tcp_is_idempotent_and_stop_reaps(self):
+        partix, _ = _published_partix()
+        first = partix.start_tcp()
+        assert partix.start_tcp() is first
+        processes = [site.process for site in first.sites.values()]
+        partix.stop_tcp()
+        assert partix.tcp is None
+        assert not any(process.is_alive() for process in processes)
+
+    def test_fuzz_smoke_tcp_matches_centralized(self):
+        from repro.fuzz.generator import spec_for_iteration
+        from repro.fuzz.runner import run_case
+
+        for iteration in range(2):
+            spec = spec_for_iteration(20060806, iteration)
+            outcome = run_case(spec, modes=("simulated", "tcp"))
+            assert outcome.ok, [m.detail for m in outcome.mismatches]
+            assert outcome.comparisons > 0
