@@ -8,6 +8,7 @@ Usage::
     python -m repro.bench --figure headline
     python -m repro.bench --figure modes
     python -m repro.bench --figure transport --json transport.json
+    python -m repro.bench --figure streaming --json BENCH_streaming.json
 
 Prints the same per-query tables the benchmark suite asserts on.
 """
@@ -22,16 +23,20 @@ from repro.bench.reporting import (
     format_mode_comparison,
     format_scenario_table,
     format_speedup_series,
+    format_streaming_comparison,
     format_transport_comparison,
+    streaming_comparison_payload,
     transport_comparison_payload,
 )
 from repro.bench.scale import DEFAULT_SCALE
 from repro.bench.scenarios import (
+    STREAMING_MODES,
     TRANSPORT_MODES,
     build_items_scenario,
     build_store_scenario,
     build_xbench_scenario,
     compare_execution_modes,
+    compare_streaming,
     compare_transports,
 )
 from repro.partix.publisher import FragMode
@@ -105,6 +110,36 @@ def run_transport(scale: float, repetitions: int, transmission: bool) -> dict:
     return transport_comparison_payload(scenario.name, runs, TRANSPORT_MODES)
 
 
+#: Chunk size for the streaming figure. Small enough that bench results
+#: span many RESULT_CHUNK frames (so peak-buffer bounding is visible),
+#: large enough to stay realistic.
+STREAMING_CHUNK_BYTES = 4096
+
+
+def run_streaming(scale: float, repetitions: int, transmission: bool) -> dict:
+    """Monolithic vs streamed tcp execution, 4-site horizontal split.
+
+    Both lanes run against the same site-server processes. The streamed
+    lane negotiates a small chunk size, routes results through
+    RESULT_CHUNK frames and the incremental composer, and reports peak
+    coordinator buffering plus time-to-first-chunk; aggregate queries
+    (count/sum/…) demonstrate the pushdown's O(fragments) bytes-on-wire.
+    """
+    scenario = build_items_scenario(
+        "small", paper_mb=100, fragment_count=4, scale=scale
+    )
+    scenario.partix.chunk_bytes = STREAMING_CHUNK_BYTES
+    runs = compare_streaming(scenario, repetitions, modes=STREAMING_MODES)
+    print(
+        format_streaming_comparison(
+            scenario.name, runs, STREAMING_CHUNK_BYTES
+        )
+    )
+    return streaming_comparison_payload(
+        scenario.name, runs, STREAMING_MODES, STREAMING_CHUNK_BYTES
+    )
+
+
 FIGURES = {
     "7a": run_figure_7a,
     "7b": run_figure_7b,
@@ -113,6 +148,7 @@ FIGURES = {
     "headline": run_headline,
     "modes": run_modes,
     "transport": run_transport,
+    "streaming": run_streaming,
 }
 
 

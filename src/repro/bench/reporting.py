@@ -8,8 +8,15 @@ from repro.bench.scenarios import (
     ModeComparisonRun,
     QueryRun,
     ScenarioResult,
+    StreamingComparisonRun,
     TransportComparisonRun,
 )
+
+#: Wire-byte allowance per fragment for a pushed-down aggregate: one
+#: scalar partial (RESULT_CHUNK) plus the RESULT_END stats payload and
+#: frame headers. Far below any real result body, so the O(fragments)
+#: regression check cannot pass by accident.
+AGGREGATE_WIRE_BYTES_PER_FRAGMENT = 2048
 
 
 def format_kv_table(title: str, rows: Sequence[tuple[str, object]]) -> str:
@@ -85,6 +92,95 @@ def transport_comparison_payload(
         "scenario": name,
         "modes": list(modes),
         "byte_identical": all(run.byte_identical for run in runs),
+        "runs": [run.to_dict() for run in runs],
+    }
+
+
+def format_streaming_comparison(
+    name: str, runs: list[StreamingComparisonRun], chunk_bytes: int
+) -> str:
+    """Monolithic vs streamed execution, one block per query.
+
+    Shows what the streaming pipeline buys: the coordinator's peak
+    in-memory buffering (bounded by the spill threshold per lane, not by
+    result size), time-to-first-chunk, and — for pushed-down aggregates —
+    bytes-on-wire collapsing to one scalar per fragment.
+    """
+    header = f"{name} — monolithic vs streamed (chunk {chunk_bytes}B)"
+    lines = [header, "-" * len(header)]
+    for run in runs:
+        composition = run.composition + (
+            f"[{run.aggregate}]" if run.aggregate else ""
+        )
+        lines.append(
+            f"{run.qid}: {run.description}"
+            f" (subqueries={run.subqueries}, composition={composition},"
+            f" {'byte-identical' if run.byte_identical else 'ANSWERS DIFFER'})"
+        )
+        for lane in run.lanes:
+            extra = ""
+            if lane.streamed:
+                first = (
+                    f"{lane.first_chunk_seconds * 1000:.1f}ms"
+                    if lane.first_chunk_seconds is not None
+                    else "n/a"
+                )
+                extra = (
+                    f"  peak-buffer {lane.peak_buffered_bytes:>8}B"
+                    f"  first-chunk {first}"
+                )
+            lines.append(
+                f"  {lane.mode:<10} {lane.wall_seconds * 1000:>8.1f}ms"
+                f"  recv {lane.bytes_received:>8}B{extra}"
+            )
+    return "\n".join(lines)
+
+
+def streaming_comparison_payload(
+    name: str,
+    runs: list[StreamingComparisonRun],
+    modes: Sequence[str],
+    chunk_bytes: int,
+) -> dict:
+    """JSON-able summary of a streaming comparison (CI artifact).
+
+    ``checks`` carries the two acceptance invariants so CI can assert on
+    the artifact directly:
+
+    * ``peak_buffer_bounded`` — every streamed lane's coordinator peak
+      in-memory buffering stays within ``2 × chunk_bytes`` per active
+      lane (a :class:`~repro.partix.composer.SpillBuffer` may hold up to
+      threshold + one chunk before spilling to disk).
+    * ``aggregate_wire_o_fragments`` — for pushed-down aggregates, the
+      streamed lane's bytes-on-wire is O(fragments): at most
+      ``AGGREGATE_WIRE_BYTES_PER_FRAGMENT`` per sub-query, regardless of
+      result size.
+    """
+    peak_bounded = True
+    aggregate_o_fragments = True
+    for run in runs:
+        for lane in run.lanes:
+            if not lane.streamed:
+                continue
+            if lane.peak_buffered_bytes > 2 * chunk_bytes * run.subqueries:
+                peak_bounded = False
+            if (
+                run.aggregate
+                and lane.wire_measured
+                and lane.bytes_received
+                > AGGREGATE_WIRE_BYTES_PER_FRAGMENT * run.subqueries
+            ):
+                aggregate_o_fragments = False
+    return {
+        "figure": "streaming",
+        "scenario": name,
+        "modes": list(modes),
+        "chunk_bytes": chunk_bytes,
+        "byte_identical": all(run.byte_identical for run in runs),
+        "checks": {
+            "peak_buffer_bounded": peak_bounded,
+            "aggregate_wire_o_fragments": aggregate_o_fragments,
+        },
         "runs": [run.to_dict() for run in runs],
     }
 

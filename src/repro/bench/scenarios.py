@@ -373,6 +373,143 @@ def compare_transports(
 
 
 # ----------------------------------------------------------------------
+# Streaming comparison (monolithic RESULT vs chunked RESULT_CHUNK lanes)
+# ----------------------------------------------------------------------
+@dataclass
+class StreamingLane:
+    """One execution mode's streaming measurements for one query."""
+
+    mode: str
+    wall_seconds: float
+    bytes_received: int
+    streamed: bool
+    wire_measured: bool
+    peak_buffered_bytes: int = 0
+    first_chunk_seconds: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "mode": self.mode,
+            "wall_seconds": self.wall_seconds,
+            "bytes_received": self.bytes_received,
+            "streamed": self.streamed,
+            "wire_measured": self.wire_measured,
+            "peak_buffered_bytes": self.peak_buffered_bytes,
+            "first_chunk_seconds": self.first_chunk_seconds,
+        }
+
+
+@dataclass
+class StreamingComparisonRun:
+    """One query compared monolithic vs streamed.
+
+    ``bytes_received`` per lane is what actually traveled back to the
+    coordinator: framed socket bytes for the tcp lanes. For aggregate
+    compositions the decomposer's pushdown makes that O(fragments) — each
+    site ships one scalar partial — regardless of the underlying result
+    size. ``peak_buffered_bytes`` is the streamed lane's largest
+    coordinator-side in-memory buffering (bounded by the spill threshold
+    per active lane, never by result size); ``first_chunk_seconds`` its
+    time-to-first-byte.
+    """
+
+    qid: str
+    description: str
+    subqueries: int
+    composition: str
+    aggregate: Optional[str]
+    byte_identical: bool
+    lanes: list[StreamingLane] = field(default_factory=list)
+
+    def lane(self, mode: str) -> StreamingLane:
+        for lane in self.lanes:
+            if lane.mode == mode:
+                return lane
+        raise KeyError(mode)
+
+    def to_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "description": self.description,
+            "subqueries": self.subqueries,
+            "composition": self.composition,
+            "aggregate": self.aggregate,
+            "byte_identical": self.byte_identical,
+            "lanes": [lane.to_dict() for lane in self.lanes],
+        }
+
+
+STREAMING_MODES = ("tcp", "tcp-stream")
+
+
+def compare_streaming(
+    scenario: Scenario,
+    repetitions: int = 2,
+    modes: tuple = STREAMING_MODES,
+) -> list[StreamingComparisonRun]:
+    """Run a scenario's queries monolithic and streamed, side by side.
+
+    Both lanes speak to the same spawned site-server processes; the
+    streamed lane routes results through RESULT_CHUNK frames and the
+    incremental composer. Byte-identity of the answers is checked against
+    the first mode. First run of each configuration is discarded
+    (warm-up).
+    """
+    runs: list[StreamingComparisonRun] = []
+    started_tcp = False
+    if any(mode.startswith("tcp") for mode in modes) and scenario.partix.tcp is None:
+        scenario.partix.start_tcp()
+        started_tcp = True
+    try:
+        for query in scenario.queries:
+            by_mode: dict[str, list[PartixResult]] = {}
+            for mode in modes:
+                by_mode[mode] = [
+                    scenario.partix.execute(
+                        query.text,
+                        collection=scenario.collection_name,
+                        execution_mode=mode,
+                    )
+                    for _ in range(repetitions + 1)
+                ][1:]
+            reference = by_mode[modes[0]][-1]
+            plan = scenario.partix.explain(
+                query.text, scenario.collection_name
+            )
+            run = StreamingComparisonRun(
+                qid=query.qid,
+                description=query.description,
+                subqueries=len(reference.round.executions),
+                composition=plan.composition.kind,
+                aggregate=plan.composition.aggregate,
+                byte_identical=all(
+                    by_mode[mode][-1].result_text == reference.result_text
+                    for mode in modes[1:]
+                ),
+            )
+            for mode in modes:
+                last = by_mode[mode][-1]
+                run.lanes.append(
+                    StreamingLane(
+                        mode=mode,
+                        wall_seconds=_avg(
+                            r.measured_wall_seconds for r in by_mode[mode]
+                        ),
+                        bytes_received=last.bytes_received,
+                        streamed=last.streamed,
+                        wire_measured=last.wire_measured,
+                        peak_buffered_bytes=last.peak_buffered_bytes,
+                        first_chunk_seconds=last.first_chunk_seconds,
+                    )
+                )
+            runs.append(run)
+    finally:
+        if started_tcp:
+            scenario.partix.stop_tcp()
+    return runs
+
+
+# ----------------------------------------------------------------------
 # Scenario builders (one per paper experiment)
 # ----------------------------------------------------------------------
 #: Simulated per-document access overhead for paper-faithful scenarios.

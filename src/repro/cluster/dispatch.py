@@ -75,11 +75,19 @@ class Transport(abc.ABC):
         subquery: "SubQuery",
         default_collection: Optional[str] = None,
         timeout: Optional[float] = None,
+        on_chunk=None,
     ) -> SubQueryExecution:
         """Run one sub-query at its site. ``timeout`` is the per-sub-query
         budget; transports that can enforce it on the wire (sockets)
         should, in-process transports may ignore it (the dispatcher then
-        checks the budget after the fact)."""
+        checks the budget after the fact).
+
+        ``on_chunk``, when given, selects streaming: the transport calls
+        it with successive byte slices whose concatenation is exactly the
+        UTF-8 serialized answer, and the returned execution's result may
+        carry an empty ``result_text`` (the bytes already went to the
+        callback). Transports with no real stream (in-process) emulate
+        the chunking so composition code sees one behavior everywhere."""
 
 
 class InProcessTransport(Transport):
@@ -90,8 +98,15 @@ class InProcessTransport(Transport):
     so reports can distinguish modeled from measured transfers.
     """
 
-    def __init__(self, cluster: Cluster):
+    def __init__(self, cluster: Cluster, chunk_bytes: Optional[int] = None):
         self.cluster = cluster
+        if chunk_bytes is None:
+            # Imported lazily: repro.net sits above the cluster layer
+            # (its client builds on this module's Transport).
+            from repro.net.protocol import DEFAULT_CHUNK_BYTES
+
+            chunk_bytes = DEFAULT_CHUNK_BYTES
+        self.chunk_bytes = max(1, int(chunk_bytes))
 
     def resolve(self, site_names: Sequence[str]) -> None:
         for name in site_names:
@@ -102,9 +117,18 @@ class InProcessTransport(Transport):
         subquery: "SubQuery",
         default_collection: Optional[str] = None,
         timeout: Optional[float] = None,
+        on_chunk=None,
     ) -> SubQueryExecution:
         site = self.cluster.site(subquery.site)
         result = site.execute(subquery.query, default_collection=default_collection)
+        if on_chunk is not None:
+            # Chunk emulation: slice the serialized answer into the same
+            # chunk_bytes-sized pieces a site server would stream, so the
+            # incremental composer exercises identical boundaries (UTF-8
+            # splits included) in threads/simulated modes.
+            data = result.result_text.encode("utf-8")
+            for start in range(0, len(data), self.chunk_bytes):
+                on_chunk(data[start:start + self.chunk_bytes])
         return SubQueryExecution(
             site=subquery.site,
             fragment=subquery.fragment,
@@ -242,12 +266,21 @@ class ParallelDispatcher:
         cluster: Union[Cluster, Transport],
         subqueries: Sequence["SubQuery"],
         default_collection: Optional[str] = None,
+        chunk_sink=None,
     ) -> DispatchOutcome:
         """Run ``subqueries`` concurrently; one worker lane per site.
 
         ``cluster`` may be a :class:`Cluster` (wrapped in an
         :class:`InProcessTransport`) or any :class:`Transport` — socket
         lanes to real site servers run through the exact same code path.
+
+        ``chunk_sink`` (e.g. a
+        :class:`~repro.partix.composer.IncrementalComposer`) selects
+        streaming: before every attempt of sub-query *i* the dispatcher
+        calls ``chunk_sink.begin(i)`` (resetting the lane, so a retry can
+        never leave duplicate bytes behind), feeds each arriving slice to
+        ``chunk_sink.chunk(i, data)``, and calls ``chunk_sink.complete(i)``
+        only once the attempt's result is accepted.
         """
         transport = (
             cluster
@@ -286,6 +319,7 @@ class ParallelDispatcher:
                         failures_lock,
                         cancel,
                         skipped,
+                        chunk_sink,
                     )
                     for lane in lanes.values()
                 ]
@@ -327,6 +361,7 @@ class ParallelDispatcher:
         failures_lock: threading.Lock,
         cancel: threading.Event,
         skipped: list[int],
+        chunk_sink=None,
     ) -> None:
         """One site's sub-queries, in plan order, with retry + timeout."""
         for position, (index, subquery) in enumerate(lane):
@@ -335,7 +370,13 @@ class ParallelDispatcher:
                     skipped[0] += len(lane) - position
                 return
             failure = self._run_subquery(
-                transport, index, subquery, default_collection, results, cancel
+                transport,
+                index,
+                subquery,
+                default_collection,
+                results,
+                cancel,
+                chunk_sink,
             )
             if failure is not None:
                 with failures_lock:
@@ -354,6 +395,7 @@ class ParallelDispatcher:
         default_collection: Optional[str],
         results: list[Optional[SubQueryExecution]],
         cancel: threading.Event,
+        chunk_sink=None,
     ) -> Optional[SubQueryFailure]:
         """One sub-query with its retry/backoff/timeout envelope.
 
@@ -368,15 +410,24 @@ class ParallelDispatcher:
             if self.subquery_timeout is not None
             else None
         )
+        on_chunk = None
+        if chunk_sink is not None:
+            def on_chunk(data, _index=index):
+                chunk_sink.chunk(_index, data)
         for attempt in range(self.retries + 1):
             if cancel.is_set():
                 return failure
             started = time.perf_counter()
             try:
+                if chunk_sink is not None:
+                    # Reset the lane at every attempt: a failed attempt's
+                    # partial chunks must never survive into the retry.
+                    chunk_sink.begin(index)
                 execution = transport.execute(
                     subquery,
                     default_collection=default_collection,
                     timeout=self.subquery_timeout,
+                    on_chunk=on_chunk,
                 )
             except Exception as exc:
                 failure = SubQueryFailure(
@@ -407,6 +458,8 @@ class ParallelDispatcher:
                 else:
                     # Each slot is written by exactly one lane thread.
                     results[index] = execution
+                    if chunk_sink is not None:
+                        chunk_sink.complete(index)
                     return None
             if attempt < self.retries:
                 wait = self._backoff_wait(subquery, attempt)

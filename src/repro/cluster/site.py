@@ -165,10 +165,19 @@ class ParallelRound:
     sequential loop's duration, in ``"threads"`` mode the concurrent
     dispatcher's, so benchmarks can print simulated parallel time and
     measured parallel time side by side.
+
+    Streaming rounds additionally record ``streamed=True``,
+    ``peak_buffered_bytes`` (the coordinator's largest in-memory partial
+    buffering — bounded by spill threshold × active lanes, not by result
+    size) and ``first_chunk_seconds`` (sink creation to first arriving
+    chunk: the round's time-to-first-byte).
     """
 
     executions: list[SubQueryExecution] = field(default_factory=list)
     measured_wall_seconds: float = 0.0
+    streamed: bool = False
+    peak_buffered_bytes: int = 0
+    first_chunk_seconds: Optional[float] = None
 
     @property
     def parallel_seconds(self) -> float:

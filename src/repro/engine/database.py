@@ -260,6 +260,39 @@ class XMLEngine:
             stats=cumulative,
         )
 
+    def execute_iter(
+        self,
+        query: Union[str, Expr],
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional[Predicate] = None,
+    ) -> "StreamedExecution":
+        """Execute a query as a stream of per-item serialized pieces.
+
+        Same pipeline as :meth:`execute`, but serialization is handed
+        out item by item through the returned :class:`StreamedExecution`
+        instead of being joined into one monolithic string — a consumer
+        (the streaming site server) can put each piece on the wire while
+        the next one is still being serialized.
+        """
+        started = time.perf_counter()
+        delta = EngineStats()
+        expr = parse_query(query) if isinstance(query, str) else query
+        analysis = analyze_query(expr)
+        predicate = analysis.predicate
+        if extra_predicate is not None:
+            from repro.paths.predicates import And
+
+            predicate = (
+                extra_predicate
+                if predicate is None
+                else And((predicate, extra_predicate))
+            )
+        provider = _EngineProvider(self, default_collection, predicate, delta)
+        eval_started = time.perf_counter()
+        items = Evaluator().evaluate(expr, DynamicContext(provider=provider))
+        delta.evaluation_seconds += time.perf_counter() - eval_started
+        delta.queries_executed += 1
+        return StreamedExecution(self, items, delta, started)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -349,6 +382,70 @@ class _EngineProvider:
                     collection_name, name, stats=self._stats
                 ).root
         return None
+
+
+class StreamedExecution:
+    """One query's result as per-item serialized pieces.
+
+    Iterating yields each item's serialized string (XML for nodes, the
+    canonical atomic form otherwise). The monolithic answer is exactly
+    ``"\\n".join(pieces)`` — the contract both the streaming wire path
+    and the incremental composer rely on, and by construction identical
+    to :func:`serialize_sequence` over the same items.
+
+    ``result`` is ``None`` until iteration completes; afterwards it holds
+    the same :class:`QueryResult` :meth:`XMLEngine.execute` would have
+    returned, except ``result_text`` stays empty (the text went to the
+    consumer piece by piece) and ``result_bytes`` counts the streamed
+    bytes, separators included.
+    """
+
+    def __init__(
+        self,
+        engine: XMLEngine,
+        items: list,
+        delta: EngineStats,
+        started: float,
+    ):
+        self._engine = engine
+        self._delta = delta
+        self._started = started
+        self.items = items
+        self.result: Optional[QueryResult] = None
+
+    def __iter__(self):
+        streamed_bytes = 0
+        for index, item in enumerate(self.items):
+            if isinstance(item, XMLNode):
+                piece = serialize(item)
+            else:
+                piece = atomic_to_string(item)
+            if index:
+                streamed_bytes += 1  # the "\n" separator before this piece
+            streamed_bytes += len(piece.encode("utf-8"))
+            yield piece
+        self._finish(streamed_bytes)
+
+    def _finish(self, streamed_bytes: int) -> None:
+        engine, delta = self._engine, self._delta
+        elapsed = time.perf_counter() - self._started
+        engine._commit_stats(delta)
+        with engine._stats_lock:
+            cumulative = engine.stats.snapshot()
+        self.result = QueryResult(
+            items=self.items,
+            result_text="",
+            result_bytes=streamed_bytes,
+            elapsed_seconds=elapsed + delta.simulated_overhead_seconds,
+            parse_seconds=delta.parse_seconds,
+            documents_parsed=delta.documents_parsed,
+            bytes_parsed=delta.bytes_parsed,
+            documents_scanned=delta.documents_scanned,
+            documents_pruned=delta.documents_pruned,
+            cache_hits=delta.cache_hits,
+            simulated_overhead_seconds=delta.simulated_overhead_seconds,
+            stats=cumulative,
+        )
 
 
 def serialize_sequence(items: list) -> str:

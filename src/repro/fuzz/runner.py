@@ -6,8 +6,11 @@ both ways, re-verifies the §3.3 correctness rules empirically, and runs
 every query once per configuration: centralized, then fragmented in each
 requested execution mode (``simulated`` and ``threads`` by default;
 ``tcp`` adds real site-server processes — the case's repository is
-mirrored over the wire and sub-queries travel through sockets). Two
-comparisons apply:
+mirrored over the wire and sub-queries travel through sockets;
+``tcp-stream`` runs the same processes through the streamed RESULT_CHUNK
+pipeline with an adversarially tiny chunk size, so chunk boundaries fall
+inside multi-byte UTF-8 characters and the incremental composer's answer
+must still be byte-identical). Two comparisons apply:
 
 * **mode** — the composed answers of every execution mode must be
   byte-identical, always. Plan-order composition is a hard contract:
@@ -40,7 +43,14 @@ from repro.partix.middleware import Partix
 
 CENTRAL_SITE = "central"
 EXECUTION_MODES = ("simulated", "threads")
-ALL_EXECUTION_MODES = ("simulated", "threads", "tcp")
+ALL_EXECUTION_MODES = ("simulated", "threads", "tcp", "tcp-stream")
+
+#: Chunk size forced when a streamed mode is under test. Tiny on
+#: purpose: with 7-byte RESULT_CHUNK frames almost every multi-byte
+#: UTF-8 character in a result is split across a chunk boundary, and the
+#: coordinator's spill buffers overflow to disk constantly — the two
+#: nastiest streaming code paths exercised on every query.
+ADVERSARIAL_CHUNK_BYTES = 7
 
 
 @dataclass
@@ -151,7 +161,11 @@ def run_case(
     partix.publish_centralized(case.collection, CENTRAL_SITE)
 
     try:
-        if "tcp" in modes:
+        if any(mode.startswith("tcp") for mode in modes):
+            if "tcp-stream" in modes:
+                # Adversarial chunking: see ADVERSARIAL_CHUNK_BYTES.
+                # Must be set before start_tcp so clients negotiate it.
+                partix.chunk_bytes = ADVERSARIAL_CHUNK_BYTES
             partix.start_tcp()
         for index, query in case.active_queries:
             _run_query(partix, index, query, outcome, modes)

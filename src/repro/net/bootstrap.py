@@ -118,10 +118,13 @@ class TcpSiteCluster:
         startup_timeout: float = 15.0,
         context: Optional[multiprocessing.context.BaseContext] = None,
         connect_timeout: float = 5.0,
+        chunk_bytes: Optional[int] = None,
     ) -> "TcpSiteCluster":
         """Start one server process per entry in ``site_configs``
         (site name → engine keyword arguments) and wait until every
-        server reports its bound port."""
+        server reports its bound port. ``chunk_bytes``, when given, is
+        proposed by every client at connect time as the streamed
+        RESULT_CHUNK size."""
         if context is None:
             # fork is much cheaper than spawn and available on the
             # platforms CI runs on; fall back to the default elsewhere.
@@ -162,6 +165,7 @@ class TcpSiteCluster:
                     detail,
                     site=name,
                     connect_timeout=connect_timeout,
+                    chunk_bytes=chunk_bytes,
                 )
                 spawned[name] = SpawnedSite(
                     name=name, process=process, client=client

@@ -54,6 +54,7 @@ class SiteClient:
         connect_timeout: float = 5.0,
         read_timeout: Optional[float] = None,
         pool_size: int = 8,
+        chunk_bytes: Optional[int] = None,
     ):
         self.host = host
         self.port = port
@@ -61,6 +62,11 @@ class SiteClient:
         self.connect_timeout = connect_timeout
         self.read_timeout = read_timeout
         self.pool_size = pool_size
+        #: Proposed streamed-chunk size, sent in HELLO; ``None`` leaves the
+        #: server at its default. The server's clamped answer lands in
+        #: :attr:`negotiated_chunk_bytes` after the first connection.
+        self.chunk_bytes = chunk_bytes
+        self.negotiated_chunk_bytes: Optional[int] = None
         self._idle: list[socket.socket] = []
         self._lock = threading.Lock()
         self._request_id = 0
@@ -82,13 +88,16 @@ class SiteClient:
                 f" {self.host}:{self.port}: {exc}"
             ) from exc
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello: dict = {"version": PROTOCOL_VERSION}
+        if self.chunk_bytes is not None:
+            hello["chunk_bytes"] = self.chunk_bytes
         try:
             sent = send_frame(
                 sock,
                 Frame(
                     type=FrameType.HELLO,
                     request_id=self._next_request_id(),
-                    payload={"version": PROTOCOL_VERSION},
+                    payload=hello,
                 ),
             )
             reply, received = recv_frame(sock)
@@ -110,6 +119,8 @@ class SiteClient:
                 f"expected WELCOME from site {self.site or self.host!r},"
                 f" got {reply.type.name}"
             )
+        if "chunk_bytes" in reply.payload:
+            self.negotiated_chunk_bytes = reply.payload["chunk_bytes"]
         return sock
 
     def _borrow(self) -> socket.socket:
@@ -267,6 +278,108 @@ class SiteClient:
             received,
         )
 
+    def execute_stream(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional["Predicate"] = None,
+        on_chunk=None,
+        read_timeout: Optional[float] = None,
+    ) -> tuple[QueryResult, int, int]:
+        """Run a query remotely in streaming mode.
+
+        ``on_chunk`` is called with each RESULT_CHUNK's raw bytes as it
+        arrives (the concatenation of all chunks is exactly the UTF-8
+        monolithic answer); the returned :class:`QueryResult` carries the
+        RESULT_END stats with an empty ``result_text`` — callers that
+        want the text must assemble it from the chunks. A connection that
+        dies before RESULT_END raises :class:`TransportError`, so a
+        truncated stream can never be mistaken for a short answer.
+        """
+        payload: dict = {"query": query, "stream": True}
+        if default_collection is not None:
+            payload["default_collection"] = default_collection
+        if extra_predicate is not None:
+            from repro.partix.serialization import predicate_to_dict
+
+            payload["extra_predicate"] = predicate_to_dict(extra_predicate)
+        rid = self._next_request_id()
+        sock = self._borrow()
+        timeout = read_timeout if read_timeout is not None else self.read_timeout
+        streamed = 0
+        received_total = 0
+        try:
+            sock.settimeout(timeout)
+            sent = send_frame(
+                sock,
+                Frame(type=FrameType.EXECUTE, request_id=rid, payload=payload),
+            )
+            while True:
+                reply, received = recv_frame(sock)
+                received_total += received
+                if reply.request_id != rid:
+                    sock.close()
+                    raise TransportError(
+                        f"site {self.site or self.host!r} answered request"
+                        f" {reply.request_id}, expected {rid} — stream"
+                        " desynchronized"
+                    )
+                if reply.type is FrameType.RESULT_CHUNK:
+                    streamed += len(reply.raw)
+                    if on_chunk is not None:
+                        on_chunk(reply.raw)
+                elif reply.type is FrameType.RESULT_END:
+                    break
+                elif reply.type is FrameType.ERROR:
+                    # The connection is back in a clean state after an
+                    # ERROR frame; any partial chunks are the caller's
+                    # sink to discard (the dispatcher resets its lane on
+                    # every retry attempt).
+                    self._repool(sock)
+                    self._count(sent, received_total)
+                    raise payload_to_exception(reply.payload)
+                else:
+                    sock.close()
+                    raise TransportError(
+                        f"streamed EXECUTE answered with {reply.type.name}"
+                    )
+        except socket.timeout as exc:
+            sock.close()
+            raise TransportTimeout(
+                f"site {self.site or self.host!r} did not answer a streamed"
+                f" EXECUTE within {timeout:.3f}s"
+            ) from exc
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise TransportError(
+                f"stream from site {self.site or self.host!r} truncated"
+                f" before RESULT_END ({streamed} chunk bytes received): {exc}"
+            ) from exc
+        self._repool(sock)
+        self._count(sent, received_total)
+        with self._lock:
+            self.requests += 1
+        data = reply.payload
+        return (
+            QueryResult(
+                items=[],
+                result_text="",
+                result_bytes=data.get("result_bytes", streamed),
+                elapsed_seconds=data["elapsed_seconds"],
+                parse_seconds=data["parse_seconds"],
+                documents_parsed=data["documents_parsed"],
+                bytes_parsed=data["bytes_parsed"],
+                documents_scanned=data["documents_scanned"],
+                documents_pruned=data["documents_pruned"],
+                cache_hits=data.get("cache_hits", 0),
+                simulated_overhead_seconds=data.get(
+                    "simulated_overhead_seconds", 0.0
+                ),
+            ),
+            sent,
+            received_total,
+        )
+
     def create_collection(self, name: str) -> None:
         self.call(FrameType.CREATE_COLLECTION, {"collection": name})
 
@@ -390,15 +503,24 @@ class TcpTransport(Transport):
         subquery: "SubQuery",
         default_collection: Optional[str] = None,
         timeout: Optional[float] = None,
+        on_chunk=None,
     ) -> SubQueryExecution:
         client = self.clients.get(subquery.site)
         if client is None:
             raise ClusterError(f"no site named {subquery.site!r}")
-        result, sent, received = client.execute(
-            subquery.query,
-            default_collection=default_collection,
-            read_timeout=timeout,
-        )
+        if on_chunk is not None:
+            result, sent, received = client.execute_stream(
+                subquery.query,
+                default_collection=default_collection,
+                on_chunk=on_chunk,
+                read_timeout=timeout,
+            )
+        else:
+            result, sent, received = client.execute(
+                subquery.query,
+                default_collection=default_collection,
+                read_timeout=timeout,
+            )
         return SubQueryExecution(
             site=subquery.site,
             fragment=subquery.fragment,

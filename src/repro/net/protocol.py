@@ -20,6 +20,16 @@ as :mod:`repro.partix.serialization` for designs). Frames larger than
 :data:`MAX_PAYLOAD_BYTES` are refused on both encode and decode — a
 garbage length prefix must not make a reader allocate gigabytes.
 
+The one exception to the JSON rule is ``RESULT_CHUNK``: its payload is
+*raw bytes* — a slice of the UTF-8 serialized result stream, shipped
+without JSON escaping so large XML value streams cost exactly their own
+size on the wire. A streamed execution is a sequence of ``RESULT_CHUNK``
+frames closed by one JSON ``RESULT_END`` frame carrying the execution
+stats; chunk size is negotiated per connection: the client proposes
+``chunk_bytes`` in its HELLO, the server clamps it with
+:func:`negotiate_chunk_bytes` and echoes the effective value in its
+WELCOME.
+
 Handshake: a client's first frame must be ``HELLO {"version": N}``. The
 server answers ``WELCOME {"version", "site"}`` when the version matches
 and ``REJECT {"reason"}`` (then closes) when it does not — version skew
@@ -41,7 +51,6 @@ import json
 import socket
 import struct
 from dataclasses import dataclass, field
-from typing import Callable
 
 from repro.errors import ProtocolError, RemoteExecutionError
 
@@ -56,6 +65,30 @@ HEADER_BYTES = _HEADER.size
 #: mirrored fragment document; small enough that a corrupt length prefix
 #: cannot trigger a runaway allocation.
 MAX_PAYLOAD_BYTES = 64 * 1024 * 1024
+
+#: Default negotiated size of one streamed RESULT_CHUNK payload. 64 KiB
+#: amortizes the 16-byte header to ~0.02% while keeping the coordinator's
+#: per-lane buffering small.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+#: Floor for a negotiated chunk size. 1 is legal on purpose: the fuzz
+#: harness uses it to force chunk boundaries inside multi-byte UTF-8
+#: sequences.
+MIN_CHUNK_BYTES = 1
+
+
+def negotiate_chunk_bytes(requested) -> int:
+    """Clamp a client-proposed chunk size to a servable value.
+
+    Anything non-numeric or missing falls back to
+    :data:`DEFAULT_CHUNK_BYTES`; numeric proposals are clamped into
+    ``[MIN_CHUNK_BYTES, MAX_PAYLOAD_BYTES]``.
+    """
+    try:
+        value = int(requested)
+    except (TypeError, ValueError):
+        return DEFAULT_CHUNK_BYTES
+    return max(MIN_CHUNK_BYTES, min(value, MAX_PAYLOAD_BYTES))
 
 
 class FrameType(enum.IntEnum):
@@ -76,21 +109,40 @@ class FrameType(enum.IntEnum):
     STATS = 13  # {} → OK with the server's cumulative wire/query stats
     SHUTDOWN = 14  # {} → OK, then the server drains and exits
     OK = 15  # generic success reply, payload depends on the request
+    RESULT_CHUNK = 16  # raw bytes: one slice of a streamed result
+    RESULT_END = 17  # {"result_bytes", "elapsed_seconds", stats...}
+
+
+#: Frame types whose payload is raw bytes, not a JSON object.
+RAW_PAYLOAD_TYPES = frozenset({FrameType.RESULT_CHUNK})
 
 
 @dataclass(frozen=True)
 class Frame:
-    """One decoded protocol frame."""
+    """One decoded protocol frame.
+
+    ``payload`` carries the JSON object of every ordinary frame;
+    ``raw`` carries the byte slice of a :data:`RAW_PAYLOAD_TYPES` frame
+    (whose ``payload`` stays ``{}``).
+    """
 
     type: FrameType
     request_id: int = 0
     payload: dict = field(default_factory=dict)
     version: int = PROTOCOL_VERSION
+    raw: bytes = b""
 
 
 def encode_frame(frame: Frame) -> bytes:
-    """Serialize a frame to its wire form (header + JSON payload)."""
-    body = json.dumps(frame.payload, separators=(",", ":")).encode("utf-8")
+    """Serialize a frame to its wire form (header + payload).
+
+    The payload is the JSON object ``frame.payload`` for ordinary
+    frames, and ``frame.raw`` verbatim for raw-payload frames.
+    """
+    if frame.type in RAW_PAYLOAD_TYPES:
+        body = frame.raw
+    else:
+        body = json.dumps(frame.payload, separators=(",", ":")).encode("utf-8")
     if len(body) > MAX_PAYLOAD_BYTES:
         raise ProtocolError(
             f"refusing to encode oversized frame: payload is {len(body)}"
@@ -136,6 +188,16 @@ def decode_frame(data: bytes) -> tuple[Frame, int]:
             f" {len(data) - HEADER_BYTES}"
         )
     body = data[HEADER_BYTES:end]
+    if frame_type in RAW_PAYLOAD_TYPES:
+        return (
+            Frame(
+                type=frame_type,
+                request_id=request_id,
+                version=version,
+                raw=bytes(body),
+            ),
+            end,
+        )
     try:
         payload = json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -165,19 +227,25 @@ def send_frame(sock: socket.socket, frame: Frame) -> int:
     return len(data)
 
 
-def _recv_exactly(read: Callable[[int], bytes], count: int) -> bytes:
-    chunks = []
-    remaining = count
-    while remaining > 0:
-        chunk = read(remaining)
-        if not chunk:
+def _recv_exactly(sock: socket.socket, count: int) -> bytes:
+    """Read exactly ``count`` bytes into one pre-sized buffer.
+
+    A single ``bytearray`` is allocated up front and filled through
+    ``recv_into`` — no per-read chunk objects, no final join — so a large
+    payload is received with one allocation instead of O(reads) copies.
+    """
+    buffer = bytearray(count)
+    view = memoryview(buffer)
+    received = 0
+    while received < count:
+        read = sock.recv_into(view[received:])
+        if read == 0:
             raise ProtocolError(
-                f"connection closed mid-frame ({count - remaining} of"
+                f"connection closed mid-frame ({received} of"
                 f" {count} bytes read)"
             )
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
+        received += read
+    return bytes(buffer)
 
 
 def recv_frame(sock: socket.socket) -> tuple[Frame, int]:
@@ -186,7 +254,7 @@ def recv_frame(sock: socket.socket) -> tuple[Frame, int]:
     The header is read first and validated, so a corrupt length prefix is
     caught before any payload allocation.
     """
-    header = _recv_exactly(sock.recv, HEADER_BYTES)
+    header = _recv_exactly(sock, HEADER_BYTES)
     magic, version, type_code, request_id, size = _HEADER.unpack(header)
     if magic != MAGIC:
         raise ProtocolError(
@@ -198,9 +266,22 @@ def recv_frame(sock: socket.socket) -> tuple[Frame, int]:
             f"frame payload length {size} exceeds the"
             f" {MAX_PAYLOAD_BYTES}-byte limit"
         )
-    body = _recv_exactly(sock.recv, size) if size else b""
+    body = _recv_exactly(sock, size) if size else b""
     frame, _ = decode_frame(header + body)
     return frame, HEADER_BYTES + size
+
+
+def frame_size_bucket(total_bytes: int) -> str:
+    """Histogram bucket label for one frame's total size on the wire.
+
+    Power-of-two buckets from 64 bytes up to the payload ceiling; used by
+    the server's wire stats so chunk-size tuning can be audited from the
+    frame-size distribution.
+    """
+    size = 64
+    while total_bytes > size and size < MAX_PAYLOAD_BYTES:
+        size *= 2
+    return f"<={size}B"
 
 
 # ----------------------------------------------------------------------

@@ -31,12 +31,17 @@ import threading
 import time
 from typing import Optional
 
+from collections import Counter
+
 from repro.errors import ProtocolError
 from repro.net.protocol import (
+    DEFAULT_CHUNK_BYTES,
     Frame,
     FrameType,
     PROTOCOL_VERSION,
     exception_to_payload,
+    frame_size_bucket,
+    negotiate_chunk_bytes,
     recv_frame,
     send_frame,
 )
@@ -59,6 +64,14 @@ def _result_payload(result) -> dict:
     }
 
 
+def _stream_end_payload(result) -> dict:
+    """RESULT_END payload: execution stats, no text (it already streamed)."""
+    payload = _result_payload(result)
+    del payload["result_text"]
+    payload["result_bytes"] = result.result_bytes
+    return payload
+
+
 class _SiteHandler(socketserver.BaseRequestHandler):
     """One client connection: handshake, then a request/reply loop."""
 
@@ -68,6 +81,7 @@ class _SiteHandler(socketserver.BaseRequestHandler):
         sock = self.request
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         owner = self.server.owner
+        self.chunk_bytes = DEFAULT_CHUNK_BYTES
         if not self._handshake(sock, owner):
             return
         while True:
@@ -116,11 +130,19 @@ class _SiteHandler(socketserver.BaseRequestHandler):
                 },
             )
             return False
+        if "chunk_bytes" in frame.payload:
+            self.chunk_bytes = negotiate_chunk_bytes(
+                frame.payload["chunk_bytes"]
+            )
         self._reply(
             sock,
             frame.request_id,
             FrameType.WELCOME,
-            {"version": PROTOCOL_VERSION, "site": owner.site},
+            {
+                "version": PROTOCOL_VERSION,
+                "site": owner.site,
+                "chunk_bytes": self.chunk_bytes,
+            },
         )
         return True
 
@@ -187,6 +209,9 @@ class _SiteHandler(socketserver.BaseRequestHandler):
             from repro.partix.serialization import predicate_from_dict
 
             predicate = predicate_from_dict(extra)
+        if payload.get("stream"):
+            self._execute_stream(sock, owner, rid, payload, predicate)
+            return
         result = owner.driver.execute(
             payload["query"],
             default_collection=payload.get("default_collection"),
@@ -194,6 +219,56 @@ class _SiteHandler(socketserver.BaseRequestHandler):
         )
         owner._count_query()
         self._reply(sock, rid, FrameType.RESULT, _result_payload(result))
+
+    def _execute_stream(
+        self,
+        sock: socket.socket,
+        owner: "SiteServer",
+        rid: int,
+        payload: dict,
+        predicate,
+    ) -> None:
+        """Streamed EXECUTE: RESULT_CHUNK frames as produced, RESULT_END last.
+
+        The driver's per-item pieces are packed into chunks of the
+        connection's negotiated ``chunk_bytes``, with a ``\\n`` separator
+        byte between pieces — the concatenated chunk payloads are exactly
+        the UTF-8 bytes of the monolithic ``result_text``, so a client
+        reassembling the stream gets a byte-identical answer. Chunks go
+        on the wire while later items are still being serialized.
+        """
+        stream = owner.driver.execute_iter(
+            payload["query"],
+            default_collection=payload.get("default_collection"),
+            extra_predicate=predicate,
+        )
+        chunk_bytes = self.chunk_bytes
+        buffer = bytearray()
+        first = True
+        for piece in stream:
+            if not first:
+                buffer += b"\n"
+            first = False
+            buffer += piece.encode("utf-8")
+            while len(buffer) >= chunk_bytes:
+                self._reply_raw(sock, rid, bytes(buffer[:chunk_bytes]))
+                del buffer[:chunk_bytes]
+        if buffer:
+            self._reply_raw(sock, rid, bytes(buffer))
+        owner._count_query()
+        self._reply(
+            sock, rid, FrameType.RESULT_END, _stream_end_payload(stream.result)
+        )
+
+    def _reply_raw(self, sock: socket.socket, rid: int, data: bytes) -> None:
+        try:
+            sent = send_frame(
+                sock,
+                Frame(type=FrameType.RESULT_CHUNK, request_id=rid, raw=data),
+            )
+        except OSError:
+            return
+        self.server.owner._count_out(sent)
 
     def _reply(
         self, sock: socket.socket, rid: int, type_: FrameType, payload: dict
@@ -235,6 +310,8 @@ class SiteServer:
         self._documents_stored = 0
         self._bytes_received = 0
         self._bytes_sent = 0
+        self._frame_sizes_in: Counter = Counter()
+        self._frame_sizes_out: Counter = Counter()
         self._started = time.perf_counter()
         self._thread: Optional[threading.Thread] = None
         self._shutdown_requested = threading.Event()
@@ -256,16 +333,20 @@ class SiteServer:
                 "documents_stored": self._documents_stored,
                 "bytes_received": self._bytes_received,
                 "bytes_sent": self._bytes_sent,
+                "frame_sizes_received": dict(self._frame_sizes_in),
+                "frame_sizes_sent": dict(self._frame_sizes_out),
                 "uptime_seconds": time.perf_counter() - self._started,
             }
 
     def _count_in(self, count: int) -> None:
         with self._stats_lock:
             self._bytes_received += count
+            self._frame_sizes_in[frame_size_bucket(count)] += 1
 
     def _count_out(self, count: int) -> None:
         with self._stats_lock:
             self._bytes_sent += count
+            self._frame_sizes_out[frame_size_bucket(count)] += 1
 
     def _count_query(self) -> None:
         with self._stats_lock:

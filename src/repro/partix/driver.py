@@ -65,6 +65,40 @@ class PartixDriver(abc.ABC):
         :meth:`document_count`).
         """
 
+    def execute_iter(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional[Predicate] = None,
+    ):
+        """Run an XQuery as a stream of serialized result pieces.
+
+        Returns an iterable of strings whose ``"\\n"``-join is exactly
+        the query's serialized answer, with a ``result`` attribute (a
+        :class:`QueryResult`) available once iteration completes. The
+        base implementation materializes through :meth:`execute` and
+        yields the whole text as one piece — correct for any driver;
+        engine-backed drivers override it with true per-item streaming.
+        """
+        return _MaterializedStream(
+            self.execute(
+                query,
+                default_collection=default_collection,
+                extra_predicate=extra_predicate,
+            )
+        )
+
+
+class _MaterializedStream:
+    """``execute_iter`` fallback: the whole result as a single piece."""
+
+    def __init__(self, result: QueryResult):
+        self.result = result
+
+    def __iter__(self):
+        if self.result.result_text:
+            yield self.result.result_text
+
 
 class MiniXDriver(PartixDriver):
     """Driver over the embedded MiniX engine."""
@@ -92,6 +126,18 @@ class MiniXDriver(PartixDriver):
         extra_predicate: Optional[Predicate] = None,
     ) -> QueryResult:
         return self.engine.execute(
+            query,
+            default_collection=default_collection,
+            extra_predicate=extra_predicate,
+        )
+
+    def execute_iter(
+        self,
+        query: str,
+        default_collection: Optional[str] = None,
+        extra_predicate: Optional[Predicate] = None,
+    ):
+        return self.engine.execute_iter(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,

@@ -27,6 +27,14 @@ Three execution modes cover the paper's simulation *and* the real thing:
   first — it spawns one server per cluster site and mirrors every
   published fragment to them over the wire.
 
+Each mode also runs with ``streaming=True`` (``"tcp-stream"`` is
+shorthand for tcp + streaming): partial results arrive as bounded chunks
+feeding an :class:`~repro.partix.composer.IncrementalComposer` instead
+of barriering as monolithic strings — over sockets via RESULT_CHUNK
+frames, in threads/simulated via the transports' chunk emulation, so the
+very same chunk-boundary behavior is exercised everywhere. Streaming
+rounds record ``peak_buffered_bytes`` and ``first_chunk_seconds``.
+
 In every mode ``ParallelRound.measured_wall_seconds`` records the real
 wall-clock of the round, and results are byte-identical across modes
 (partial results always compose in plan order).
@@ -38,8 +46,9 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, TYPE_CHECKING
 
-from repro.cluster.dispatch import ParallelDispatcher
+from repro.cluster.dispatch import InProcessTransport, ParallelDispatcher
 from repro.errors import ClusterError
+from repro.net.protocol import DEFAULT_CHUNK_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.net.bootstrap import TcpSiteCluster
@@ -114,6 +123,23 @@ class PartixResult:
         """True when the byte counts were measured on real sockets."""
         return self.round.wire_measured
 
+    @property
+    def streamed(self) -> bool:
+        """True when the round ran through the streaming pipeline."""
+        return self.round.streamed
+
+    @property
+    def peak_buffered_bytes(self) -> int:
+        """Coordinator's peak in-memory partial-result buffering (streamed
+        rounds; bounded by spill threshold × active lanes, not result
+        size)."""
+        return self.round.peak_buffered_bytes
+
+    @property
+    def first_chunk_seconds(self) -> Optional[float]:
+        """Time-to-first-chunk of a streamed round (None otherwise)."""
+        return self.round.first_chunk_seconds
+
 
 class Partix:
     """Coordinator for distributed XQuery over fragmented repositories."""
@@ -125,8 +151,13 @@ class Partix:
         schema_catalog: Optional[SchemaCatalog] = None,
         distribution_catalog: Optional[DistributionCatalog] = None,
         dispatcher: Optional[ParallelDispatcher] = None,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
     ):
         self.cluster = cluster
+        #: Streamed-chunk size: proposed to tcp site servers at connect
+        #: time and used verbatim by the in-process chunk emulation and as
+        #: the incremental composer's spill threshold.
+        self.chunk_bytes = max(1, int(chunk_bytes))
         self.network = network if network is not None else NetworkModel()
         self.dispatcher = (
             dispatcher if dispatcher is not None else ParallelDispatcher()
@@ -187,6 +218,7 @@ class Partix:
         plan: Optional[DecomposedQuery] = None,
         execution_mode: str = "simulated",
         dispatcher: Optional[ParallelDispatcher] = None,
+        streaming: bool = False,
     ) -> PartixResult:
         """Run a query over the fragmented repository.
 
@@ -203,12 +235,34 @@ class Partix:
         the same dispatcher to real site-server processes (requires
         :meth:`start_tcp`). All modes compose partial results in plan
         order, so the answer is byte-identical.
+
+        ``streaming=True`` routes partial results through the incremental
+        composer as :attr:`chunk_bytes`-bounded chunks instead of
+        monolithic strings (``execution_mode="tcp-stream"`` is shorthand
+        for tcp + streaming); the answer stays byte-identical and the
+        round gains ``peak_buffered_bytes``/``first_chunk_seconds``.
         """
+        if execution_mode == "tcp-stream":
+            execution_mode = "tcp"
+            streaming = True
         if plan is None:
             plan = self.decomposer.decompose(query, collection)
         notes = list(plan.notes)
+        sink = (
+            self.composer.incremental(
+                plan.composition,
+                plan.subqueries,
+                spill_threshold=self.chunk_bytes,
+            )
+            if streaming
+            else None
+        )
+        partials: Optional[list[tuple[SubQuery, str]]] = None
         if execution_mode == "simulated":
-            round_, partials = self._execute_simulated(plan)
+            if sink is None:
+                round_, partials = self._execute_simulated(plan)
+            else:
+                round_ = self._execute_simulated_streaming(plan, sink)
         elif execution_mode in ("threads", "tcp"):
             if execution_mode == "tcp":
                 if self._tcp is None:
@@ -217,23 +271,43 @@ class Partix:
                         " call Partix.start_tcp() first"
                     )
                 target = self._tcp.transport()
+            elif sink is not None:
+                target = InProcessTransport(
+                    self.cluster, chunk_bytes=self.chunk_bytes
+                )
             else:
                 target = self.cluster
             active = dispatcher if dispatcher is not None else self.dispatcher
-            outcome = active.dispatch(target, plan.subqueries)
+            # chunk_sink is passed only when streaming, so dispatcher
+            # subclasses with the pre-streaming signature keep working.
+            if sink is not None:
+                outcome = active.dispatch(
+                    target, plan.subqueries, chunk_sink=sink
+                )
+            else:
+                outcome = active.dispatch(target, plan.subqueries)
             round_ = outcome.round
-            partials = [
-                (plan.subqueries[index], execution.result.result_text)
-                for index, execution in enumerate(outcome.executions_by_index)
-                if execution is not None
-            ]
+            if sink is None:
+                partials = [
+                    (plan.subqueries[index], execution.result.result_text)
+                    for index, execution in enumerate(
+                        outcome.executions_by_index
+                    )
+                    if execution is not None
+                ]
             notes.extend(outcome.notes)
         else:
             raise ValueError(
-                "execution_mode must be 'simulated', 'threads' or 'tcp',"
-                f" got {execution_mode!r}"
+                "execution_mode must be 'simulated', 'threads', 'tcp' or"
+                f" 'tcp-stream', got {execution_mode!r}"
             )
-        composed = self.composer.compose(plan.composition, partials)
+        if sink is None:
+            composed = self.composer.compose(plan.composition, partials)
+        else:
+            composed = sink.finish()
+            round_.streamed = True
+            round_.peak_buffered_bytes = sink.peak_buffered_bytes
+            round_.first_chunk_seconds = sink.time_to_first_chunk
         transmission = self.network.gather_seconds(
             round_.result_sizes,
             query_sizes=[
@@ -277,6 +351,39 @@ class Partix:
         round_.measured_wall_seconds = time.perf_counter() - started
         return round_, partials
 
+    def _execute_simulated_streaming(self, plan: DecomposedQuery, sink):
+        """The sequential round, driving the chunk sink like a transport.
+
+        Each partial is sliced into :attr:`chunk_bytes`-sized pieces — the
+        same boundaries a site server would put on the wire — so even the
+        paper-methodology mode exercises the incremental composer and its
+        chunk-boundary handling (UTF-8 splits included).
+        """
+        round_ = ParallelRound()
+        chunk_bytes = self.chunk_bytes
+        started = time.perf_counter()
+        for index, subquery in enumerate(plan.subqueries):
+            site = self.cluster.site(subquery.site)
+            result = site.execute(subquery.query)
+            sink.begin(index)
+            data = result.result_text.encode("utf-8")
+            for start in range(0, len(data), chunk_bytes):
+                sink.chunk(index, data[start:start + chunk_bytes])
+            sink.complete(index)
+            round_.executions.append(
+                SubQueryExecution(
+                    site=subquery.site,
+                    fragment=subquery.fragment,
+                    query=subquery.query,
+                    result=result,
+                    bytes_sent=len(subquery.query.encode("utf-8")),
+                    bytes_received=result.result_bytes,
+                    on_wire=False,
+                )
+            )
+        round_.measured_wall_seconds = time.perf_counter() - started
+        return round_
+
     # ------------------------------------------------------------------
     # Real networked sites (execution_mode="tcp")
     # ------------------------------------------------------------------
@@ -307,7 +414,10 @@ class Partix:
             site.name: engine_config_of(site) for site in self.cluster.sites()
         }
         tcp = TcpSiteCluster.spawn(
-            configs, startup_timeout=startup_timeout, context=context
+            configs,
+            startup_timeout=startup_timeout,
+            context=context,
+            chunk_bytes=self.chunk_bytes,
         )
         try:
             for site in self.cluster.sites():

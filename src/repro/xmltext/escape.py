@@ -14,18 +14,41 @@ _NAMED_ENTITIES = {
 }
 
 
+# Hot path: these run for every text node and attribute a site
+# serializes — with streaming, every byte that crosses the wire.
+# ``str.replace`` chains are C-level memchr scans (the approach
+# ``html.escape`` takes) and beat both per-character joins and
+# dict-table ``str.translate`` by an order of magnitude; the substring
+# pre-checks return the original object untouched in the common
+# no-specials case. ``&`` must be replaced first.
+
+
 def escape_text(value: str) -> str:
     """Escape a string for use as element content."""
-    if not any(c in value for c in "&<>"):
+    if "&" not in value and "<" not in value and ">" not in value:
         return value
-    return "".join(_TEXT_ESCAPES.get(c, c) for c in value)
+    return (
+        value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    )
 
 
 def escape_attribute(value: str) -> str:
     """Escape a string for use inside a double-quoted attribute value."""
-    if not any(c in value for c in "&<>\"'"):
+    if (
+        "&" not in value
+        and "<" not in value
+        and ">" not in value
+        and '"' not in value
+        and "'" not in value
+    ):
         return value
-    return "".join(_ATTR_ESCAPES.get(c, c) for c in value)
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace('"', "&quot;")
+        .replace("'", "&apos;")
+    )
 
 
 def resolve_entity(name: str) -> str | None:

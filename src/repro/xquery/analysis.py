@@ -62,6 +62,14 @@ from repro.xquery.parser import parse_query
 
 AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})
 
+#: Boolean quantifiers that decompose like aggregates: each fragment
+#: ships one scalar (``true``/``false``) and the composer folds them with
+#: any/all — the same O(1)-bytes-per-fragment pushdown as ``count``.
+BOOLEAN_AGGREGATE_FUNCTIONS = frozenset({"exists", "empty"})
+
+#: Everything :func:`_top_level_aggregate` recognizes for pushdown.
+DECOMPOSABLE_AGGREGATES = AGGREGATE_FUNCTIONS | BOOLEAN_AGGREGATE_FUNCTIONS
+
 
 @dataclass
 class QueryAnalysis:
@@ -134,9 +142,11 @@ def _top_level_aggregate(expr: Expr) -> Optional[str]:
 
     Recognizes ``count(...)``, ``element r { count(...) }`` and
     ``let ... return count(...)`` shapes. ``avg`` is reported but the
-    composer re-derives it from distributed sum/count.
+    composer re-derives it from distributed sum/count. ``exists``/
+    ``empty`` count as aggregates too: their partials are one boolean
+    per fragment, folded by the composer with any/all.
     """
-    if isinstance(expr, FunctionCall) and expr.name in AGGREGATE_FUNCTIONS:
+    if isinstance(expr, FunctionCall) and expr.name in DECOMPOSABLE_AGGREGATES:
         return expr.name
     if isinstance(expr, ElementConstructor) and len(expr.content) == 1:
         return _top_level_aggregate(expr.content[0])

@@ -9,6 +9,7 @@ class TestCli:
     def test_figures_registry(self):
         assert set(FIGURES) == {
             "7a", "7b", "7c", "7d", "headline", "modes", "transport",
+            "streaming",
         }
 
     def test_runs_modes_figure(self, capsys):
@@ -68,6 +69,35 @@ class TestCli:
         ]
         assert tcp_lanes and all(lane["wire_measured"] for lane in tcp_lanes)
         assert all(lane["bytes_sent"] > 0 for lane in tcp_lanes)
+
+    def test_runs_streaming_figure_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "streaming.json"
+        exit_code = main(
+            [
+                "--figure", "streaming",
+                "--scale", "0.0005",
+                "--repetitions", "1",
+                "--json", str(path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "monolithic vs streamed" in output
+        assert "ANSWERS DIFFER" not in output
+        payload = json.loads(path.read_text())
+        assert payload["byte_identical"] is True
+        assert payload["checks"]["peak_buffer_bounded"] is True
+        assert payload["checks"]["aggregate_wire_o_fragments"] is True
+        streamed_lanes = [
+            lane
+            for run in payload["runs"]
+            for lane in run["lanes"]
+            if lane["mode"] == "tcp-stream"
+        ]
+        assert streamed_lanes
+        assert all(lane["streamed"] for lane in streamed_lanes)
 
     def test_json_flag_rejected_for_figures_without_payload(self, tmp_path):
         with pytest.raises(SystemExit):

@@ -50,6 +50,13 @@ PAYLOADS = {
     FrameType.STATS: {},
     FrameType.SHUTDOWN: {},
     FrameType.OK: {"count": 7},
+    FrameType.RESULT_CHUNK: {},  # raw-payload frame: payload stays {}
+    FrameType.RESULT_END: {"result_bytes": 42, "elapsed_seconds": 0.01},
+}
+
+#: Raw bytes for the raw-payload frame types.
+RAW_BODIES = {
+    FrameType.RESULT_CHUNK: "<Item>café ☃</Item>".encode("utf-8"),
 }
 
 
@@ -60,10 +67,23 @@ class TestRoundTrip:
             type=frame_type,
             request_id=41 + int(frame_type),
             payload=PAYLOADS[frame_type],
+            raw=RAW_BODIES.get(frame_type, b""),
         )
         decoded, consumed = decode_frame(encode_frame(frame))
         assert decoded == frame
         assert consumed == len(encode_frame(frame))
+
+    def test_result_chunk_payload_is_raw_bytes(self):
+        # No JSON escaping: the wire body is exactly the chunk's bytes,
+        # even when they are not valid UTF-8 (a chunk may split a
+        # multi-byte character).
+        body = "é".encode("utf-8")[:1] + b"\xff\x00<not json"
+        frame = Frame(type=FrameType.RESULT_CHUNK, request_id=9, raw=body)
+        data = encode_frame(frame)
+        assert data[HEADER_BYTES:] == body
+        decoded, _ = decode_frame(data)
+        assert decoded.raw == body
+        assert decoded.payload == {}
 
     def test_unicode_payload_survives(self):
         frame = Frame(
