@@ -6,11 +6,16 @@ Usage::
     python -m repro.bench --figure 7c
     python -m repro.bench --figure 7d --transmission
     python -m repro.bench --figure headline
-    python -m repro.bench --figure modes
+    python -m repro.bench --figure modes --json modes.json
     python -m repro.bench --figure transport --json transport.json
     python -m repro.bench --figure streaming --json BENCH_streaming.json
+    python -m repro.bench --figure plans --golden-dir tests/golden/plans
+    python -m repro.bench --figure plans --golden-dir tests/golden/plans --update-golden
 
-Prints the same per-query tables the benchmark suite asserts on.
+Prints the same per-query tables the benchmark suite asserts on. The
+``plans`` figure renders every bench query's cost-annotated physical
+plan (``Partix.explain``) and diffs it against the golden files; with
+``--update-golden`` it rewrites them instead.
 """
 
 from __future__ import annotations
@@ -19,8 +24,10 @@ import argparse
 import json
 import sys
 
+from repro.bench.plans import run_plans
 from repro.bench.reporting import (
     format_mode_comparison,
+    mode_comparison_payload,
     format_scenario_table,
     format_speedup_series,
     format_streaming_comparison,
@@ -86,13 +93,18 @@ def run_headline(scale: float, repetitions: int, transmission: bool) -> None:
     print(f"\nbest Q8 speedup: {best:.1f}x (paper reports up to 72x)")
 
 
-def run_modes(scale: float, repetitions: int, transmission: bool) -> None:
-    """Simulated vs real-threads execution on a 4-site horizontal split."""
+def run_modes(scale: float, repetitions: int, transmission: bool) -> dict:
+    """Simulated vs real-threads execution on a 4-site horizontal split.
+
+    The JSON summary records, per query and per plan lane, the planner's
+    estimated seconds next to the measured seconds of both modes.
+    """
     scenario = build_items_scenario(
         "small", paper_mb=100, fragment_count=4, scale=scale
     )
     runs = compare_execution_modes(scenario, repetitions)
     print(format_mode_comparison(scenario.name, runs))
+    return mode_comparison_payload(scenario.name, runs)
 
 
 def run_transport(scale: float, repetitions: int, transmission: bool) -> dict:
@@ -149,6 +161,9 @@ FIGURES = {
     "modes": run_modes,
     "transport": run_transport,
     "streaming": run_streaming,
+    # "plans" is dispatched specially in main(): it takes the golden-file
+    # flags instead of repetitions/transmission.
+    "plans": run_plans,
 }
 
 
@@ -177,8 +192,36 @@ def main(argv: list[str] | None = None) -> int:
         "--json", metavar="PATH", default=None,
         help="write the figure's JSON summary here (figures that emit one)",
     )
+    parser.add_argument(
+        "--golden-dir", metavar="DIR", default=None,
+        help="--figure plans: directory of golden plan files to diff against",
+    )
+    parser.add_argument(
+        "--update-golden", action="store_true",
+        help="--figure plans: rewrite the golden files instead of diffing",
+    )
     args = parser.parse_args(argv)
-    payload = FIGURES[args.figure](args.scale, args.repetitions, args.transmission)
+    exit_code = 0
+    if args.figure == "plans":
+        payload = run_plans(
+            scale=args.scale,
+            golden_dir=args.golden_dir,
+            update=args.update_golden,
+        )
+        if not payload["ok"]:
+            print(
+                "golden plans drifted: "
+                + ", ".join(payload["drifted"])
+                + " (re-run with --update-golden to accept)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+    else:
+        if args.golden_dir is not None or args.update_golden:
+            parser.error("--golden-dir/--update-golden require --figure plans")
+        payload = FIGURES[args.figure](
+            args.scale, args.repetitions, args.transmission
+        )
     if args.json is not None:
         if payload is None:
             parser.error(f"--figure {args.figure} does not emit a JSON summary")
@@ -186,7 +229,7 @@ def main(argv: list[str] | None = None) -> int:
             json.dump(payload, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"JSON summary written to {args.json}", file=sys.stderr)
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":

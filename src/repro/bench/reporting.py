@@ -83,6 +83,23 @@ def format_transport_comparison(
     return "\n".join(lines)
 
 
+def mode_comparison_payload(
+    name: str, runs: list[ModeComparisonRun]
+) -> dict:
+    """JSON-able summary of a mode comparison (CI artifact).
+
+    Each run carries ``lane_timings``: the planner's per-lane estimated
+    seconds next to the measured seconds of both modes, joined on the
+    plan-node identity, so estimate quality is a recorded artifact.
+    """
+    return {
+        "figure": "modes",
+        "scenario": name,
+        "byte_identical": all(run.byte_identical for run in runs),
+        "runs": [run.to_dict() for run in runs],
+    }
+
+
 def transport_comparison_payload(
     name: str, runs: list[TransportComparisonRun], modes: Sequence[str]
 ) -> dict:

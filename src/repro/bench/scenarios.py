@@ -18,6 +18,7 @@ from repro.datamodel.collection import Collection
 from repro.partix.fragments import FragmentationSchema
 from repro.partix.middleware import Partix, PartixResult
 from repro.partix.publisher import FragMode
+from repro.plan.executor import ExecutionMode
 from repro.workloads.queries import BenchQuery
 from repro.workloads.virtual_store import (
     build_items_collection,
@@ -189,6 +190,12 @@ class ModeComparisonRun:
     threads_wall_seconds: float
     subqueries: int
     byte_identical: bool
+    #: Per-lane planner-estimate vs measurement, one entry per physical
+    #: plan lane: ``{plan_node, fragment, site, estimated_seconds,
+    #: simulated_seconds, threads_seconds}`` — joined across the two
+    #: modes by the plan-node identity the executor stamps on every
+    #: execution.
+    lane_timings: list = field(default_factory=list)
 
     @property
     def wall_speedup(self) -> float:
@@ -196,6 +203,19 @@ class ModeComparisonRun:
         if self.threads_wall_seconds <= 0:
             return float("inf")
         return self.simulated_wall_seconds / self.threads_wall_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "qid": self.qid,
+            "description": self.description,
+            "parallel_seconds": self.parallel_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "simulated_wall_seconds": self.simulated_wall_seconds,
+            "threads_wall_seconds": self.threads_wall_seconds,
+            "subqueries": self.subqueries,
+            "byte_identical": self.byte_identical,
+            "lane_timings": self.lane_timings,
+        }
 
 
 def compare_execution_modes(
@@ -240,9 +260,51 @@ def compare_execution_modes(
                 subqueries=len(threaded[-1].round.executions),
                 byte_identical=simulated[-1].result_text
                 == threaded[-1].result_text,
+                lane_timings=_join_lane_timings(
+                    simulated[-1], threaded[-1]
+                ),
             )
         )
     return runs
+
+
+def _join_lane_timings(
+    simulated: PartixResult, threaded: PartixResult
+) -> list[dict]:
+    """Join both modes' per-lane measurements on the plan-node identity.
+
+    Either side may miss a node (degraded lane); its column is None.
+    """
+    threads_by_node = {
+        lane["plan_node"]: lane for lane in threaded.lane_timings
+    }
+    joined = []
+    for lane in simulated.lane_timings:
+        other = threads_by_node.pop(lane["plan_node"], None)
+        joined.append(
+            {
+                "plan_node": lane["plan_node"],
+                "fragment": lane["fragment"],
+                "site": lane["site"],
+                "estimated_seconds": lane["estimated_seconds"],
+                "simulated_seconds": lane["measured_seconds"],
+                "threads_seconds": (
+                    other["measured_seconds"] if other else None
+                ),
+            }
+        )
+    for lane in threads_by_node.values():
+        joined.append(
+            {
+                "plan_node": lane["plan_node"],
+                "fragment": lane["fragment"],
+                "site": lane["site"],
+                "estimated_seconds": lane["estimated_seconds"],
+                "simulated_seconds": None,
+                "threads_seconds": lane["measured_seconds"],
+            }
+        )
+    return joined
 
 
 # ----------------------------------------------------------------------
@@ -324,7 +386,10 @@ def compare_transports(
     """
     runs: list[TransportComparisonRun] = []
     started_tcp = False
-    if "tcp" in modes and scenario.partix.tcp is None:
+    if (
+        any(ExecutionMode.parse(mode).transport == "tcp" for mode in modes)
+        and scenario.partix.tcp is None
+    ):
         scenario.partix.start_tcp()
         started_tcp = True
     try:
@@ -457,7 +522,10 @@ def compare_streaming(
     """
     runs: list[StreamingComparisonRun] = []
     started_tcp = False
-    if any(mode.startswith("tcp") for mode in modes) and scenario.partix.tcp is None:
+    if (
+        any(ExecutionMode.parse(mode).transport == "tcp" for mode in modes)
+        and scenario.partix.tcp is None
+    ):
         scenario.partix.start_tcp()
         started_tcp = True
     try:

@@ -48,7 +48,7 @@ from repro.cluster.site import Cluster, ParallelRound, SubQueryExecution
 from repro.errors import DispatchError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.partix.decomposer import SubQuery
+    from repro.plan.spec import SubQuery
 
 FAIL_FAST = "fail_fast"
 DEGRADE = "degrade"
@@ -138,6 +138,39 @@ class InProcessTransport(Transport):
             bytes_received=result.result_bytes,
             on_wire=False,
         )
+
+
+class SerialTransport(Transport):
+    """Serializes every lane of another transport behind one lock.
+
+    This is the paper's sequential "simulated" round expressed as a
+    Transport: the dispatcher still fans lanes out, but executions are
+    mutually exclusive, so sub-queries run one at a time exactly like
+    the old in-process loop — execution modes stay nothing more than
+    Transport choices.
+    """
+
+    def __init__(self, inner: Transport):
+        self.inner = inner
+        self._lock = threading.Lock()
+
+    def resolve(self, site_names: Sequence[str]) -> None:
+        self.inner.resolve(site_names)
+
+    def execute(
+        self,
+        subquery: "SubQuery",
+        default_collection: Optional[str] = None,
+        timeout: Optional[float] = None,
+        on_chunk=None,
+    ) -> SubQueryExecution:
+        with self._lock:
+            return self.inner.execute(
+                subquery,
+                default_collection=default_collection,
+                timeout=timeout,
+                on_chunk=on_chunk,
+            )
 
 
 @dataclass

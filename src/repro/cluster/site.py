@@ -142,6 +142,11 @@ class SubQueryExecution:
     bytes_sent: int = 0
     bytes_received: int = 0
     on_wire: bool = False
+    #: Identity of the physical-plan node this execution realized, plus
+    #: the plan's estimate for it — set by the plan executor so measured
+    #: per-lane timings can be compared against the estimates.
+    plan_node: Optional[str] = None
+    estimated_seconds: Optional[float] = None
 
     @property
     def elapsed(self) -> float:

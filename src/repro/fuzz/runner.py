@@ -24,6 +24,18 @@ must still be byte-identical). Two comparisons apply:
   order of the centralized repository (same policy as
   ``bench.scenarios``).
 
+Two more oracles guard the planning layer itself:
+
+* **plan-order composition** (reported as kind ``mode``) — a concat
+  answer must equal the plan-order composition of the round's *own*
+  per-lane partial results; a dispatcher that mis-aligns completed
+  sub-queries corrupts every mode identically now that all modes share
+  the one plan executor, so the contract is checked directly instead of
+  by cross-mode comparison alone.
+* **plan** — planning must be deterministic (two ``explain`` calls
+  render the identical physical plan) and the rendered plan must
+  round-trip through its JSON-serialized form.
+
 Execution errors must be symmetric: a query that raises centrally must
 raise the same error class against the fragmented repository, and vice
 versa — an asymmetric error is reported as a mismatch of kind
@@ -32,6 +44,7 @@ versa — an asymmetric error is reported as a mismatch of kind
 
 from __future__ import annotations
 
+import json
 from collections import Counter
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
@@ -39,7 +52,9 @@ from typing import Callable, Optional, Sequence
 from repro.cluster.site import Cluster, Site
 from repro.fuzz.generator import CaseSpec, GeneratedCase, generate_case, spec_for_iteration
 from repro.partix.correctness import verify_fragmentation
-from repro.partix.middleware import Partix
+from repro.partix.middleware import Partix, PartixResult
+from repro.plan.executor import ExecutionMode
+from repro.plan.explain import plan_from_dict
 
 CENTRAL_SITE = "central"
 EXECUTION_MODES = ("simulated", "threads")
@@ -57,7 +72,7 @@ ADVERSARIAL_CHUNK_BYTES = 7
 class Mismatch:
     """One oracle violation observed while running a case."""
 
-    kind: str  # "answer" | "mode" | "correctness" | "error"
+    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error"
     detail: str
     query_index: Optional[int] = None
     query: Optional[str] = None
@@ -160,12 +175,13 @@ def run_case(
     cluster.add(Site(CENTRAL_SITE))
     partix.publish_centralized(case.collection, CENTRAL_SITE)
 
+    parsed_modes = [ExecutionMode.parse(mode) for mode in modes]
     try:
-        if any(mode.startswith("tcp") for mode in modes):
-            if "tcp-stream" in modes:
-                # Adversarial chunking: see ADVERSARIAL_CHUNK_BYTES.
-                # Must be set before start_tcp so clients negotiate it.
-                partix.chunk_bytes = ADVERSARIAL_CHUNK_BYTES
+        if any(mode.streaming for mode in parsed_modes):
+            # Adversarial chunking: see ADVERSARIAL_CHUNK_BYTES. Must be
+            # set before start_tcp so clients negotiate it.
+            partix.chunk_bytes = ADVERSARIAL_CHUNK_BYTES
+        if any(mode.transport == "tcp" for mode in parsed_modes):
             partix.start_tcp()
         for index, query in case.active_queries:
             _run_query(partix, index, query, outcome, modes)
@@ -185,12 +201,14 @@ def _run_query(
         lambda: partix.execute_centralized(query, CENTRAL_SITE).result_text
     )
     by_mode: dict[str, str] = {}
+    results_by_mode: dict[str, PartixResult] = {}
     for mode in modes:
-        text, error = _attempt(
+        result, error = _attempt(
             lambda mode=mode: partix.execute(
                 query, collection="Cfuzz", execution_mode=mode
-            ).result_text
+            )
         )
+        text = result.result_text if result is not None else None
         if (error is None) != (central_error is None) or (
             error is not None
             and central_error is not None
@@ -211,6 +229,7 @@ def _run_query(
             return
         if text is not None:
             by_mode[mode] = text
+            results_by_mode[mode] = result
 
     if central_error is not None:
         # Same error everywhere: consistent, but nothing to compare.
@@ -224,6 +243,8 @@ def _run_query(
     outcome.queries_run += 1
     plan = partix.explain(query, "Cfuzz")
     outcome.composition_kinds[plan.composition.kind] += 1
+    _check_plan_equivalence(partix, query, plan, outcome, index)
+    _check_plan_order(partix, results_by_mode, outcome, index, query)
 
     reference_mode = modes[0]
     simulated = by_mode[reference_mode]
@@ -266,6 +287,108 @@ def _run_query(
                 query=query,
             )
         )
+
+
+def _check_plan_equivalence(
+    partix: Partix,
+    query: str,
+    plan,
+    outcome: CaseOutcome,
+    index: int,
+) -> None:
+    """Planning must be deterministic and explain must round-trip.
+
+    Two independent ``explain`` calls have to render the identical
+    physical plan (lowering is pure given the catalog), and the rendered
+    plan must survive ``to_dict`` → JSON → ``plan_from_dict``.
+    """
+    rendered = plan.render()
+    replanned = partix.explain(query, "Cfuzz")
+    if replanned.render() != rendered:
+        outcome.mismatches.append(
+            Mismatch(
+                kind="plan",
+                detail=(
+                    "planning is nondeterministic: two explain calls"
+                    f" rendered different plans; {_diff_snippet(rendered, replanned.render())}"
+                ),
+                query_index=index,
+                query=query,
+            )
+        )
+    roundtripped = plan_from_dict(json.loads(json.dumps(plan.to_dict())))
+    if roundtripped.render() != rendered:
+        outcome.mismatches.append(
+            Mismatch(
+                kind="plan",
+                detail=(
+                    "explain does not round-trip through its serialized"
+                    f" form; {_diff_snippet(rendered, roundtripped.render())}"
+                ),
+                query_index=index,
+                query=query,
+            )
+        )
+
+
+def _check_plan_order(
+    partix: Partix,
+    results_by_mode: dict,
+    outcome: CaseOutcome,
+    index: int,
+    query: str,
+) -> None:
+    """The plan-order composition contract, checked directly.
+
+    A concat answer must equal the plan-order composition of the round's
+    own per-lane partial results. Every mode runs through the same plan
+    executor, so a dispatcher that mis-aligns completions corrupts all
+    modes identically — cross-mode comparison alone can no longer see
+    it. The reference ordering is recovered from each execution's own
+    ``fragment`` (stamped by the transport from the sub-query itself),
+    never from list positions, so a merely reordered completion log stays
+    benign while a mis-*aligned* one is caught. Streamed rounds are
+    skipped: their executions carry no partial text (the bytes went to
+    the chunk sink).
+    """
+    for mode, result in results_by_mode.items():
+        plan = result.plan
+        if (
+            result.streamed
+            or plan is None
+            or plan.composition.kind != "concat"
+            or len(plan.subqueries) <= 1
+        ):
+            continue
+        position = {
+            subquery.fragment: order
+            for order, subquery in enumerate(plan.subqueries)
+        }
+        ordered = sorted(
+            result.round.executions,
+            key=lambda execution: position.get(
+                execution.fragment, len(position)
+            ),
+        )
+        expected = partix.composer.compose(
+            plan.composition,
+            [
+                (None, execution.result.result_text)
+                for execution in ordered
+            ],
+        ).result_text
+        if result.result_text != expected:
+            outcome.mismatches.append(
+                Mismatch(
+                    kind="mode",
+                    detail=(
+                        f"mode {mode!r} composed answer does not follow"
+                        f" plan order; {_diff_snippet(expected, result.result_text)}"
+                    ),
+                    query_index=index,
+                    query=query,
+                )
+            )
 
 
 def _attempt(thunk: Callable[[], str]) -> tuple[Optional[str], Optional[Exception]]:

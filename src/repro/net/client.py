@@ -39,8 +39,8 @@ from repro.partix.driver import PartixDriver
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.datamodel.document import XMLDocument
-    from repro.partix.decomposer import SubQuery
     from repro.paths.predicates import Predicate
+    from repro.plan.spec import SubQuery
 
 
 class SiteClient:

@@ -14,6 +14,7 @@ from repro.partix.catalog import (
     CollectionDeclaration,
     DistributionCatalog,
     FragmentAllocation,
+    FragmentStatistics,
     SchemaCatalog,
 )
 from repro.partix.composer import ComposedResult, ResultComposer
@@ -71,6 +72,7 @@ __all__ = [
     "DistributionCatalog",
     "FragMode",
     "FragmentAllocation",
+    "FragmentStatistics",
     "FragmentDefinition",
     "FragmentPublication",
     "FragmentationSchema",

@@ -74,6 +74,19 @@ class SchemaCatalog:
 
 
 @dataclass(frozen=True)
+class FragmentStatistics:
+    """Planner statistics of one materialized fragment replica.
+
+    Recorded by the data publisher when a fragment is stored (documents
+    materialized, serialized bytes on disk); the cost model turns them
+    into per-lane estimates, so planning never has to touch a site.
+    """
+
+    documents: int
+    bytes: int
+
+
+@dataclass(frozen=True)
 class FragmentAllocation:
     """Where one fragment physically lives.
 
@@ -101,6 +114,7 @@ class DistributionCatalog:
     def __init__(self) -> None:
         self._fragmentations: dict[str, FragmentationSchema] = {}
         self._allocations: dict[str, dict[str, list[FragmentAllocation]]] = {}
+        self._statistics: dict[tuple[str, str, str], FragmentStatistics] = {}
 
     # ------------------------------------------------------------------
     def register_fragmentation(
@@ -140,6 +154,28 @@ class DistributionCatalog:
     def unregister(self, collection: str) -> None:
         self._fragmentations.pop(collection, None)
         self._allocations.pop(collection, None)
+        for key in [k for k in self._statistics if k[0] == collection]:
+            del self._statistics[key]
+
+    # ------------------------------------------------------------------
+    def record_statistics(
+        self,
+        collection: str,
+        fragment: str,
+        site: str,
+        documents: int,
+        data_bytes: int,
+    ) -> None:
+        """Record (or refresh) one fragment replica's planner statistics."""
+        self._statistics[(collection, fragment, site)] = FragmentStatistics(
+            documents=documents, bytes=data_bytes
+        )
+
+    def statistics(
+        self, collection: str, fragment: str, site: str
+    ) -> Optional[FragmentStatistics]:
+        """The replica's statistics, or None when never published here."""
+        return self._statistics.get((collection, fragment, site))
 
     # ------------------------------------------------------------------
     def fragmentation(self, collection: str) -> FragmentationSchema:

@@ -45,7 +45,7 @@ from repro.datamodel.tree import NodeKind, XMLNode
 from repro.engine.database import XMLEngine, serialize_sequence
 from repro.errors import DecompositionError
 from repro.net.protocol import DEFAULT_CHUNK_BYTES
-from repro.partix.decomposer import CompositionSpec, SubQuery
+from repro.plan.spec import CompositionSpec, SubQuery
 from repro.xmltext.parser import parse_forest
 
 

@@ -27,17 +27,39 @@ Aggregates (``count``/``sum``/``min``/``max``/``avg``) are decomposed into
 partial aggregates merged by the composer; ``avg`` ships as a
 ``(sum, count)`` pair.
 
+The decomposer emits a *logical plan* (:mod:`repro.plan.logical`):
+``FragmentScan`` leaves — one per relevant fragment, carrying one
+candidate per replica — under the composition-shaped interior nodes
+(``Union`` / ``MergeAggregate``+``PartialAggregate`` / ``IdJoin``).
+:meth:`QueryDecomposer.decompose` lowers it to a
+:class:`~repro.plan.physical.PhysicalPlan` with cost-based site/replica
+selection; ``DecomposedQuery`` is kept as an alias of that class for the
+pre-IR callers.
+
 The paper's prototype shipped *annotated* sub-queries (locations supplied
 by hand); :func:`annotated` builds the same structure for that mode.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.errors import DecompositionError
 from repro.partix.catalog import DistributionCatalog
+from repro.plan.cost import CostModel
+from repro.plan.logical import (
+    Compose,
+    FragmentScan,
+    IdJoin,
+    LogicalPlan,
+    MergeAggregate,
+    PartialAggregate,
+    ScanCandidate,
+)
+from repro.plan.logical import Union as UnionNode
+from repro.plan.lower import lower, lower_annotated
+from repro.plan.physical import PhysicalPlan
+from repro.plan.spec import CompositionSpec, SubQuery
 from repro.partix.fragments import (
     FragmentationSchema,
     HorizontalFragment,
@@ -90,40 +112,11 @@ from repro.xquery.unparse import unparse
 FETCH_ALL_TEMPLATE = 'for $d in collection("{name}") return $d'
 
 
-@dataclass(frozen=True)
-class SubQuery:
-    """One sub-query targeted at one fragment's site."""
-
-    fragment: str
-    site: str
-    collection: str
-    query: str
-    purpose: str = "answer"  # "answer" | "fetch"
-
-
-@dataclass(frozen=True)
-class CompositionSpec:
-    """How partial results combine into the final answer."""
-
-    kind: str  # "concat" | "aggregate" | "reconstruct"
-    aggregate: Optional[str] = None
-    original_query: Optional[str] = None
-    source_collection: Optional[str] = None
-    root_label: Optional[str] = None
-
-
-@dataclass
-class DecomposedQuery:
-    """The decomposer's full output."""
-
-    collection: str
-    subqueries: list[SubQuery]
-    composition: CompositionSpec
-    notes: list[str] = field(default_factory=list)
-
-    @property
-    def fragment_names(self) -> list[str]:
-        return [sq.fragment for sq in self.subqueries]
+# Compatibility alias: the decomposer's output used to be a bespoke
+# ``DecomposedQuery`` record; it is now the physical plan itself (which
+# keeps ``.subqueries`` / ``.fragment_names`` / ``.composition`` /
+# ``.notes`` with the same meanings).
+DecomposedQuery = PhysicalPlan
 
 
 def annotated(
@@ -134,32 +127,39 @@ def annotated(
     """Build a hand-annotated decomposition (the paper's prototype mode)."""
     if not subqueries:
         raise DecompositionError("an annotated decomposition needs sub-queries")
-    return DecomposedQuery(collection, subqueries, composition)
+    return lower_annotated(collection, list(subqueries), composition)
 
 
 class QueryDecomposer:
-    """Automatic decomposition against a distribution catalog."""
+    """Automatic decomposition against a distribution catalog.
 
-    def __init__(self, catalog: DistributionCatalog):
+    :meth:`decompose_logical` performs localization and emits the logical
+    plan; :meth:`decompose` lowers it with the cost model (site/replica
+    selection happens there, fed by the catalog's fragment statistics).
+    """
+
+    def __init__(
+        self,
+        catalog: DistributionCatalog,
+        cost_model: Optional[CostModel] = None,
+    ):
         self.catalog = catalog
-
-    def _choose_allocation(self, collection: str, fragment_name: str, load: dict):
-        """Pick the replica on the least-loaded site of this plan.
-
-        With single allocations this is the primary; with replicas the
-        greedy choice spreads the plan's sub-queries across sites, so
-        replicated fragments buy intra-query parallelism (cf. the
-        replication discussion in the paper's related work).
-        """
-        replicas = self.catalog.replicas(collection, fragment_name)
-        best = min(replicas, key=lambda entry: load.get(entry.site, 0))
-        load[best.site] = load.get(best.site, 0) + 1
-        return best
+        self.cost_model = (
+            cost_model if cost_model is not None else CostModel(catalog=catalog)
+        )
 
     # ------------------------------------------------------------------
     def decompose(
         self, query: str, collection: Optional[str] = None
     ) -> DecomposedQuery:
+        return lower(
+            self.decompose_logical(query, collection),
+            cost_model=self.cost_model,
+        )
+
+    def decompose_logical(
+        self, query: str, collection: Optional[str] = None
+    ) -> LogicalPlan:
         expr = parse_query(query)
         analysis = analyze_query(expr)
         collection = self._resolve_collection(analysis, collection)
@@ -175,6 +175,66 @@ class QueryDecomposer:
             )
         return self._decompose_hybrid(
             query, expr, analysis, collection, fragmentation
+        )
+
+    # ------------------------------------------------------------------
+    # Logical-plan assembly
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _assemble(
+        collection: str,
+        scans: list[FragmentScan],
+        composition: CompositionSpec,
+        notes: list[str],
+    ) -> LogicalPlan:
+        if composition.kind == "aggregate":
+            inner = MergeAggregate(
+                composition.aggregate,
+                tuple(
+                    PartialAggregate(composition.aggregate, scan)
+                    for scan in scans
+                ),
+            )
+        elif composition.kind == "reconstruct":
+            inner = IdJoin(
+                composition.original_query,
+                composition.source_collection,
+                composition.root_label,
+                tuple(scans),
+            )
+        else:
+            inner = UnionNode(tuple(scans))
+        return LogicalPlan(
+            collection=collection,
+            root=Compose(inner),
+            composition=composition,
+            notes=tuple(notes),
+        )
+
+    def _rename_scan(
+        self,
+        collection: str,
+        fragment_name: str,
+        shipped: Expr,
+        selectivity: float,
+    ) -> FragmentScan:
+        """One scan with a renamed-query candidate per replica."""
+        candidates = tuple(
+            ScanCandidate(
+                site=entry.site,
+                stored_collection=entry.stored_collection,
+                query=unparse(
+                    rename_collections(
+                        shipped, {collection: entry.stored_collection}
+                    )
+                ),
+            )
+            for entry in self.catalog.replicas(collection, fragment_name)
+        )
+        return FragmentScan(
+            fragment=fragment_name,
+            candidates=candidates,
+            selectivity=selectivity,
         )
 
     def _resolve_collection(
@@ -204,7 +264,7 @@ class QueryDecomposer:
         analysis: QueryAnalysis,
         collection: str,
         fragmentation: FragmentationSchema,
-    ) -> DecomposedQuery:
+    ) -> LogicalPlan:
         fragments = fragmentation.horizontal_fragments()
         relevant, pruned = self._prune_by_predicate(
             fragments, analysis.predicate
@@ -215,39 +275,22 @@ class QueryDecomposer:
                 "pruned fragments (predicate contradiction): "
                 + ", ".join(pruned)
             )
+        composition = self._value_composition(
+            analysis, query, collection, fragmentation
+        )
         if not relevant:
             # The query contradicts every fragment: answer is empty, but we
             # must still return a well-formed plan; ship to none and let the
             # composer produce the aggregate identity / empty result.
-            return DecomposedQuery(
-                collection,
-                [],
-                self._value_composition(analysis, query, collection, fragmentation),
-                notes,
-            )
+            return self._assemble(collection, [], composition, notes)
         shipped = self._shippable_ast(expr, analysis)
-        subqueries = []
-        load: dict[str, int] = {}
-        for fragment in relevant:
-            allocation = self._choose_allocation(collection, fragment.name, load)
-            renamed = rename_collections(
-                shipped, {collection: allocation.stored_collection}
-            )
-            subqueries.append(
-                SubQuery(
-                    fragment=fragment.name,
-                    site=allocation.site,
-                    collection=allocation.stored_collection,
-                    query=unparse(renamed),
-                )
-            )
-        self._note_order_by(expr, len(subqueries), notes)
-        return DecomposedQuery(
-            collection,
-            subqueries,
-            self._value_composition(analysis, query, collection, fragmentation),
-            notes,
-        )
+        selectivity = analysis.selectivity_hint()
+        scans = [
+            self._rename_scan(collection, fragment.name, shipped, selectivity)
+            for fragment in relevant
+        ]
+        self._note_order_by(expr, len(scans), notes)
+        return self._assemble(collection, scans, composition, notes)
 
     def _prune_by_predicate(
         self,
@@ -312,7 +355,7 @@ class QueryDecomposer:
         analysis: QueryAnalysis,
         collection: str,
         fragmentation: FragmentationSchema,
-    ) -> DecomposedQuery:
+    ) -> LogicalPlan:
         fragments = fragmentation.vertical_fragments()
         if analysis.paths_exact and analysis.touched_paths:
             relevant = [
@@ -338,21 +381,18 @@ class QueryDecomposer:
                 [s.name for s in fragment.path.steps],
             )
             if rewritten is not None:
-                allocation = self.catalog.allocation(collection, fragment.name)
-                renamed = rename_collections(
-                    rewritten, {collection: allocation.stored_collection}
-                )
-                return DecomposedQuery(
+                scan = self._rename_scan(
                     collection,
-                    [
-                        SubQuery(
-                            fragment=fragment.name,
-                            site=allocation.site,
-                            collection=allocation.stored_collection,
-                            query=unparse(renamed),
-                        )
-                    ],
-                    self._value_composition(analysis, query, collection, fragmentation),
+                    fragment.name,
+                    rewritten,
+                    analysis.selectivity_hint(),
+                )
+                return self._assemble(
+                    collection,
+                    [scan],
+                    self._value_composition(
+                        analysis, query, collection, fragmentation
+                    ),
                     notes,
                 )
             notes.append("path rewrite failed; falling back to reconstruction")
@@ -367,37 +407,38 @@ class QueryDecomposer:
         fragmentation: FragmentationSchema,
         relevant,
         notes: list[str],
-    ) -> DecomposedQuery:
-        subqueries = []
-        load: dict[str, int] = {}
+    ) -> LogicalPlan:
+        scans = []
         for fragment in relevant:
-            allocation = self._choose_allocation(collection, fragment.name, load)
-            subqueries.append(
-                SubQuery(
-                    fragment=fragment.name,
-                    site=allocation.site,
-                    collection=allocation.stored_collection,
+            candidates = tuple(
+                ScanCandidate(
+                    site=entry.site,
+                    stored_collection=entry.stored_collection,
                     query=FETCH_ALL_TEMPLATE.format(
-                        name=allocation.stored_collection
+                        name=entry.stored_collection
                     ),
+                )
+                for entry in self.catalog.replicas(collection, fragment.name)
+            )
+            scans.append(
+                FragmentScan(
+                    fragment=fragment.name,
+                    candidates=candidates,
                     purpose="fetch",
+                    selectivity=1.0,
                 )
             )
         notes.append(
             "composition requires the ID-join (expensive; cf. paper §5,"
             " vertical fragmentation)"
         )
-        return DecomposedQuery(
-            collection,
-            subqueries,
-            CompositionSpec(
-                kind="reconstruct",
-                original_query=query,
-                source_collection=collection,
-                root_label=fragmentation.root_label,
-            ),
-            notes,
+        composition = CompositionSpec(
+            kind="reconstruct",
+            original_query=query,
+            source_collection=collection,
+            root_label=fragmentation.root_label,
         )
+        return self._assemble(collection, scans, composition, notes)
 
     # ------------------------------------------------------------------
     # Hybrid
@@ -409,7 +450,7 @@ class QueryDecomposer:
         analysis: QueryAnalysis,
         collection: str,
         fragmentation: FragmentationSchema,
-    ) -> DecomposedQuery:
+    ) -> LogicalPlan:
         hybrids = fragmentation.hybrid_fragments()
         others = [f for f in fragmentation if not isinstance(f, HybridFragment)]
         if not hybrids:
@@ -465,7 +506,7 @@ class QueryDecomposer:
         fragmentation: FragmentationSchema,
         hybrids: list[HybridFragment],
         notes: list[str],
-    ) -> DecomposedQuery:
+    ) -> LogicalPlan:
         # Concat composition is only sound when every iteration variable
         # ranges over units (or deeper): a variable bound to the chain
         # (e.g. the Store root) sees one document per *fragment*, so
@@ -503,38 +544,57 @@ class QueryDecomposer:
         if pruned:
             notes.append("pruned hybrid fragments: " + ", ".join(pruned))
         shipped = self._shippable_ast(expr, analysis)
-        subqueries = []
-        load: dict[str, int] = {}
+        selectivity = analysis.selectivity_hint()
+        scans = []
         for fragment in relevant:
-            allocation = self._choose_allocation(collection, fragment.name, load)
-            fragment_expr = shipped
-            if allocation.hybrid_mode == 1:
-                chain = [s.name for s in fragment.unit_path().steps]
-                rewritten = rewrite_paths_for_fragment_root(shipped, chain)
-                if rewritten is None:
-                    notes.append(
-                        f"FragMode1 rewrite failed for {fragment.name};"
-                        " falling back to reconstruction"
+            # FragMode1 replicas store bare unit documents, so their
+            # candidate query needs the chain prefix stripped; FragMode2
+            # replicas ship the query as-is. The rewrite is computed once
+            # per fragment and reused across its Mode1 replicas.
+            mode1_expr: Optional[Expr] = None
+            candidates = []
+            for entry in self.catalog.replicas(collection, fragment.name):
+                fragment_expr = shipped
+                if entry.hybrid_mode == 1:
+                    if mode1_expr is None:
+                        chain = [s.name for s in fragment.unit_path().steps]
+                        mode1_expr = rewrite_paths_for_fragment_root(
+                            shipped, chain
+                        )
+                        if mode1_expr is None:
+                            notes.append(
+                                f"FragMode1 rewrite failed for {fragment.name};"
+                                " falling back to reconstruction"
+                            )
+                            return self._reconstruction_plan(
+                                query,
+                                collection,
+                                fragmentation,
+                                list(fragmentation),
+                                notes,
+                            )
+                    fragment_expr = mode1_expr
+                renamed = rename_collections(
+                    fragment_expr, {collection: entry.stored_collection}
+                )
+                candidates.append(
+                    ScanCandidate(
+                        site=entry.site,
+                        stored_collection=entry.stored_collection,
+                        query=unparse(renamed),
                     )
-                    return self._reconstruction_plan(
-                        query, collection, fragmentation, list(fragmentation), notes
-                    )
-                fragment_expr = rewritten
-            renamed = rename_collections(
-                fragment_expr, {collection: allocation.stored_collection}
-            )
-            subqueries.append(
-                SubQuery(
+                )
+            scans.append(
+                FragmentScan(
                     fragment=fragment.name,
-                    site=allocation.site,
-                    collection=allocation.stored_collection,
-                    query=unparse(renamed),
+                    candidates=tuple(candidates),
+                    selectivity=selectivity,
                 )
             )
-        self._note_order_by(expr, len(subqueries), notes)
-        return DecomposedQuery(
+        self._note_order_by(expr, len(scans), notes)
+        return self._assemble(
             collection,
-            subqueries,
+            scans,
             self._value_composition(analysis, query, collection, fragmentation),
             notes,
         )
@@ -548,28 +608,20 @@ class QueryDecomposer:
         others,
         notes: list[str],
         fragmentation: FragmentationSchema,
-    ) -> DecomposedQuery:
+    ) -> LogicalPlan:
         if len(others) != 1:
             return self._reconstruction_plan(
                 query, collection, fragmentation, list(fragmentation), notes
             )
         fragment = others[0]
-        allocation = self.catalog.allocation(collection, fragment.name)
         shipped = self._shippable_ast(expr, analysis)
-        renamed = rename_collections(
-            shipped, {collection: allocation.stored_collection}
-        )
         notes.append(f"query confined to remainder fragment {fragment.name}")
-        return DecomposedQuery(
+        scan = self._rename_scan(
+            collection, fragment.name, shipped, analysis.selectivity_hint()
+        )
+        return self._assemble(
             collection,
-            [
-                SubQuery(
-                    fragment=fragment.name,
-                    site=allocation.site,
-                    collection=allocation.stored_collection,
-                    query=unparse(renamed),
-                )
-            ],
+            [scan],
             self._value_composition(analysis, query, collection, fragmentation),
             notes,
         )

@@ -65,6 +65,20 @@ class PartixDriver(abc.ABC):
         :meth:`document_count`).
         """
 
+    def collection_statistics(self, collection: str) -> tuple[int, int]:
+        """``(documents, bytes)`` of a stored collection in one call.
+
+        The data publisher records these in the distribution catalog as
+        planner statistics (see ``DistributionCatalog.record_statistics``);
+        drivers for remote DBMSs may override this with a single wire
+        round-trip. Inherits the lenient missing-collection contract:
+        ``(0, 0)`` rather than an error.
+        """
+        return (
+            self.document_count(collection),
+            self.collection_bytes(collection),
+        )
+
     def execute_iter(
         self,
         query: str,

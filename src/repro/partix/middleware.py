@@ -35,6 +35,15 @@ frames, in threads/simulated via the transports' chunk emulation, so the
 very same chunk-boundary behavior is exercised everywhere. Streaming
 rounds record ``peak_buffered_bytes`` and ``first_chunk_seconds``.
 
+Execution is plan-driven: every query is decomposed into a logical plan,
+lowered to a :class:`~repro.plan.physical.PhysicalPlan` (cost-based
+site/replica selection; see :mod:`repro.plan`), and run through the one
+:class:`~repro.plan.executor.PlanExecutor` path. The modes differ only
+in the :class:`~repro.cluster.dispatch.Transport` they select —
+``"simulated"`` is the in-process transport behind a serializing lock,
+reproducing the paper's sequential round. ``Partix.explain`` returns the
+physical plan (render it with ``.render()``) without executing anything.
+
 In every mode ``ParallelRound.measured_wall_seconds`` records the real
 wall-clock of the round, and results are byte-identical across modes
 (partial results always compose in plan order).
@@ -46,7 +55,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional, Sequence, TYPE_CHECKING
 
-from repro.cluster.dispatch import InProcessTransport, ParallelDispatcher
+from repro.cluster.dispatch import (
+    InProcessTransport,
+    ParallelDispatcher,
+    SerialTransport,
+    Transport,
+)
 from repro.errors import ClusterError
 from repro.net.protocol import DEFAULT_CHUNK_BYTES
 
@@ -61,14 +75,11 @@ from repro.partix.catalog import (
     SchemaCatalog,
 )
 from repro.partix.composer import ComposedResult, ResultComposer
-from repro.partix.decomposer import (
-    CompositionSpec,
-    DecomposedQuery,
-    QueryDecomposer,
-    SubQuery,
-)
+from repro.partix.decomposer import DecomposedQuery, QueryDecomposer
 from repro.partix.fragments import FragmentationSchema
 from repro.partix.publisher import DataPublisher, FragMode, PublicationReport
+from repro.plan.cost import CostModel
+from repro.plan.executor import ExecutionMode, PlanExecutor
 
 
 @dataclass
@@ -140,6 +151,26 @@ class PartixResult:
         """Time-to-first-chunk of a streamed round (None otherwise)."""
         return self.round.first_chunk_seconds
 
+    @property
+    def lane_timings(self) -> list[dict]:
+        """Per-lane estimated vs measured seconds.
+
+        The plan executor stamps every execution with the physical-plan
+        node it realized and the cost model's estimate for it, so the
+        planner's predictions can be checked against what actually
+        happened (the bench ``modes`` figure records both).
+        """
+        return [
+            {
+                "plan_node": execution.plan_node,
+                "fragment": execution.fragment,
+                "site": execution.site,
+                "estimated_seconds": execution.estimated_seconds,
+                "measured_seconds": execution.elapsed,
+            }
+            for execution in self.round.executions
+        ]
+
 
 class Partix:
     """Coordinator for distributed XQuery over fragmented repositories."""
@@ -171,8 +202,15 @@ class Partix:
             else DistributionCatalog()
         )
         self.publisher = DataPublisher(cluster, self.distribution_catalog)
-        self.decomposer = QueryDecomposer(self.distribution_catalog)
+        #: Cost model fed by the catalog's fragment statistics and this
+        #: instance's network model; lowering uses it for site selection
+        #: and the per-node estimates shown by ``explain``.
+        self.cost_model = CostModel(self.distribution_catalog, self.network)
+        self.decomposer = QueryDecomposer(
+            self.distribution_catalog, cost_model=self.cost_model
+        )
         self.composer = ResultComposer()
+        self.plan_executor = PlanExecutor(self.composer)
         self._tcp: Optional["TcpSiteCluster"] = None
 
     # ------------------------------------------------------------------
@@ -242,72 +280,21 @@ class Partix:
         for tcp + streaming); the answer stays byte-identical and the
         round gains ``peak_buffered_bytes``/``first_chunk_seconds``.
         """
-        if execution_mode == "tcp-stream":
-            execution_mode = "tcp"
-            streaming = True
+        mode = ExecutionMode.parse(execution_mode, streaming=streaming)
         if plan is None:
             plan = self.decomposer.decompose(query, collection)
-        notes = list(plan.notes)
-        sink = (
-            self.composer.incremental(
-                plan.composition,
-                plan.subqueries,
-                spill_threshold=self.chunk_bytes,
-            )
-            if streaming
-            else None
+        plan = plan.with_execution(
+            streaming=mode.streaming,
+            chunk_bytes=self.chunk_bytes if mode.streaming else None,
         )
-        partials: Optional[list[tuple[SubQuery, str]]] = None
-        if execution_mode == "simulated":
-            if sink is None:
-                round_, partials = self._execute_simulated(plan)
-            else:
-                round_ = self._execute_simulated_streaming(plan, sink)
-        elif execution_mode in ("threads", "tcp"):
-            if execution_mode == "tcp":
-                if self._tcp is None:
-                    raise ClusterError(
-                        "execution_mode='tcp' requires running site servers;"
-                        " call Partix.start_tcp() first"
-                    )
-                target = self._tcp.transport()
-            elif sink is not None:
-                target = InProcessTransport(
-                    self.cluster, chunk_bytes=self.chunk_bytes
-                )
-            else:
-                target = self.cluster
-            active = dispatcher if dispatcher is not None else self.dispatcher
-            # chunk_sink is passed only when streaming, so dispatcher
-            # subclasses with the pre-streaming signature keep working.
-            if sink is not None:
-                outcome = active.dispatch(
-                    target, plan.subqueries, chunk_sink=sink
-                )
-            else:
-                outcome = active.dispatch(target, plan.subqueries)
-            round_ = outcome.round
-            if sink is None:
-                partials = [
-                    (plan.subqueries[index], execution.result.result_text)
-                    for index, execution in enumerate(
-                        outcome.executions_by_index
-                    )
-                    if execution is not None
-                ]
-            notes.extend(outcome.notes)
-        else:
-            raise ValueError(
-                "execution_mode must be 'simulated', 'threads', 'tcp' or"
-                f" 'tcp-stream', got {execution_mode!r}"
-            )
-        if sink is None:
-            composed = self.composer.compose(plan.composition, partials)
-        else:
-            composed = sink.finish()
-            round_.streamed = True
-            round_.peak_buffered_bytes = sink.peak_buffered_bytes
-            round_.first_chunk_seconds = sink.time_to_first_chunk
+        notes = list(plan.notes)
+        active = dispatcher if dispatcher is not None else self.dispatcher
+        executed = self.plan_executor.run(
+            plan, self._transport_for(mode), active
+        )
+        notes.extend(executed.notes)
+        round_ = executed.round
+        composed = executed.composed
         transmission = self.network.gather_seconds(
             round_.result_sizes,
             query_sizes=[
@@ -326,63 +313,25 @@ class Partix:
             notes=notes,
         )
 
-    def _execute_simulated(
-        self, plan: DecomposedQuery
-    ) -> tuple[ParallelRound, list[tuple[SubQuery, str]]]:
-        """The paper's sequential in-process round (parallelism simulated)."""
-        round_ = ParallelRound()
-        partials: list[tuple[SubQuery, str]] = []
-        started = time.perf_counter()
-        for subquery in plan.subqueries:
-            site = self.cluster.site(subquery.site)
-            result = site.execute(subquery.query)
-            round_.executions.append(
-                SubQueryExecution(
-                    site=subquery.site,
-                    fragment=subquery.fragment,
-                    query=subquery.query,
-                    result=result,
-                    bytes_sent=len(subquery.query.encode("utf-8")),
-                    bytes_received=result.result_bytes,
-                    on_wire=False,
+    def _transport_for(self, mode: ExecutionMode) -> Transport:
+        """The Transport a parsed mode runs over — the *only* thing that
+        differs between modes; planning, dispatch and composition are
+        shared."""
+        if mode.transport == "tcp":
+            if self._tcp is None:
+                raise ClusterError(
+                    "execution_mode='tcp' requires running site servers;"
+                    " call Partix.start_tcp() first"
                 )
-            )
-            partials.append((subquery, result.result_text))
-        round_.measured_wall_seconds = time.perf_counter() - started
-        return round_, partials
-
-    def _execute_simulated_streaming(self, plan: DecomposedQuery, sink):
-        """The sequential round, driving the chunk sink like a transport.
-
-        Each partial is sliced into :attr:`chunk_bytes`-sized pieces — the
-        same boundaries a site server would put on the wire — so even the
-        paper-methodology mode exercises the incremental composer and its
-        chunk-boundary handling (UTF-8 splits included).
-        """
-        round_ = ParallelRound()
-        chunk_bytes = self.chunk_bytes
-        started = time.perf_counter()
-        for index, subquery in enumerate(plan.subqueries):
-            site = self.cluster.site(subquery.site)
-            result = site.execute(subquery.query)
-            sink.begin(index)
-            data = result.result_text.encode("utf-8")
-            for start in range(0, len(data), chunk_bytes):
-                sink.chunk(index, data[start:start + chunk_bytes])
-            sink.complete(index)
-            round_.executions.append(
-                SubQueryExecution(
-                    site=subquery.site,
-                    fragment=subquery.fragment,
-                    query=subquery.query,
-                    result=result,
-                    bytes_sent=len(subquery.query.encode("utf-8")),
-                    bytes_received=result.result_bytes,
-                    on_wire=False,
-                )
-            )
-        round_.measured_wall_seconds = time.perf_counter() - started
-        return round_
+            return self._tcp.transport()
+        transport: Transport = InProcessTransport(
+            self.cluster, chunk_bytes=self.chunk_bytes
+        )
+        if not mode.concurrent:
+            # The paper's sequential "simulated" round: same dispatcher,
+            # same lanes, executions serialized behind one lock.
+            transport = SerialTransport(transport)
+        return transport
 
     # ------------------------------------------------------------------
     # Real networked sites (execution_mode="tcp")
@@ -442,8 +391,9 @@ class Partix:
     def explain(
         self, query: str, collection: Optional[str] = None
     ) -> DecomposedQuery:
-        """The plan the automatic decomposer would execute — sub-queries,
-        target sites and composition — without running anything."""
+        """The physical plan the middleware would execute — lanes, target
+        sites, composition and per-node cost estimates — without running
+        anything. ``.render()`` formats it as an indented tree."""
         return self.decomposer.decompose(query, collection)
 
     def execute_centralized(

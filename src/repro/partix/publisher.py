@@ -195,8 +195,18 @@ class DataPublisher:
                     origin=produced.origin,
                 )
                 publication.documents += 1
-        publication.bytes = site.driver.collection_bytes(
+        documents, stored_bytes = site.driver.collection_statistics(
             allocation.stored_collection
+        )
+        publication.bytes = stored_bytes
+        # Planner statistics: the cost model estimates per-lane work from
+        # these, so EXPLAIN never has to probe a site.
+        self.catalog.record_statistics(
+            collection.name,
+            fragment.name,
+            allocation.site,
+            documents=documents,
+            data_bytes=stored_bytes,
         )
         return publication
 

@@ -1,0 +1,170 @@
+"""The cost model feeding lowering and EXPLAIN.
+
+Estimates are built from two ingredients:
+
+* **catalog fragment statistics** — documents and bytes per
+  ``(collection, fragment, site)``, recorded by the data publisher when
+  a fragment is materialized (``DistributionCatalog.statistics``). A
+  catalog without statistics (hand-annotated plans, tests) falls back to
+  fixed defaults, so planning never requires executing anything.
+* **the network model** — the same
+  :class:`~repro.cluster.network.NetworkModel` the middleware reports
+  transmission estimates with, charging dispatch (query text out) and
+  gather (result bytes back) per lane.
+
+The CPU constants are calibration knobs, not measurements: the
+per-document constant matches the bench scenarios' simulated
+per-document overhead, and ``python -m repro.bench --figure modes
+--json …`` records estimated-vs-measured per-lane seconds so the
+calibration error stays visible across changes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cluster.network import NetworkModel
+
+#: Fallbacks when the catalog has no statistics for a fragment replica.
+DEFAULT_DOCUMENTS = 8
+DEFAULT_FRAGMENT_BYTES = 16_384
+
+#: Estimated size of a shipped scalar partial (count/sum/… pushdown).
+SCALAR_RESULT_BYTES = 24
+
+#: CPU calibration constants (seconds). The per-document constant equals
+#: the bench scenarios' PAPER_DOC_OVERHEAD; the per-byte constants are
+#: rough in-process parse/serialize rates.
+SECONDS_PER_DOCUMENT = 0.0025
+SECONDS_PER_BYTE = 2e-8
+CONCAT_SECONDS_PER_BYTE = 1e-9
+MERGE_SECONDS_PER_PARTIAL = 1e-5
+JOIN_SECONDS_PER_BYTE = 1e-7
+
+
+@dataclass(frozen=True)
+class CostEstimate:
+    """Per-node cost estimate of a physical plan node."""
+
+    documents: int = 0
+    result_bytes: int = 0
+    cpu_seconds: float = 0.0
+    network_seconds: float = 0.0
+
+    @property
+    def total_seconds(self) -> float:
+        return self.cpu_seconds + self.network_seconds
+
+    def to_dict(self) -> dict:
+        return {
+            "documents": self.documents,
+            "result_bytes": self.result_bytes,
+            "cpu_seconds": self.cpu_seconds,
+            "network_seconds": self.network_seconds,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostEstimate":
+        return cls(
+            documents=payload.get("documents", 0),
+            result_bytes=payload.get("result_bytes", 0),
+            cpu_seconds=payload.get("cpu_seconds", 0.0),
+            network_seconds=payload.get("network_seconds", 0.0),
+        )
+
+
+class CostModel:
+    """Estimates node costs from catalog statistics + the network model.
+
+    ``catalog`` is duck-typed: anything with a
+    ``statistics(collection, fragment, site)`` method (returning an
+    object with ``documents``/``bytes`` or None) works; ``None`` or a
+    statistics-less catalog degrades to the fixed defaults.
+    """
+
+    def __init__(
+        self,
+        catalog=None,
+        network: Optional[NetworkModel] = None,
+        seconds_per_document: float = SECONDS_PER_DOCUMENT,
+        seconds_per_byte: float = SECONDS_PER_BYTE,
+    ):
+        self.catalog = catalog
+        self.network = network if network is not None else NetworkModel()
+        self.seconds_per_document = seconds_per_document
+        self.seconds_per_byte = seconds_per_byte
+
+    # ------------------------------------------------------------------
+    def fragment_statistics(self, collection: str, fragment: str, site: str):
+        lookup = getattr(self.catalog, "statistics", None)
+        if lookup is None:
+            return None
+        return lookup(collection, fragment, site)
+
+    def scan_estimate(
+        self,
+        collection: str,
+        fragment: str,
+        site: str,
+        query: str,
+        purpose: str = "answer",
+        selectivity: float = 1.0,
+        pushdown: Optional[str] = None,
+    ) -> CostEstimate:
+        """Cost of scanning one fragment replica with one sub-query."""
+        stats = self.fragment_statistics(collection, fragment, site)
+        documents = stats.documents if stats is not None else DEFAULT_DOCUMENTS
+        fragment_bytes = stats.bytes if stats is not None else DEFAULT_FRAGMENT_BYTES
+        if purpose == "fetch":
+            result_bytes = fragment_bytes
+        elif pushdown is not None:
+            result_bytes = SCALAR_RESULT_BYTES
+        else:
+            result_bytes = max(
+                SCALAR_RESULT_BYTES, int(fragment_bytes * selectivity)
+            )
+        query_bytes = len(query.encode("utf-8"))
+        cpu = (
+            documents * self.seconds_per_document
+            + fragment_bytes * self.seconds_per_byte
+        )
+        net = self.network.transfer_seconds(query_bytes) + (
+            self.network.transfer_seconds(result_bytes)
+        )
+        return CostEstimate(
+            documents=documents,
+            result_bytes=result_bytes,
+            cpu_seconds=cpu,
+            network_seconds=net,
+        )
+
+    # ------------------------------------------------------------------
+    def union_estimate(self, children: list) -> CostEstimate:
+        result_bytes = sum(child.result_bytes for child in children)
+        return CostEstimate(
+            documents=sum(child.documents for child in children),
+            result_bytes=result_bytes,
+            cpu_seconds=result_bytes * CONCAT_SECONDS_PER_BYTE,
+        )
+
+    def merge_estimate(self, children: list) -> CostEstimate:
+        return CostEstimate(
+            documents=sum(child.documents for child in children),
+            result_bytes=SCALAR_RESULT_BYTES,
+            cpu_seconds=len(children) * MERGE_SECONDS_PER_PARTIAL,
+        )
+
+    def id_join_estimate(self, children: list) -> CostEstimate:
+        input_bytes = sum(child.result_bytes for child in children)
+        documents = sum(child.documents for child in children)
+        # Parse the fetched forests, join by origin, re-run the query.
+        cpu = (
+            input_bytes * JOIN_SECONDS_PER_BYTE
+            + documents * self.seconds_per_document
+        )
+        return CostEstimate(
+            documents=documents,
+            result_bytes=input_bytes,
+            cpu_seconds=cpu,
+        )

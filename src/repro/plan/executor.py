@@ -1,0 +1,140 @@
+"""Execution modes and the single plan-driven executor.
+
+:class:`ExecutionMode` parses the public mode names once — there is no
+string special-casing downstream; ``"tcp-stream"`` is just the mode
+whose parsed form has ``transport="tcp", streaming=True``.
+
+:class:`PlanExecutor` is the one execution path every mode runs through:
+it dispatches the physical plan's lanes through a
+:class:`~repro.cluster.dispatch.ParallelDispatcher` over whatever
+:class:`~repro.cluster.dispatch.Transport` the mode selects (a
+lock-serialized in-process transport reproduces the paper's sequential
+"simulated" round), threads the plan-node identities into the measured
+executions, and composes the answer — monolithically or through the
+incremental chunk sink when the plan says ``streaming``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Optional
+
+from repro.cluster.dispatch import ParallelDispatcher, Transport
+from repro.cluster.site import ParallelRound
+from repro.plan.physical import PhysicalPlan
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.partix.composer import ComposedResult, ResultComposer
+
+
+@dataclass(frozen=True)
+class ExecutionMode:
+    """One parsed execution mode: a transport choice plus flags."""
+
+    name: str
+    transport: str  # "in-process" | "tcp"
+    streaming: bool
+    concurrent: bool
+
+    _REGISTRY = None  # populated below
+
+    @classmethod
+    def parse(cls, name: str, streaming: bool = False) -> "ExecutionMode":
+        """Parse a public mode name, optionally forcing streaming on.
+
+        Raises ``ValueError`` listing the valid modes on anything else.
+        """
+        try:
+            mode = cls._REGISTRY[name]
+        except (KeyError, TypeError):
+            valid = ", ".join(repr(key) for key in cls._REGISTRY)
+            raise ValueError(
+                f"execution_mode must be one of {valid}; got {name!r}"
+            ) from None
+        if streaming and not mode.streaming:
+            mode = replace(mode, streaming=True)
+        return mode
+
+    @classmethod
+    def names(cls) -> tuple:
+        return tuple(cls._REGISTRY)
+
+
+ExecutionMode._REGISTRY = {
+    "simulated": ExecutionMode("simulated", "in-process", False, False),
+    "threads": ExecutionMode("threads", "in-process", False, True),
+    "tcp": ExecutionMode("tcp", "tcp", False, True),
+    "tcp-stream": ExecutionMode("tcp-stream", "tcp", True, True),
+}
+
+
+@dataclass
+class ExecutedPlan:
+    """What one plan execution produced, pre-accounting."""
+
+    round: ParallelRound
+    composed: "ComposedResult"
+    notes: list = field(default_factory=list)
+
+
+class PlanExecutor:
+    """Runs a physical plan's lanes and composes the answer."""
+
+    def __init__(self, composer: "ResultComposer"):
+        self.composer = composer
+
+    def run(
+        self,
+        plan: PhysicalPlan,
+        transport: Transport,
+        dispatcher: ParallelDispatcher,
+        default_collection: Optional[str] = None,
+    ) -> ExecutedPlan:
+        subqueries = plan.subqueries
+        sink = None
+        if plan.streaming:
+            if plan.chunk_bytes is not None:
+                sink = self.composer.incremental(
+                    plan.composition,
+                    subqueries,
+                    spill_threshold=plan.chunk_bytes,
+                )
+            else:
+                sink = self.composer.incremental(plan.composition, subqueries)
+        if sink is not None:
+            outcome = dispatcher.dispatch(
+                transport,
+                subqueries,
+                default_collection=default_collection,
+                chunk_sink=sink,
+            )
+        else:
+            # chunk_sink omitted so dispatcher subclasses with the
+            # pre-streaming signature keep working.
+            outcome = dispatcher.dispatch(
+                transport, subqueries, default_collection=default_collection
+            )
+        round_ = outcome.round
+        for lane, execution in zip(plan.lanes, outcome.executions_by_index):
+            if execution is not None:
+                execution.plan_node = lane.node_id
+                execution.estimated_seconds = (
+                    lane.estimate.total_seconds
+                    if lane.estimate is not None
+                    else None
+                )
+        if sink is None:
+            partials = [
+                (subqueries[index], execution.result.result_text)
+                for index, execution in enumerate(outcome.executions_by_index)
+                if execution is not None
+            ]
+            composed = self.composer.compose(plan.composition, partials)
+        else:
+            composed = sink.finish()
+            round_.streamed = True
+            round_.peak_buffered_bytes = sink.peak_buffered_bytes
+            round_.first_chunk_seconds = sink.time_to_first_chunk
+        return ExecutedPlan(
+            round=round_, composed=composed, notes=list(outcome.notes)
+        )

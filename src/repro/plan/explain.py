@@ -1,0 +1,160 @@
+"""EXPLAIN rendering and dict round-tripping of physical plans.
+
+The render is deterministic (the fuzz harness asserts planning twice
+renders identically, and the ``plan-golden`` CI job diffs it against
+checked-in snapshots), so formatting keeps to plain ``%g``-style float
+formatting and raw byte counts — no locale, no rounding surprises.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.plan.cost import CostEstimate
+from repro.plan.physical import Lane, PhysicalPlan, PlanNode
+from repro.plan.spec import CompositionSpec, SubQuery
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.6g}s"
+
+
+def _estimate_text(op: str, estimate: Optional[CostEstimate]) -> str:
+    if estimate is None:
+        return ""
+    parts = [f"docs={estimate.documents}", f"result={estimate.result_bytes}B"]
+    parts.append(f"cpu={_seconds(estimate.cpu_seconds)}")
+    if estimate.network_seconds:
+        parts.append(f"net={_seconds(estimate.network_seconds)}")
+    parts.append(f"total={_seconds(estimate.total_seconds)}")
+    return "  est[" + " ".join(parts) + "]"
+
+
+def _node_label(node: PlanNode) -> str:
+    detail = node.detail
+    if node.op == "scan":
+        label = (
+            f"scan {detail.get('fragment')}"
+            f" @ {detail.get('site')}/{detail.get('collection')}"
+        )
+        if detail.get("purpose") == "fetch":
+            label += " purpose=fetch"
+        candidates = detail.get("candidates", 1)
+        if candidates > 1:
+            label += f" candidates={candidates}"
+        return label
+    if node.op in ("partial-aggregate", "merge-aggregate"):
+        return f"{node.op}({detail.get('aggregate')})"
+    if node.op == "id-join":
+        label = "id-join"
+        if detail.get("root_label"):
+            label += f" root={detail.get('root_label')}"
+        return label
+    if node.op == "compose":
+        return f"compose [{detail.get('kind')}]"
+    return node.op
+
+
+def render_plan(plan: PhysicalPlan) -> str:
+    """Render ``plan`` as an indented tree with per-node estimates."""
+    streaming = "on" if plan.streaming else "off"
+    header = (
+        f"PhysicalPlan collection={plan.collection}"
+        f" composition={plan.composition.kind}"
+        f" lanes={len(plan.lanes)} streaming={streaming}"
+        f" est-parallel={_seconds(plan.estimated_parallel_seconds)}"
+    )
+    lines = [header]
+
+    def walk(node: PlanNode, prefix: str, is_last: bool, is_root: bool):
+        if is_root:
+            connector, child_prefix = "", ""
+        else:
+            connector = prefix + ("└─ " if is_last else "├─ ")
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        lines.append(
+            connector + _node_label(node) + _estimate_text(node.op, node.estimate)
+        )
+        for position, child in enumerate(node.children):
+            walk(
+                child,
+                child_prefix,
+                position == len(node.children) - 1,
+                False,
+            )
+
+    walk(plan.root, "", True, True)
+    for note in plan.notes:
+        lines.append(f"note: {note}")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Dict round-tripping (mirrors repro.partix.serialization's idiom)
+# ----------------------------------------------------------------------
+def _node_to_dict(node: PlanNode) -> dict:
+    return {
+        "op": node.op,
+        "node_id": node.node_id,
+        "detail": dict(node.detail),
+        "estimate": node.estimate.to_dict() if node.estimate else None,
+        "children": [_node_to_dict(child) for child in node.children],
+    }
+
+
+def _node_from_dict(payload: dict) -> PlanNode:
+    estimate = payload.get("estimate")
+    return PlanNode(
+        op=payload["op"],
+        node_id=payload["node_id"],
+        detail=dict(payload.get("detail", {})),
+        estimate=CostEstimate.from_dict(estimate) if estimate else None,
+        children=[
+            _node_from_dict(child) for child in payload.get("children", [])
+        ],
+    )
+
+
+def plan_to_dict(plan: PhysicalPlan) -> dict:
+    return {
+        "collection": plan.collection,
+        "composition": plan.composition.to_dict(),
+        "notes": list(plan.notes),
+        "streaming": plan.streaming,
+        "chunk_bytes": plan.chunk_bytes,
+        "lanes": [
+            {
+                "index": lane.index,
+                "node_id": lane.node_id,
+                "subquery": lane.subquery.to_dict(),
+                "estimate": lane.estimate.to_dict() if lane.estimate else None,
+                "candidates": lane.candidates,
+            }
+            for lane in plan.lanes
+        ],
+        "root": _node_to_dict(plan.root),
+    }
+
+
+def plan_from_dict(payload: dict) -> PhysicalPlan:
+    lanes = []
+    for entry in payload.get("lanes", []):
+        estimate = entry.get("estimate")
+        lanes.append(
+            Lane(
+                index=entry["index"],
+                node_id=entry["node_id"],
+                subquery=SubQuery.from_dict(entry["subquery"]),
+                estimate=CostEstimate.from_dict(estimate) if estimate else None,
+                candidates=entry.get("candidates", 1),
+            )
+        )
+    return PhysicalPlan(
+        collection=payload["collection"],
+        root=_node_from_dict(payload["root"]),
+        lanes=lanes,
+        composition=CompositionSpec.from_dict(payload["composition"]),
+        notes=list(payload.get("notes", [])),
+        streaming=payload.get("streaming", False),
+        chunk_bytes=payload.get("chunk_bytes"),
+    )

@@ -1,0 +1,107 @@
+"""The logical plan IR the query decomposer emits.
+
+A logical plan says *what* has to happen — which fragments are scanned,
+whether partial aggregates are pushed down, how partials recombine —
+without committing to *where* each scan runs. Site placement is a
+lowering decision: every :class:`FragmentScan` carries one
+:class:`ScanCandidate` per replica of its fragment (catalog order,
+primary first), each with the fully rewritten sub-query text for that
+replica's stored collection; :func:`repro.plan.lower.lower` picks one
+candidate per scan with the cost model.
+
+Tree shapes (always rooted in :class:`Compose`):
+
+* concat      — ``Compose(Union(FragmentScan…))``
+* aggregate   — ``Compose(MergeAggregate(PartialAggregate(FragmentScan)…))``
+* reconstruct — ``Compose(IdJoin(FragmentScan(purpose="fetch")…))``
+
+An all-fragments-pruned query keeps its shape with zero scans — the
+composer then produces the empty result / aggregate identity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+from typing import Union as TUnion
+
+from repro.plan.spec import CompositionSpec
+
+
+@dataclass(frozen=True)
+class ScanCandidate:
+    """One replica a scan could run at, with its rewritten sub-query."""
+
+    site: str
+    stored_collection: str
+    query: str
+
+
+@dataclass(frozen=True)
+class FragmentScan:
+    """Scan one fragment: run the localized sub-query at some replica."""
+
+    fragment: str
+    candidates: Tuple[ScanCandidate, ...]
+    purpose: str = "answer"  # "answer" | "fetch"
+    #: Crude estimate of the fraction of the fragment's bytes the scan
+    #: returns (see ``QueryAnalysis.selectivity_hint``); the cost model
+    #: turns it into an estimated result size.
+    selectivity: float = 1.0
+
+
+@dataclass(frozen=True)
+class PartialAggregate:
+    """A per-fragment partial aggregate (the pushdown, made explicit)."""
+
+    op: str  # count | sum | min | max | avg | exists | empty
+    child: FragmentScan
+
+
+@dataclass(frozen=True)
+class Union:
+    """Bag-union of fragment streams (catalog fragment order)."""
+
+    children: Tuple[FragmentScan, ...]
+
+
+@dataclass(frozen=True)
+class MergeAggregate:
+    """Fold the partial aggregates into the final scalar."""
+
+    op: str
+    children: Tuple[PartialAggregate, ...]
+
+
+@dataclass(frozen=True)
+class IdJoin:
+    """Reconstruct source documents from fetched fragments, re-query."""
+
+    original_query: str
+    source_collection: Optional[str]
+    root_label: Optional[str]
+    children: Tuple[FragmentScan, ...]
+
+
+@dataclass(frozen=True)
+class Compose:
+    """Plan root: emit the composed answer of its single input."""
+
+    child: TUnion[Union, MergeAggregate, IdJoin]
+
+
+@dataclass
+class LogicalPlan:
+    """The decomposer's full output, pre-lowering."""
+
+    collection: str
+    root: Compose
+    composition: CompositionSpec
+    notes: list = field(default_factory=list)
+
+    def scans(self) -> list:
+        """The plan's :class:`FragmentScan` leaves in plan order."""
+        child = self.root.child
+        if isinstance(child, MergeAggregate):
+            return [partial.child for partial in child.children]
+        return list(child.children)

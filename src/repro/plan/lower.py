@@ -1,0 +1,238 @@
+"""Lowering: logical plan → physical plan.
+
+Lowering makes the two decisions the logical plan left open:
+
+* **site/replica selection** — each :class:`FragmentScan` offers one
+  candidate per replica; lowering greedily assigns the scan to the
+  candidate minimizing the site's *projected busy time* (current lane
+  budget + this scan's cost estimate). With uniform statistics this
+  degenerates to the classic least-loaded-by-count spread (ties break by
+  assigned-lane count, then catalog order, primary first); with skewed
+  statistics a large fragment no longer lands on an already-busy site
+  just because counts matched.
+* **cost annotation** — every physical node carries a
+  :class:`~repro.plan.cost.CostEstimate`, so EXPLAIN can render the tree
+  with per-node costs and measured per-lane timings can be compared
+  against the estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.plan.cost import CostModel
+from repro.plan.logical import (
+    Compose,
+    FragmentScan,
+    IdJoin,
+    LogicalPlan,
+    MergeAggregate,
+    PartialAggregate,
+    ScanCandidate,
+    Union,
+)
+from repro.plan.physical import Lane, PhysicalPlan, PlanNode
+from repro.plan.spec import CompositionSpec, SubQuery
+
+
+class _LaneScheduler:
+    """Greedy cost-based assignment of scans to replica sites."""
+
+    def __init__(self, model: CostModel, collection: str):
+        self.model = model
+        self.collection = collection
+        self.busy: dict = {}
+        self.counts: dict = {}
+
+    def assign(self, scan: FragmentScan, pushdown: Optional[str]):
+        best = None
+        for position, candidate in enumerate(scan.candidates):
+            estimate = self.model.scan_estimate(
+                self.collection,
+                scan.fragment,
+                candidate.site,
+                candidate.query,
+                purpose=scan.purpose,
+                selectivity=scan.selectivity,
+                pushdown=pushdown,
+            )
+            projected = (
+                self.busy.get(candidate.site, 0.0) + estimate.total_seconds
+            )
+            key = (projected, self.counts.get(candidate.site, 0), position)
+            if best is None or key < best[0]:
+                best = (key, candidate, estimate)
+        _, candidate, estimate = best
+        self.busy[candidate.site] = (
+            self.busy.get(candidate.site, 0.0) + estimate.total_seconds
+        )
+        self.counts[candidate.site] = self.counts.get(candidate.site, 0) + 1
+        return candidate, estimate
+
+
+def lower(
+    logical: LogicalPlan,
+    cost_model: Optional[CostModel] = None,
+    streaming: bool = False,
+    chunk_bytes: Optional[int] = None,
+) -> PhysicalPlan:
+    """Lower a logical plan to an executable physical plan."""
+    model = cost_model if cost_model is not None else CostModel()
+    scheduler = _LaneScheduler(model, logical.collection)
+    lanes: list = []
+
+    def scan_node(scan: FragmentScan, pushdown: Optional[str]) -> PlanNode:
+        candidate, estimate = scheduler.assign(scan, pushdown)
+        index = len(lanes)
+        node_id = f"scan{index}"
+        subquery = SubQuery(
+            fragment=scan.fragment,
+            site=candidate.site,
+            collection=candidate.stored_collection,
+            query=candidate.query,
+            purpose=scan.purpose,
+        )
+        lanes.append(
+            Lane(
+                index=index,
+                node_id=node_id,
+                subquery=subquery,
+                estimate=estimate,
+                candidates=len(scan.candidates),
+            )
+        )
+        return PlanNode(
+            op="scan",
+            node_id=node_id,
+            detail={
+                "fragment": scan.fragment,
+                "site": candidate.site,
+                "collection": candidate.stored_collection,
+                "purpose": scan.purpose,
+                "selectivity": scan.selectivity,
+                "candidates": len(scan.candidates),
+            },
+            estimate=estimate,
+        )
+
+    child = logical.root.child
+    if isinstance(child, MergeAggregate):
+        partial_nodes = []
+        for position, partial in enumerate(child.children):
+            scan = scan_node(partial.child, pushdown=partial.op)
+            partial_nodes.append(
+                PlanNode(
+                    op="partial-aggregate",
+                    node_id=f"partial{position}",
+                    detail={"aggregate": partial.op},
+                    estimate=scan.estimate,
+                    children=[scan],
+                )
+            )
+        inner = PlanNode(
+            op="merge-aggregate",
+            node_id="merge",
+            detail={"aggregate": child.op},
+            estimate=model.merge_estimate(
+                [node.estimate for node in partial_nodes]
+            ),
+            children=partial_nodes,
+        )
+    elif isinstance(child, IdJoin):
+        scan_nodes = [scan_node(scan, pushdown=None) for scan in child.children]
+        inner = PlanNode(
+            op="id-join",
+            node_id="id-join",
+            detail={
+                "source_collection": child.source_collection,
+                "root_label": child.root_label,
+            },
+            estimate=model.id_join_estimate(
+                [node.estimate for node in scan_nodes]
+            ),
+            children=scan_nodes,
+        )
+    elif isinstance(child, Union):
+        scan_nodes = [scan_node(scan, pushdown=None) for scan in child.children]
+        inner = PlanNode(
+            op="union",
+            node_id="union",
+            detail={},
+            estimate=model.union_estimate(
+                [node.estimate for node in scan_nodes]
+            ),
+            children=scan_nodes,
+        )
+    else:  # pragma: no cover - the decomposer only emits the three shapes
+        raise TypeError(f"cannot lower plan child {type(child).__name__}")
+
+    root = PlanNode(
+        op="compose",
+        node_id="compose",
+        detail={
+            "kind": logical.composition.kind,
+            "aggregate": logical.composition.aggregate,
+        },
+        estimate=inner.estimate,
+        children=[inner],
+    )
+    return PhysicalPlan(
+        collection=logical.collection,
+        root=root,
+        lanes=lanes,
+        composition=logical.composition,
+        notes=list(logical.notes),
+        streaming=streaming,
+        chunk_bytes=chunk_bytes,
+    )
+
+
+def lower_annotated(
+    collection: str,
+    subqueries: list,
+    composition: CompositionSpec,
+    cost_model: Optional[CostModel] = None,
+    notes: Optional[list] = None,
+) -> PhysicalPlan:
+    """Lower a hand-annotated sub-query list (the paper's prototype mode).
+
+    Each sub-query already names its site, so every scan has exactly one
+    candidate; lowering only contributes the tree shape and estimates.
+    """
+    scans = tuple(
+        FragmentScan(
+            fragment=subquery.fragment,
+            candidates=(
+                ScanCandidate(
+                    site=subquery.site,
+                    stored_collection=subquery.collection,
+                    query=subquery.query,
+                ),
+            ),
+            purpose=subquery.purpose,
+        )
+        for subquery in subqueries
+    )
+    if composition.kind == "aggregate":
+        child = MergeAggregate(
+            composition.aggregate,
+            tuple(
+                PartialAggregate(composition.aggregate, scan) for scan in scans
+            ),
+        )
+    elif composition.kind == "reconstruct":
+        child = IdJoin(
+            composition.original_query,
+            composition.source_collection,
+            composition.root_label,
+            scans,
+        )
+    else:
+        child = Union(scans)
+    logical = LogicalPlan(
+        collection=collection,
+        root=Compose(child),
+        composition=composition,
+        notes=list(notes) if notes else [],
+    )
+    return lower(logical, cost_model=cost_model)

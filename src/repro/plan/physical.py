@@ -1,0 +1,140 @@
+"""The physical plan: lanes, node tree, execution attributes.
+
+A :class:`PhysicalPlan` is what :meth:`Partix.explain` returns and what
+the single plan executor runs, whatever the execution mode. It keeps the
+decomposer-era surface (``subqueries`` / ``composition`` / ``notes`` /
+``fragment_names``) so existing callers — the composer, the fuzz oracle,
+the bench scenarios — read it unchanged; ``repro.partix.decomposer``
+aliases its old ``DecomposedQuery`` name to this class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.plan.cost import CostEstimate
+from repro.plan.spec import CompositionSpec, SubQuery
+
+
+@dataclass
+class PlanNode:
+    """One node of the physical plan tree.
+
+    ``op`` is the node kind (``compose`` / ``union`` /
+    ``merge-aggregate`` / ``id-join`` / ``partial-aggregate`` /
+    ``scan``); ``node_id`` is its stable identity, threaded into
+    ``SubQueryExecution.plan_node`` so measured per-lane timings can be
+    joined back to the estimates; ``detail`` carries op-specific
+    attributes (fragment, site, aggregate, purpose, …) as a JSON-able
+    dict.
+    """
+
+    op: str
+    node_id: str
+    detail: dict = field(default_factory=dict)
+    estimate: Optional[CostEstimate] = None
+    children: list = field(default_factory=list)
+
+
+@dataclass
+class Lane:
+    """One physical scan assignment: plan index, node and sub-query."""
+
+    index: int
+    node_id: str
+    subquery: SubQuery
+    estimate: Optional[CostEstimate] = None
+    #: How many replica candidates lowering chose between.
+    candidates: int = 1
+
+
+@dataclass
+class PhysicalPlan:
+    """The lowered plan the executor runs (all modes, one code path)."""
+
+    collection: str
+    root: PlanNode
+    lanes: list = field(default_factory=list)
+    composition: CompositionSpec = field(
+        default_factory=lambda: CompositionSpec(kind="concat")
+    )
+    notes: list = field(default_factory=list)
+    #: Execution attributes, explicit on the plan instead of scattered
+    #: if/else: route partials through the incremental composer in
+    #: ``chunk_bytes``-bounded chunks?
+    streaming: bool = False
+    chunk_bytes: Optional[int] = None
+
+    # -- decomposer-era surface ----------------------------------------
+    @property
+    def subqueries(self) -> list:
+        return [lane.subquery for lane in self.lanes]
+
+    @property
+    def fragment_names(self) -> list:
+        return [lane.subquery.fragment for lane in self.lanes]
+
+    # ------------------------------------------------------------------
+    @property
+    def estimated_parallel_seconds(self) -> float:
+        """Estimated round completion: slowest site's lane budget plus
+        the interior (composition-side) node costs."""
+        busy: dict = {}
+        for lane in self.lanes:
+            if lane.estimate is not None:
+                site = lane.subquery.site
+                busy[site] = busy.get(site, 0.0) + lane.estimate.total_seconds
+        interior = self._interior_cpu_seconds(self.root)
+        return max(busy.values(), default=0.0) + interior
+
+    def _interior_cpu_seconds(self, node: PlanNode) -> float:
+        own = 0.0
+        if node.op not in ("scan", "compose") and node.estimate is not None:
+            own = node.estimate.cpu_seconds
+        return own + sum(
+            self._interior_cpu_seconds(child) for child in node.children
+        )
+
+    def estimated_lane_seconds(self) -> dict:
+        """Per-lane estimated total seconds, keyed by plan node id."""
+        return {
+            lane.node_id: lane.estimate.total_seconds
+            for lane in self.lanes
+            if lane.estimate is not None
+        }
+
+    # ------------------------------------------------------------------
+    def with_execution(
+        self, streaming: bool, chunk_bytes: Optional[int]
+    ) -> "PhysicalPlan":
+        """This plan with its execution attributes set (shared tree)."""
+        if self.streaming == streaming and self.chunk_bytes == chunk_bytes:
+            return self
+        return PhysicalPlan(
+            collection=self.collection,
+            root=self.root,
+            lanes=self.lanes,
+            composition=self.composition,
+            notes=self.notes,
+            streaming=streaming,
+            chunk_bytes=chunk_bytes,
+        )
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The indented EXPLAIN tree with per-node cost estimates."""
+        from repro.plan.explain import render_plan
+
+        return render_plan(self)
+
+    def to_dict(self) -> dict:
+        from repro.plan.explain import plan_to_dict
+
+        return plan_to_dict(self)
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "PhysicalPlan":
+        from repro.plan.explain import plan_from_dict
+
+        return plan_from_dict(payload)

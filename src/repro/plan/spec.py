@@ -1,0 +1,75 @@
+"""The physical plan's leaf vocabulary: sub-queries and composition.
+
+These two dataclasses predate the plan IR (they were born in
+``repro.partix.decomposer``) and remain the contract between the plan
+layer, the dispatcher and the result composer: a :class:`SubQuery` is
+what a transport lane executes, a :class:`CompositionSpec` is what the
+composer folds partial results with. They live here so the plan package
+is self-contained; ``repro.partix.decomposer`` re-exports them for
+compatibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class SubQuery:
+    """One sub-query targeted at one fragment's site."""
+
+    fragment: str
+    site: str
+    collection: str
+    query: str
+    purpose: str = "answer"  # "answer" | "fetch"
+
+    def to_dict(self) -> dict:
+        return {
+            "fragment": self.fragment,
+            "site": self.site,
+            "collection": self.collection,
+            "query": self.query,
+            "purpose": self.purpose,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubQuery":
+        return cls(
+            fragment=payload["fragment"],
+            site=payload["site"],
+            collection=payload["collection"],
+            query=payload["query"],
+            purpose=payload.get("purpose", "answer"),
+        )
+
+
+@dataclass(frozen=True)
+class CompositionSpec:
+    """How partial results combine into the final answer."""
+
+    kind: str  # "concat" | "aggregate" | "reconstruct"
+    aggregate: Optional[str] = None
+    original_query: Optional[str] = None
+    source_collection: Optional[str] = None
+    root_label: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "aggregate": self.aggregate,
+            "original_query": self.original_query,
+            "source_collection": self.source_collection,
+            "root_label": self.root_label,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CompositionSpec":
+        return cls(
+            kind=payload["kind"],
+            aggregate=payload.get("aggregate"),
+            original_query=payload.get("original_query"),
+            source_collection=payload.get("source_collection"),
+            root_label=payload.get("root_label"),
+        )

@@ -89,6 +89,21 @@ class QueryAnalysis:
     def touched_path_strings(self) -> list[str]:
         return [str(p) for p in self.touched_paths]
 
+    def selectivity_hint(self) -> float:
+        """Crude fraction of a fragment's bytes the query's result keeps.
+
+        Consumed by the planner's cost model
+        (:class:`repro.plan.cost.CostModel`) to size estimated partial
+        results. Deliberately coarse — three buckets, no statistics:
+        aggregates ship a scalar (0.0), a selection predicate filters
+        (0.25), everything else projects most of what it scans (0.75).
+        """
+        if self.aggregate is not None:
+            return 0.0
+        if self.predicate is not None:
+            return 0.25
+        return 0.75
+
 
 def analyze_query(query: Union[str, Expr]) -> QueryAnalysis:
     """Analyze a query given as text or AST."""

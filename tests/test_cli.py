@@ -9,7 +9,7 @@ class TestCli:
     def test_figures_registry(self):
         assert set(FIGURES) == {
             "7a", "7b", "7c", "7d", "headline", "modes", "transport",
-            "streaming",
+            "streaming", "plans",
         }
 
     def test_runs_modes_figure(self, capsys):
@@ -20,6 +20,78 @@ class TestCli:
         output = capsys.readouterr().out
         assert "simulated vs threads" in output
         assert "DIFF" not in output
+
+    def test_modes_json_records_lane_estimates(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "modes.json"
+        exit_code = main(
+            [
+                "--figure", "modes",
+                "--scale", "0.0005",
+                "--repetitions", "1",
+                "--json", str(path),
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(path.read_text())
+        assert payload["byte_identical"] is True
+        timings = [
+            timing
+            for run in payload["runs"]
+            for timing in run["lane_timings"]
+        ]
+        assert timings
+        for timing in timings:
+            assert timing["plan_node"].startswith("scan")
+            assert timing["estimated_seconds"] > 0.0
+            assert timing["simulated_seconds"] > 0.0
+            assert timing["threads_seconds"] > 0.0
+
+    def test_plans_figure_prints_explain_trees(self, capsys):
+        exit_code = main(["--figure", "plans", "--scale", "0.0005"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "PhysicalPlan" in output
+        assert "compose [concat]" in output
+        assert "id-join" in output
+        assert "merge-aggregate" in output
+
+    def test_plans_golden_update_then_match_then_drift(self, capsys, tmp_path):
+        golden = tmp_path / "plans"
+        assert main(
+            [
+                "--figure", "plans", "--scale", "0.0005",
+                "--golden-dir", str(golden), "--update-golden",
+            ]
+        ) == 0
+        assert main(
+            [
+                "--figure", "plans", "--scale", "0.0005",
+                "--golden-dir", str(golden),
+            ]
+        ) == 0
+        assert "golden plans match" in capsys.readouterr().out
+        # Corrupt one golden: the comparison must fail with a diff.
+        victim = next(golden.glob("*.txt"))
+        victim.write_text(victim.read_text() + "drift\n", encoding="utf-8")
+        assert main(
+            [
+                "--figure", "plans", "--scale", "0.0005",
+                "--golden-dir", str(golden),
+            ]
+        ) == 1
+        assert "-drift" in capsys.readouterr().out
+
+    def test_golden_flags_require_plans_figure(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "--figure", "7c",
+                    "--scale", "0.0005",
+                    "--golden-dir", str(tmp_path),
+                ]
+            )
 
     def test_runs_a_tiny_figure(self, capsys):
         exit_code = main(
