@@ -43,12 +43,16 @@ def format_mode_comparison(
         f" {'speedup':>8} {'subq':>5} {'match':>6}  description"
     )
     for run in runs:
+        failover = (
+            f" [failovers={run.failover_count}]" if run.failover_count else ""
+        )
         lines.append(
             f"{run.qid:<6} {run.parallel_seconds * 1000:>8.1f}ms"
             f" {run.simulated_wall_seconds * 1000:>8.1f}ms"
             f" {run.threads_wall_seconds * 1000:>8.1f}ms"
             f" {run.wall_speedup:>7.2f}x {run.subqueries:>5}"
-            f" {'ok' if run.byte_identical else 'DIFF':>6}  {run.description}"
+            f" {'ok' if run.byte_identical else 'DIFF':>6}"
+            f"  {run.description}{failover}"
         )
     return "\n".join(lines)
 

@@ -196,6 +196,9 @@ class ModeComparisonRun:
     #: modes by the plan-node identity the executor stamps on every
     #: execution.
     lane_timings: list = field(default_factory=list)
+    #: Replica failovers the dispatcher performed across both modes'
+    #: final repetitions (0 on a healthy cluster).
+    failover_count: int = 0
 
     @property
     def wall_speedup(self) -> float:
@@ -215,6 +218,7 @@ class ModeComparisonRun:
             "subqueries": self.subqueries,
             "byte_identical": self.byte_identical,
             "lane_timings": self.lane_timings,
+            "failover_count": self.failover_count,
         }
 
 
@@ -262,6 +266,10 @@ def compare_execution_modes(
                 == threaded[-1].result_text,
                 lane_timings=_join_lane_timings(
                     simulated[-1], threaded[-1]
+                ),
+                failover_count=(
+                    simulated[-1].failover_count
+                    + threaded[-1].failover_count
                 ),
             )
         )

@@ -10,6 +10,7 @@ from repro.cluster.dispatch import (
     SubQueryFailure,
     Transport,
 )
+from repro.cluster.health import SiteHealth
 from repro.cluster.network import FREE_NETWORK, GIGABIT_PER_SECOND, NetworkModel
 from repro.cluster.site import Cluster, ParallelRound, Site, SubQueryExecution
 
@@ -22,6 +23,7 @@ __all__ = [
     "GIGABIT_PER_SECOND",
     "InProcessTransport",
     "NetworkModel",
+    "SiteHealth",
     "Transport",
     "ParallelDispatcher",
     "ParallelRound",

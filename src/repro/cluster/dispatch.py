@@ -13,7 +13,16 @@ Failure handling is explicit because real dispatch can fail in ways the
 sequential loop never did:
 
 * every sub-query gets ``retries`` extra attempts with exponential
-  backoff (transient driver errors);
+  backoff (transient driver errors). When the sub-query carries replica
+  targets (``SubQuery.replicas``), a retry *rotates* to the next healthy
+  replica instead of hammering the site that just failed — only a
+  sub-query whose every replica is exhausted falls through to the
+  failure policy;
+* a shared :class:`~repro.cluster.health.SiteHealth` tracker remembers
+  attempt outcomes across sub-queries and rounds: a site failing
+  ``ejection_threshold`` times in a row is ejected, and retry rotation
+  (plus plan lowering, which consults the same tracker) stops targeting
+  it until a timed PING probe readmits it;
 * a per-sub-query ``subquery_timeout`` bounds how long one sub-query may
   take. In-process engine threads cannot be preempted, so the timeout is
   enforced *after the fact*: an over-budget attempt is discarded and
@@ -44,8 +53,9 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence, Union, TYPE_CHECKING
 
+from repro.cluster.health import SiteHealth
 from repro.cluster.site import Cluster, ParallelRound, SubQueryExecution
-from repro.errors import DispatchError
+from repro.errors import ClusterError, DispatchError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.plan.spec import SubQuery
@@ -89,6 +99,12 @@ class Transport(abc.ABC):
         callback). Transports with no real stream (in-process) emulate
         the chunking so composition code sees one behavior everywhere."""
 
+    def ping(self, site: str) -> bool:
+        """Best-effort liveness probe of ``site``, used to readmit
+        ejected sites. Transports with no real health check (the base
+        implementation) report True and let execution outcomes decide."""
+        return True
+
 
 class InProcessTransport(Transport):
     """Direct engine calls against a :class:`Cluster` (no sockets).
@@ -111,6 +127,13 @@ class InProcessTransport(Transport):
     def resolve(self, site_names: Sequence[str]) -> None:
         for name in site_names:
             self.cluster.site(name)
+
+    def ping(self, site: str) -> bool:
+        try:
+            self.cluster.site(site)
+        except ClusterError:
+            return False
+        return True
 
     def execute(
         self,
@@ -157,6 +180,9 @@ class SerialTransport(Transport):
     def resolve(self, site_names: Sequence[str]) -> None:
         self.inner.resolve(site_names)
 
+    def ping(self, site: str) -> bool:
+        return self.inner.ping(site)
+
     def execute(
         self,
         subquery: "SubQuery",
@@ -183,12 +209,17 @@ class SubQueryFailure:
     attempts: int
     error: Exception
     timed_out: bool = False
+    #: Site targeted by each attempt, in order (shows failover rotation).
+    attempt_sites: list = field(default_factory=list)
 
     def describe(self) -> str:
         kind = "timed out" if self.timed_out else "failed"
+        rotation = ""
+        if len(set(self.attempt_sites)) > 1:
+            rotation = f" (tried sites {', '.join(self.attempt_sites)})"
         return (
             f"sub-query for fragment {self.fragment!r} at site {self.site!r}"
-            f" {kind} after {self.attempts} attempt(s): {self.error}"
+            f" {kind} after {self.attempts} attempt(s){rotation}: {self.error}"
         )
 
 
@@ -241,7 +272,13 @@ class ParallelDispatcher:
         ``"fail_fast"`` (default) — cancel outstanding work and raise
         :class:`DispatchError` once any sub-query exhausts its attempts;
         ``"degrade"`` — keep going, drop the failed fragment from the
-        answer, and record an explanatory note.
+        answer, and record an explanatory note. Either policy only
+        triggers once every replica target of the sub-query is exhausted.
+    site_health:
+        The shared :class:`~repro.cluster.health.SiteHealth` tracker
+        retry rotation consults and reports into. Pass the instance the
+        plan lowerer uses so ejections steer both retries *and* new
+        plans; defaults to a private tracker.
     sleep:
         Injection point for the backoff sleep (tests pass a recorder).
     """
@@ -256,6 +293,7 @@ class ParallelDispatcher:
         backoff_jitter: float = 0.0,
         jitter_seed: int = 0,
         failure_policy: str = FAIL_FAST,
+        site_health: Optional[SiteHealth] = None,
         sleep: Callable[[float], None] = time.sleep,
     ):
         if failure_policy not in (FAIL_FAST, DEGRADE):
@@ -277,14 +315,26 @@ class ParallelDispatcher:
         self.backoff_jitter = backoff_jitter
         self.jitter_seed = jitter_seed
         self.failure_policy = failure_policy
+        self.site_health = site_health if site_health is not None else SiteHealth()
         self._sleep = sleep
 
-    def _backoff_wait(self, subquery: "SubQuery", attempt: int) -> float:
-        """Wait before retry ``attempt`` (0-based), jitter applied."""
+    def _backoff_wait(
+        self,
+        subquery: "SubQuery",
+        attempt: int,
+        target_site: Optional[str] = None,
+    ) -> float:
+        """Wait before retry ``attempt`` (0-based), jitter applied.
+
+        The jitter key includes the retry's *target* site (which can
+        differ from ``subquery.site`` once rotation retargets a replica)
+        so two replicas of one fragment never share a jitter schedule.
+        """
         wait = self.backoff_seconds * self.backoff_multiplier ** attempt
         if self.backoff_jitter:
+            site = target_site if target_site is not None else subquery.site
             key = (
-                f"{self.jitter_seed}:{subquery.site}:{subquery.fragment}:"
+                f"{self.jitter_seed}:{site}:{subquery.fragment}:"
                 f"{attempt}"
             )
             spread = self.backoff_jitter * (
@@ -366,6 +416,13 @@ class ParallelDispatcher:
                 failures=failures,
             )
         notes = [f"degraded: {failure.describe()}" for failure in failures]
+        for result in results:
+            if result is not None and result.failover_count:
+                notes.append(
+                    f"failover: fragment {result.fragment!r} answered by"
+                    f" {result.site!r} after {result.failover_count}"
+                    f" failover(s) (tried {', '.join(result.attempt_sites)})"
+                )
         if skipped[0]:
             notes.append(
                 f"cancelled: {skipped[0]} sub-quer"
@@ -420,6 +477,30 @@ class ParallelDispatcher:
                     cancel.set()
                     return
 
+    def _next_target(
+        self, transport: Transport, targets, cursor: int
+    ) -> int:
+        """Index of the next attempt's target after a failure at
+        ``targets[cursor]``.
+
+        Rotation prefers the next *healthy* replica (cyclically, the
+        just-failed target considered last); an ejected site is only
+        eligible if its readmission probe — the transport's PING — is
+        due and succeeds. When every replica is ejected the rotation
+        still advances: a possibly-dead replica beats giving up while
+        the retry budget lasts.
+        """
+        if len(targets) == 1:
+            return cursor
+        for step in range(1, len(targets) + 1):
+            candidate = (cursor + step) % len(targets)
+            site = targets[candidate].site
+            if self.site_health.check(
+                site, prober=lambda probed=site: transport.ping(probed)
+            ):
+                return candidate
+        return (cursor + 1) % len(targets)
+
     def _run_subquery(
         self,
         transport: Transport,
@@ -430,14 +511,23 @@ class ParallelDispatcher:
         cancel: threading.Event,
         chunk_sink=None,
     ) -> Optional[SubQueryFailure]:
-        """One sub-query with its retry/backoff/timeout envelope.
+        """One sub-query with its retry/backoff/timeout/failover envelope.
 
         ``subquery_timeout`` bounds the sub-query's *total* budget:
-        attempts plus backoff waits. A retry whose backoff would cross
-        the deadline is not taken — the sub-query fails as timed out
-        instead of overshooting its budget.
+        every attempt's duration plus the backoff waits between them all
+        draw down one shared deadline — each attempt is handed only the
+        *remaining* budget, and a retry whose backoff would cross the
+        deadline is not taken, so total wall time can never reach the
+        old ~(retries+1)× overshoot. On failure the retry rotates to
+        the fragment's next healthy replica (see :meth:`_next_target`);
+        the failure policy only sees sub-queries whose whole replica
+        set was exhausted.
         """
         failure: Optional[SubQueryFailure] = None
+        targets = subquery.targets()
+        cursor = 0
+        failover_count = 0
+        attempt_sites: list[str] = []
         deadline = (
             time.perf_counter() + self.subquery_timeout
             if self.subquery_timeout is not None
@@ -450,6 +540,28 @@ class ParallelDispatcher:
         for attempt in range(self.retries + 1):
             if cancel.is_set():
                 return failure
+            target = targets[cursor]
+            attempt_sites.append(target.site)
+            attempt_timeout = self.subquery_timeout
+            if deadline is not None:
+                attempt_timeout = deadline - time.perf_counter()
+                if attempt_timeout <= 0:
+                    return SubQueryFailure(
+                        site=target.site,
+                        fragment=subquery.fragment,
+                        query=target.query,
+                        attempts=attempt + 1,
+                        error=TimeoutError(
+                            f"retry budget exhausted after {attempt + 1}"
+                            f" attempt(s): the"
+                            f" {self.subquery_timeout:.3f}s deadline"
+                            f" passed before the attempt could start;"
+                            f" last error: {failure.error if failure else None}"
+                        ),
+                        timed_out=True,
+                        attempt_sites=list(attempt_sites),
+                    )
+            attempt_subquery = subquery.retarget(target)
             started = time.perf_counter()
             try:
                 if chunk_sink is not None:
@@ -457,52 +569,59 @@ class ParallelDispatcher:
                     # partial chunks must never survive into the retry.
                     chunk_sink.begin(index)
                 execution = transport.execute(
-                    subquery,
+                    attempt_subquery,
                     default_collection=default_collection,
-                    timeout=self.subquery_timeout,
+                    timeout=attempt_timeout,
                     on_chunk=on_chunk,
                 )
             except Exception as exc:
+                self.site_health.record_failure(target.site)
                 failure = SubQueryFailure(
-                    site=subquery.site,
+                    site=target.site,
                     fragment=subquery.fragment,
-                    query=subquery.query,
+                    query=attempt_subquery.query,
                     attempts=attempt + 1,
                     error=exc,
                     timed_out=isinstance(exc, TimeoutError),
+                    attempt_sites=list(attempt_sites),
                 )
             else:
-                took = time.perf_counter() - started
-                if (
-                    self.subquery_timeout is not None
-                    and took > self.subquery_timeout
-                ):
+                now = time.perf_counter()
+                if deadline is not None and now > deadline:
+                    self.site_health.record_failure(target.site)
                     failure = SubQueryFailure(
-                        site=subquery.site,
+                        site=target.site,
                         fragment=subquery.fragment,
-                        query=subquery.query,
+                        query=attempt_subquery.query,
                         attempts=attempt + 1,
                         error=TimeoutError(
                             f"exceeded {self.subquery_timeout:.3f}s budget"
-                            f" (took {took:.3f}s)"
+                            f" (took {now - started:.3f}s)"
                         ),
                         timed_out=True,
+                        attempt_sites=list(attempt_sites),
                     )
                 else:
+                    self.site_health.record_success(target.site)
+                    execution.failover_count = failover_count
+                    execution.attempt_sites = list(attempt_sites)
                     # Each slot is written by exactly one lane thread.
                     results[index] = execution
                     if chunk_sink is not None:
                         chunk_sink.complete(index)
                     return None
             if attempt < self.retries:
-                wait = self._backoff_wait(subquery, attempt)
+                next_cursor = self._next_target(transport, targets, cursor)
+                wait = self._backoff_wait(
+                    subquery, attempt, targets[next_cursor].site
+                )
                 if deadline is not None:
                     remaining = deadline - time.perf_counter()
                     if remaining <= 0 or wait >= remaining:
                         return SubQueryFailure(
-                            site=subquery.site,
+                            site=target.site,
                             fragment=subquery.fragment,
-                            query=subquery.query,
+                            query=attempt_subquery.query,
                             attempts=attempt + 1,
                             error=TimeoutError(
                                 f"retry budget exhausted after {attempt + 1}"
@@ -512,6 +631,10 @@ class ParallelDispatcher:
                                 f" last error: {failure.error}"
                             ),
                             timed_out=True,
+                            attempt_sites=list(attempt_sites),
                         )
                 self._sleep(wait)
+                if next_cursor != cursor:
+                    failover_count += 1
+                    cursor = next_cursor
         return failure

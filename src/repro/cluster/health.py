@@ -1,0 +1,161 @@
+"""Shared site-health tracking for dispatch and lowering.
+
+:class:`SiteHealth` is the cluster's memory of which sites are
+answering. The dispatcher reports every attempt outcome into it; two
+consumers read it back:
+
+* the dispatcher's own retry loop skips ejected sites when rotating a
+  failing sub-query across its fragment's replicas;
+* the lane scheduler (``repro.plan.lower``) stops routing *new* scans
+  to ejected sites, so a crashed site falls out of fresh plans instead
+  of burning a retry budget per query.
+
+Ejection is consecutive-failure based: ``ejection_threshold`` failures
+in a row (any successful attempt resets the streak) mark the site
+ejected. An ejected site is not gone forever — after
+``probe_interval_seconds`` a health *probe* (the transport's PING, see
+:meth:`check`) is allowed; a successful probe readmits the site, a
+failed one re-arms the probe timer. The tracker is thread-safe: lane
+threads of one round and concurrent rounds share a single instance.
+
+The clock is injectable so tests can step time deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+
+@dataclass
+class _SiteState:
+    consecutive_failures: int = 0
+    ejected: bool = False
+    next_probe_at: float = 0.0
+
+
+class SiteHealth:
+    """Consecutive-failure ejection with timed readmission probes."""
+
+    def __init__(
+        self,
+        ejection_threshold: int = 3,
+        probe_interval_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if ejection_threshold < 1:
+            raise ValueError("ejection_threshold must be at least 1")
+        if probe_interval_seconds < 0:
+            raise ValueError("probe_interval_seconds must be non-negative")
+        self.ejection_threshold = ejection_threshold
+        self.probe_interval_seconds = probe_interval_seconds
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._states: dict[str, _SiteState] = {}
+
+    def _state(self, site: str) -> _SiteState:
+        state = self._states.get(site)
+        if state is None:
+            state = self._states[site] = _SiteState()
+        return state
+
+    # -- reporting -----------------------------------------------------
+    def record_success(self, site: str) -> None:
+        """A sub-query (or probe) at ``site`` succeeded: readmit it."""
+        with self._lock:
+            state = self._state(site)
+            state.consecutive_failures = 0
+            state.ejected = False
+            state.next_probe_at = 0.0
+
+    def record_failure(self, site: str) -> bool:
+        """A sub-query attempt at ``site`` failed. Returns True when
+        this failure crossed the ejection threshold."""
+        with self._lock:
+            state = self._state(site)
+            state.consecutive_failures += 1
+            if (
+                not state.ejected
+                and state.consecutive_failures >= self.ejection_threshold
+            ):
+                state.ejected = True
+                state.next_probe_at = (
+                    self._clock() + self.probe_interval_seconds
+                )
+                return True
+            if state.ejected:
+                # A failed probe (or a racing lane) re-arms the timer.
+                state.next_probe_at = (
+                    self._clock() + self.probe_interval_seconds
+                )
+            return False
+
+    def readmit(self, site: str) -> None:
+        """Explicitly clear ``site``'s ejection (e.g. after a restart)."""
+        self.record_success(site)
+
+    # -- queries -------------------------------------------------------
+    def is_ejected(self, site: str) -> bool:
+        with self._lock:
+            state = self._states.get(site)
+            return bool(state and state.ejected)
+
+    def probe_due(self, site: str) -> bool:
+        """True when ``site`` is ejected and its probe timer expired."""
+        with self._lock:
+            state = self._states.get(site)
+            return bool(
+                state
+                and state.ejected
+                and self._clock() >= state.next_probe_at
+            )
+
+    def check(
+        self,
+        site: str,
+        prober: Optional[Callable[[], bool]] = None,
+    ) -> bool:
+        """Is ``site`` usable as a sub-query target right now?
+
+        A healthy site is always usable. An ejected site is usable only
+        if its probe timer expired *and* ``prober`` (typically the
+        transport's PING) confirms it answers — a successful probe
+        readmits the site, a failed or unavailable probe re-arms the
+        timer and keeps the site ejected.
+        """
+        if not self.is_ejected(site):
+            return True
+        if not self.probe_due(site):
+            return False
+        if prober is None:
+            return False
+        try:
+            alive = bool(prober())
+        except Exception:
+            alive = False
+        if alive:
+            self.record_success(site)
+            return True
+        self.record_failure(site)
+        return False
+
+    def snapshot(self) -> dict:
+        """Per-site health for reporting: {site: {...}} (sorted keys)."""
+        with self._lock:
+            return {
+                site: {
+                    "ejected": state.ejected,
+                    "consecutive_failures": state.consecutive_failures,
+                }
+                for site, state in sorted(self._states.items())
+            }
+
+    def ejected_sites(self) -> list[str]:
+        with self._lock:
+            return sorted(
+                site
+                for site, state in self._states.items()
+                if state.ejected
+            )

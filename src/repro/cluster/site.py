@@ -147,6 +147,12 @@ class SubQueryExecution:
     #: per-lane timings can be compared against the estimates.
     plan_node: Optional[str] = None
     estimated_seconds: Optional[float] = None
+    #: How many times the dispatcher re-aimed this sub-query at another
+    #: replica before this execution succeeded (0 = the planned site
+    #: answered), plus the site targeted by each attempt in order —
+    #: ``attempt_sites[-1] == site`` always holds.
+    failover_count: int = 0
+    attempt_sites: list = field(default_factory=list)
 
     @property
     def elapsed(self) -> float:
@@ -183,6 +189,11 @@ class ParallelRound:
     streamed: bool = False
     peak_buffered_bytes: int = 0
     first_chunk_seconds: Optional[float] = None
+
+    @property
+    def failover_count(self) -> int:
+        """Replica failovers across the round's executions."""
+        return sum(execution.failover_count for execution in self.executions)
 
     @property
     def parallel_seconds(self) -> float:

@@ -68,6 +68,13 @@ def main(argv: list[str] | None = None) -> int:
         " (subset of %s; default: %%(default)s)"
         % "/".join(ALL_EXECUTION_MODES),
     )
+    parser.add_argument(
+        "--kill-site",
+        action="store_true",
+        help="failover oracle: replicate every fragment on a mirror"
+        " site, kill one primary's server mid-case, and require the"
+        " answers to still converge via the replica (needs a tcp mode)",
+    )
     options = parser.parse_args(argv)
 
     modes = tuple(
@@ -80,10 +87,14 @@ def main(argv: list[str] | None = None) -> int:
             f" {', '.join(ALL_EXECUTION_MODES)}"
             + (f" (got {', '.join(unknown)})" if unknown else "")
         )
+    if options.kill_site and not any(mode.startswith("tcp") for mode in modes):
+        parser.error("--kill-site requires a tcp mode in --modes")
 
     if options.replay is not None:
         outcome = run_case(
-            CaseSpec.from_dict(json.loads(options.replay)), modes=modes
+            CaseSpec.from_dict(json.loads(options.replay)),
+            modes=modes,
+            kill_site=options.kill_site,
         )
         payload = outcome.to_dict()
         ok = outcome.ok
@@ -95,6 +106,7 @@ def main(argv: list[str] | None = None) -> int:
             repro_dir=None if options.no_repros else options.repro_dir,
             max_failures=options.max_failures,
             modes=modes,
+            kill_site=options.kill_site,
         )
         ok = payload["ok"]
         _print_digest(payload)
@@ -129,6 +141,7 @@ def _print_digest(summary: dict) -> None:
         f"repro.fuzz — seed {summary['seed']},"
         f" {summary['iterations']} iterations,"
         f" modes {'/'.join(summary['execution_modes'])}"
+        + (" [kill-site]" if summary.get("kill_site") else "")
     )
     print(format_kv_table(title, rows), file=sys.stderr)
     for failure in summary["failures"]:

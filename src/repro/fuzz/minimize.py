@@ -39,6 +39,7 @@ def minimize_spec(
     partix_factory: Optional[Callable] = None,
     budget: int = DEFAULT_BUDGET,
     modes: Optional[tuple] = None,
+    kill_site: bool = False,
 ) -> CaseOutcome:
     """Shrink ``spec`` greedily while it keeps failing the same way.
 
@@ -58,7 +59,9 @@ def minimize_spec(
         if failing:
             candidate = replace(best_spec, query_index=failing[0])
             attempts += 1
-            reproduced = _reproduces(candidate, fingerprint, partix_factory, modes)
+            reproduced = _reproduces(
+                candidate, fingerprint, partix_factory, modes, kill_site
+            )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
 
@@ -69,7 +72,9 @@ def minimize_spec(
             if attempts >= budget:
                 break
             attempts += 1
-            reproduced = _reproduces(candidate, fingerprint, partix_factory, modes)
+            reproduced = _reproduces(
+                candidate, fingerprint, partix_factory, modes, kill_site
+            )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
                 progress = True
@@ -82,12 +87,20 @@ def _reproduces(
     fingerprint: tuple[str, ...],
     partix_factory: Optional[Callable],
     modes: Optional[tuple] = None,
+    kill_site: bool = False,
 ) -> Optional[CaseOutcome]:
     try:
         if modes is None:
-            outcome = run_case(spec, partix_factory=partix_factory)
+            outcome = run_case(
+                spec, partix_factory=partix_factory, kill_site=kill_site
+            )
         else:
-            outcome = run_case(spec, partix_factory=partix_factory, modes=modes)
+            outcome = run_case(
+                spec,
+                partix_factory=partix_factory,
+                modes=modes,
+                kill_site=kill_site,
+            )
     except Exception:  # noqa: BLE001 — a crashing shrink is just rejected
         return None
     if not outcome.ok and outcome.mismatch_kinds() == fingerprint:

@@ -51,12 +51,16 @@ from typing import Callable, Optional, Sequence
 
 from repro.cluster.site import Cluster, Site
 from repro.fuzz.generator import CaseSpec, GeneratedCase, generate_case, spec_for_iteration
+from repro.partix.catalog import FragmentAllocation
 from repro.partix.correctness import verify_fragmentation
 from repro.partix.middleware import Partix, PartixResult
 from repro.plan.executor import ExecutionMode
 from repro.plan.explain import plan_from_dict
 
 CENTRAL_SITE = "central"
+#: Extra site holding one replica of every fragment in ``kill_site``
+#: mode, so killing a primary's server leaves a live copy reachable.
+MIRROR_SITE = "mirror"
 EXECUTION_MODES = ("simulated", "threads")
 ALL_EXECUTION_MODES = ("simulated", "threads", "tcp", "tcp-stream")
 
@@ -72,7 +76,7 @@ ADVERSARIAL_CHUNK_BYTES = 7
 class Mismatch:
     """One oracle violation observed while running a case."""
 
-    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error"
+    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error" | "failover"
     detail: str
     query_index: Optional[int] = None
     query: Optional[str] = None
@@ -145,6 +149,7 @@ def run_case(
     case: Optional[GeneratedCase] = None,
     partix_factory: Optional[Callable[[Cluster], Partix]] = None,
     modes: Sequence[str] = EXECUTION_MODES,
+    kill_site: bool = False,
 ) -> CaseOutcome:
     """Generate (unless given) and differentially execute one case.
 
@@ -153,11 +158,31 @@ def run_case(
     oracle actually bites. ``modes`` selects the fragmented execution
     modes to compare; including ``"tcp"`` spawns real site-server
     processes for the case (mirrored over the wire, reaped afterwards).
+
+    ``kill_site`` is the failover oracle (requires a tcp mode): every
+    fragment is published twice — primary on its round-robin site plus a
+    replica on a dedicated ``mirror`` site — the queries run once
+    healthy, then the first primary's server process is killed and the
+    same queries run again. The answers must still converge to the
+    centralized baseline through the replica: an asymmetric error or a
+    differing answer is caught by the standard oracles, and if the dead
+    site was targeted but no sub-query ever failed over (nor was the
+    site ejected by health tracking) a mismatch of kind ``failover`` is
+    reported. Killing between the passes means the coordinator's pooled
+    sockets to the victim die mid-use — the retry loop discovers the
+    corpse on a live connection, not on a fresh connect.
     """
     outcome = CaseOutcome(spec=spec)
     if case is None:
         case = generate_case(spec)
     outcome.notes.extend(case.notes)
+
+    parsed_modes = [ExecutionMode.parse(mode) for mode in modes]
+    if kill_site and not any(mode.transport == "tcp" for mode in parsed_modes):
+        raise ValueError(
+            "kill_site=True needs a tcp execution mode: killing a site"
+            " process only perturbs the networked transports"
+        )
 
     report = verify_fragmentation(case.design, case.collection)
     if not report.ok:
@@ -168,14 +193,46 @@ def run_case(
         return outcome
 
     cluster = Cluster.with_sites(len(case.design), prefix="site")
+    if kill_site:
+        cluster.add(Site(MIRROR_SITE))
     partix = (
         partix_factory(cluster) if partix_factory is not None else Partix(cluster)
     )
-    partix.publish(case.collection, case.design, frag_mode=case.frag_mode)
+    allocations = None
+    victim = None
+    if kill_site:
+        # Mirror the publisher's default round-robin placement for the
+        # primaries (the mirror site must not absorb one), then add one
+        # replica of every fragment on the mirror site. Victim: the
+        # first primary — killing it leaves each of its fragments with
+        # exactly one live copy.
+        primaries = [f"site{index}" for index in range(len(case.design))]
+        allocations = []
+        for index, fragment in enumerate(case.design.fragments):
+            allocations.append(
+                FragmentAllocation(
+                    fragment=fragment.name,
+                    site=primaries[index % len(primaries)],
+                    stored_collection=fragment.name,
+                )
+            )
+            allocations.append(
+                FragmentAllocation(
+                    fragment=fragment.name,
+                    site=MIRROR_SITE,
+                    stored_collection=fragment.name,
+                )
+            )
+        victim = primaries[0]
+    partix.publish(
+        case.collection,
+        case.design,
+        allocations=allocations,
+        frag_mode=case.frag_mode,
+    )
     cluster.add(Site(CENTRAL_SITE))
     partix.publish_centralized(case.collection, CENTRAL_SITE)
 
-    parsed_modes = [ExecutionMode.parse(mode) for mode in modes]
     try:
         if any(mode.streaming for mode in parsed_modes):
             # Adversarial chunking: see ADVERSARIAL_CHUNK_BYTES. Must be
@@ -183,8 +240,63 @@ def run_case(
             partix.chunk_bytes = ADVERSARIAL_CHUNK_BYTES
         if any(mode.transport == "tcp" for mode in parsed_modes):
             partix.start_tcp()
+        if not kill_site:
+            for index, query in case.active_queries:
+                _run_query(partix, index, query, outcome, modes)
+            return outcome
+
+        tcp_modes = [
+            mode
+            for mode, parsed in zip(modes, parsed_modes)
+            if parsed.transport == "tcp"
+        ]
+        # Pass 1 — healthy run: standard oracles, and note whether any
+        # tcp plan actually routed a lane to the victim (pruning can
+        # legitimately skip its fragment for some queries).
+        victim_targeted = False
         for index, query in case.active_queries:
-            _run_query(partix, index, query, outcome, modes)
+            results = _run_query(partix, index, query, outcome, modes)
+            for mode in tcp_modes:
+                result = results.get(mode)
+                if result is not None and result.plan is not None and any(
+                    subquery.site == victim
+                    for subquery in result.plan.subqueries
+                ):
+                    victim_targeted = True
+
+        partix.tcp.kill(victim)
+        outcome.notes.append(
+            f"killed tcp site {victim!r} between passes"
+            " (pooled sockets die mid-use)"
+        )
+
+        # Pass 2 — the victim is dead: answers must still converge to
+        # the centralized baseline through the mirror replica.
+        failovers = 0
+        for index, query in case.active_queries:
+            results = _run_query(partix, index, query, outcome, modes)
+            failovers += sum(
+                results[mode].failover_count
+                for mode in tcp_modes
+                if mode in results
+            )
+        outcome.notes.append(f"replica failovers observed: {failovers}")
+        if (
+            victim_targeted
+            and failovers == 0
+            and partix.site_health is not None
+            and not partix.site_health.is_ejected(victim)
+        ):
+            outcome.mismatches.append(
+                Mismatch(
+                    kind="failover",
+                    detail=(
+                        f"site {victim!r} was killed while hosting primary"
+                        " lanes, yet no tcp sub-query failed over to its"
+                        " replica and the site was never ejected"
+                    ),
+                )
+            )
     finally:
         partix.stop_tcp()
     return outcome
@@ -196,7 +308,9 @@ def _run_query(
     query: str,
     outcome: CaseOutcome,
     modes: Sequence[str],
-) -> None:
+) -> dict[str, PartixResult]:
+    """Run one query through every configuration; returns the successful
+    fragmented results keyed by mode (empty on error paths)."""
     central_text, central_error = _attempt(
         lambda: partix.execute_centralized(query, CENTRAL_SITE).result_text
     )
@@ -226,7 +340,7 @@ def _run_query(
                     query=query,
                 )
             )
-            return
+            return {}
         if text is not None:
             by_mode[mode] = text
             results_by_mode[mode] = result
@@ -238,7 +352,7 @@ def _run_query(
             f"query {index} raises {type(central_error).__name__} in all"
             " configurations"
         )
-        return
+        return {}
 
     outcome.queries_run += 1
     plan = partix.explain(query, "Cfuzz")
@@ -287,6 +401,7 @@ def _run_query(
                 query=query,
             )
         )
+    return results_by_mode
 
 
 def _check_plan_equivalence(
@@ -406,17 +521,20 @@ def run_fuzz(
     partix_factory: Optional[Callable[[Cluster], Partix]] = None,
     max_failures: int = 5,
     modes: Sequence[str] = EXECUTION_MODES,
+    kill_site: bool = False,
 ) -> dict:
     """Run the full differential session; returns a JSON-able summary.
 
     Stops early once ``max_failures`` distinct failing cases have been
     collected (each one is expensive: it triggers minimization and a
-    written reproducer when ``repro_dir`` is set).
+    written reproducer when ``repro_dir`` is set). ``kill_site`` runs
+    every case through the failover oracle (see :func:`run_case`).
     """
     summary: dict = {
         "seed": seed,
         "iterations": iterations,
         "execution_modes": list(modes),
+        "kill_site": kill_site,
         "cases": 0,
         "queries_run": 0,
         "queries_skipped": 0,
@@ -430,7 +548,12 @@ def run_fuzz(
     kinds: Counter = Counter()
     for iteration in range(iterations):
         spec = spec_for_iteration(seed, iteration)
-        outcome = run_case(spec, partix_factory=partix_factory, modes=modes)
+        outcome = run_case(
+            spec,
+            partix_factory=partix_factory,
+            modes=modes,
+            kill_site=kill_site,
+        )
         summary["cases"] += 1
         summary["queries_run"] += outcome.queries_run
         summary["queries_skipped"] += outcome.queries_skipped
@@ -446,7 +569,11 @@ def run_fuzz(
 
             minimized = (
                 minimize_spec(
-                    spec, outcome, partix_factory=partix_factory, modes=modes
+                    spec,
+                    outcome,
+                    partix_factory=partix_factory,
+                    modes=modes,
+                    kill_site=kill_site,
                 )
                 if minimize
                 else outcome

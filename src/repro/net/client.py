@@ -26,7 +26,13 @@ from typing import Optional, Sequence, Union, TYPE_CHECKING
 from repro.cluster.dispatch import Transport
 from repro.cluster.site import SubQueryExecution
 from repro.engine.stats import QueryResult
-from repro.errors import ClusterError, ProtocolError, TransportError, TransportTimeout
+from repro.errors import (
+    ClusterError,
+    CollectionNotFoundError,
+    ProtocolError,
+    TransportError,
+    TransportTimeout,
+)
 from repro.net.protocol import (
     Frame,
     FrameType,
@@ -466,20 +472,20 @@ class RemoteSiteDriver(PartixDriver):
         return result
 
     def document_count(self, collection: str) -> int:
+        # The ERROR-frame class mapping resurfaces the server's typed
+        # exception, so a missing collection is matched by class — an
+        # unrelated error whose text happens to mention "no collection"
+        # propagates instead of being swallowed as 0.
         try:
             return self.client.document_count(collection)
-        except Exception as exc:
-            if "no collection" in str(exc):
-                return 0
-            raise
+        except CollectionNotFoundError:
+            return 0
 
     def collection_bytes(self, collection: str) -> int:
         try:
             return self.client.collection_bytes(collection)
-        except Exception as exc:
-            if "no collection" in str(exc):
-                return 0
-            raise
+        except CollectionNotFoundError:
+            return 0
 
 
 class TcpTransport(Transport):
@@ -497,6 +503,18 @@ class TcpTransport(Transport):
         for name in site_names:
             if name not in self.clients:
                 raise ClusterError(f"no site named {name!r}")
+
+    def ping(self, site: str) -> bool:
+        """A real PING/PONG round-trip — the health probe that readmits
+        an ejected site once it answers again."""
+        client = self.clients.get(site)
+        if client is None:
+            return False
+        try:
+            client.ping(read_timeout=2.0)
+        except (TransportError, ProtocolError, OSError):
+            return False
+        return True
 
     def execute(
         self,

@@ -142,11 +142,15 @@ class QueryDecomposer:
         self,
         catalog: DistributionCatalog,
         cost_model: Optional[CostModel] = None,
+        site_health=None,
     ):
         self.catalog = catalog
         self.cost_model = (
             cost_model if cost_model is not None else CostModel(catalog=catalog)
         )
+        #: Optional shared :class:`~repro.cluster.health.SiteHealth`
+        #: tracker: lowering avoids scan candidates at ejected sites.
+        self.site_health = site_health
 
     # ------------------------------------------------------------------
     def decompose(
@@ -155,6 +159,7 @@ class QueryDecomposer:
         return lower(
             self.decompose_logical(query, collection),
             cost_model=self.cost_model,
+            site_health=self.site_health,
         )
 
     def decompose_logical(

@@ -152,13 +152,20 @@ class PartixResult:
         return self.round.first_chunk_seconds
 
     @property
+    def failover_count(self) -> int:
+        """Replica failovers the round's retries performed (0 = every
+        sub-query was answered by the site the plan targeted)."""
+        return self.round.failover_count
+
+    @property
     def lane_timings(self) -> list[dict]:
         """Per-lane estimated vs measured seconds.
 
         The plan executor stamps every execution with the physical-plan
         node it realized and the cost model's estimate for it, so the
         planner's predictions can be checked against what actually
-        happened (the bench ``modes`` figure records both).
+        happened (the bench ``modes`` figure records both). Failed-over
+        lanes additionally report which sites each attempt targeted.
         """
         return [
             {
@@ -167,6 +174,8 @@ class PartixResult:
                 "site": execution.site,
                 "estimated_seconds": execution.estimated_seconds,
                 "measured_seconds": execution.elapsed,
+                "failover_count": execution.failover_count,
+                "attempt_sites": list(execution.attempt_sites),
             }
             for execution in self.round.executions
         ]
@@ -193,6 +202,16 @@ class Partix:
         self.dispatcher = (
             dispatcher if dispatcher is not None else ParallelDispatcher()
         )
+        #: Shared site-health tracker: the dispatcher reports attempt
+        #: outcomes into it, lowering reads it back so new plans avoid
+        #: ejected sites. A caller-supplied dispatcher brings its own;
+        #: exotic dispatcher substitutes without one get a private
+        #: tracker (lowering still works, it just never sees ejections).
+        self.site_health = getattr(self.dispatcher, "site_health", None)
+        if self.site_health is None:
+            from repro.cluster.health import SiteHealth
+
+            self.site_health = SiteHealth()
         self.schema_catalog = (
             schema_catalog if schema_catalog is not None else SchemaCatalog()
         )
@@ -207,7 +226,9 @@ class Partix:
         #: and the per-node estimates shown by ``explain``.
         self.cost_model = CostModel(self.distribution_catalog, self.network)
         self.decomposer = QueryDecomposer(
-            self.distribution_catalog, cost_model=self.cost_model
+            self.distribution_catalog,
+            cost_model=self.cost_model,
+            site_health=self.site_health,
         )
         self.composer = ResultComposer()
         self.plan_executor = PlanExecutor(self.composer)

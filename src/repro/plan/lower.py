@@ -9,7 +9,14 @@ Lowering makes the two decisions the logical plan left open:
   degenerates to the classic least-loaded-by-count spread (ties break by
   assigned-lane count, then catalog order, primary first); with skewed
   statistics a large fragment no longer lands on an already-busy site
-  just because counts matched.
+  just because counts matched. When a shared
+  :class:`~repro.cluster.health.SiteHealth` tracker is supplied,
+  candidates at *ejected* sites are skipped (noted on the plan) unless
+  every replica of the fragment is ejected — new plans stop routing
+  scans to a site the dispatcher has declared dead. The candidates the
+  scheduler did *not* choose ride along on the emitted
+  :class:`~repro.plan.spec.SubQuery` as failover ``replicas`` so the
+  dispatcher can rotate to them at retry time.
 * **cost annotation** — every physical node carries a
   :class:`~repro.plan.cost.CostEstimate`, so EXPLAIN can render the tree
   with per-node costs and measured per-lane timings can be compared
@@ -32,21 +39,44 @@ from repro.plan.logical import (
     Union,
 )
 from repro.plan.physical import Lane, PhysicalPlan, PlanNode
-from repro.plan.spec import CompositionSpec, SubQuery
+from repro.plan.spec import CompositionSpec, SubQuery, SubQueryTarget
 
 
 class _LaneScheduler:
     """Greedy cost-based assignment of scans to replica sites."""
 
-    def __init__(self, model: CostModel, collection: str):
+    def __init__(self, model: CostModel, collection: str, site_health=None):
         self.model = model
         self.collection = collection
+        self.site_health = site_health
         self.busy: dict = {}
         self.counts: dict = {}
+        #: Ejected sites whose candidates were skipped (for plan notes).
+        self.avoided_sites: set = set()
+
+    def _eligible(self, scan: FragmentScan):
+        """The scan's candidates minus ejected sites — unless *every*
+        replica is ejected, in which case all stay eligible (a plan that
+        targets a possibly-dead site still beats one with no target;
+        the dispatcher's rotation and failure policy take it from
+        there)."""
+        if self.site_health is None:
+            return list(enumerate(scan.candidates))
+        eligible = []
+        skipped = []
+        for position, candidate in enumerate(scan.candidates):
+            if self.site_health.is_ejected(candidate.site):
+                skipped.append(candidate.site)
+            else:
+                eligible.append((position, candidate))
+        if not eligible:
+            return list(enumerate(scan.candidates))
+        self.avoided_sites.update(skipped)
+        return eligible
 
     def assign(self, scan: FragmentScan, pushdown: Optional[str]):
         best = None
-        for position, candidate in enumerate(scan.candidates):
+        for position, candidate in self._eligible(scan):
             estimate = self.model.scan_estimate(
                 self.collection,
                 scan.fragment,
@@ -75,10 +105,16 @@ def lower(
     cost_model: Optional[CostModel] = None,
     streaming: bool = False,
     chunk_bytes: Optional[int] = None,
+    site_health=None,
 ) -> PhysicalPlan:
-    """Lower a logical plan to an executable physical plan."""
+    """Lower a logical plan to an executable physical plan.
+
+    ``site_health``, when given, is the shared
+    :class:`~repro.cluster.health.SiteHealth` tracker: candidates at
+    ejected sites are avoided (see :class:`_LaneScheduler`).
+    """
     model = cost_model if cost_model is not None else CostModel()
-    scheduler = _LaneScheduler(model, logical.collection)
+    scheduler = _LaneScheduler(model, logical.collection, site_health)
     lanes: list = []
 
     def scan_node(scan: FragmentScan, pushdown: Optional[str]) -> PlanNode:
@@ -91,6 +127,15 @@ def lower(
             collection=candidate.stored_collection,
             query=candidate.query,
             purpose=scan.purpose,
+            replicas=tuple(
+                SubQueryTarget(
+                    site=other.site,
+                    collection=other.stored_collection,
+                    query=other.query,
+                )
+                for other in scan.candidates
+                if other.site != candidate.site
+            ),
         )
         lanes.append(
             Lane(
@@ -176,12 +221,16 @@ def lower(
         estimate=inner.estimate,
         children=[inner],
     )
+    notes = list(logical.notes)
+    if scheduler.avoided_sites:
+        avoided = ", ".join(sorted(scheduler.avoided_sites))
+        notes.append(f"lowering: avoided ejected site(s) {avoided}")
     return PhysicalPlan(
         collection=logical.collection,
         root=root,
         lanes=lanes,
         composition=logical.composition,
-        notes=list(logical.notes),
+        notes=notes,
         streaming=streaming,
         chunk_bytes=chunk_bytes,
     )

@@ -11,28 +11,90 @@ compatibility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True)
+class SubQueryTarget:
+    """One concrete place a sub-query can run: a replica's site plus the
+    sub-query text rewritten for that replica's stored collection."""
+
+    site: str
+    collection: str
+    query: str
+
+    def to_dict(self) -> dict:
+        return {
+            "site": self.site,
+            "collection": self.collection,
+            "query": self.query,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "SubQueryTarget":
+        return cls(
+            site=payload["site"],
+            collection=payload["collection"],
+            query=payload["query"],
+        )
 
 
 @dataclass(frozen=True)
 class SubQuery:
-    """One sub-query targeted at one fragment's site."""
+    """One sub-query targeted at one fragment's site.
+
+    ``site``/``collection``/``query`` name the *primary* target lowering
+    chose; ``replicas`` lists the alternative targets (other replicas of
+    the same fragment, catalog order) the dispatcher may fail over to
+    when the primary target's site stops answering.
+    """
 
     fragment: str
     site: str
     collection: str
     query: str
     purpose: str = "answer"  # "answer" | "fetch"
+    replicas: Tuple[SubQueryTarget, ...] = field(default=(), compare=True)
+
+    def targets(self) -> Tuple[SubQueryTarget, ...]:
+        """Every place this sub-query can run, chosen target first."""
+        primary = SubQueryTarget(
+            site=self.site, collection=self.collection, query=self.query
+        )
+        return (primary,) + tuple(
+            target for target in self.replicas if target.site != self.site
+        )
+
+    def retarget(self, target: SubQueryTarget) -> "SubQuery":
+        """This sub-query re-aimed at ``target`` (fragment, purpose and
+        the full replica list are preserved)."""
+        if (
+            target.site == self.site
+            and target.collection == self.collection
+            and target.query == self.query
+        ):
+            return self
+        return replace(
+            self,
+            site=target.site,
+            collection=target.collection,
+            query=target.query,
+        )
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "fragment": self.fragment,
             "site": self.site,
             "collection": self.collection,
             "query": self.query,
             "purpose": self.purpose,
         }
+        if self.replicas:
+            payload["replicas"] = [
+                target.to_dict() for target in self.replicas
+            ]
+        return payload
 
     @classmethod
     def from_dict(cls, payload: dict) -> "SubQuery":
@@ -42,6 +104,10 @@ class SubQuery:
             collection=payload["collection"],
             query=payload["query"],
             purpose=payload.get("purpose", "answer"),
+            replicas=tuple(
+                SubQueryTarget.from_dict(target)
+                for target in payload.get("replicas", ())
+            ),
         )
 
 

@@ -9,13 +9,17 @@ from repro.cluster import (
     Cluster,
     DEGRADE,
     FAIL_FAST,
+    InProcessTransport,
     ParallelDispatcher,
     Site,
+    SiteHealth,
+    Transport,
 )
 from repro.engine.stats import QueryResult
 from repro.errors import DispatchError
 from repro.partix.decomposer import SubQuery
 from repro.partix.driver import PartixDriver
+from repro.plan.spec import SubQueryTarget
 
 
 def _query_result(text: str = "ok") -> QueryResult:
@@ -294,6 +298,252 @@ class TestRetryDeadline:
         )
         assert outcome.complete
         assert len(waits) == 2
+
+
+def _replicated_subquery(sites, fragment="F0", query="q0"):
+    return SubQuery(
+        fragment=fragment,
+        site=sites[0],
+        collection="C",
+        query=query,
+        replicas=tuple(
+            SubQueryTarget(site=site, collection="C", query=query)
+            for site in sites[1:]
+        ),
+    )
+
+
+class TestReplicaFailover:
+    def test_retry_rotates_to_the_next_replica(self):
+        drivers = [StubDriver(fail_times=10), StubDriver()]
+        dispatcher = ParallelDispatcher(retries=1, sleep=lambda s: None)
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
+        )
+        assert outcome.complete
+        (execution,) = outcome.round.executions
+        assert execution.site == "site1"
+        assert execution.failover_count == 1
+        assert execution.attempt_sites == ["site0", "site1"]
+        assert drivers[0].calls == ["q0"]  # dead primary tried exactly once
+        assert drivers[1].calls == ["q0"]
+        assert any("failover" in note for note in outcome.notes)
+
+    def test_rotation_walks_replicas_in_declared_order(self):
+        drivers = [
+            StubDriver(fail_times=10),
+            StubDriver(fail_times=10),
+            StubDriver(),
+        ]
+        dispatcher = ParallelDispatcher(retries=2, sleep=lambda s: None)
+        outcome = dispatcher.dispatch(
+            _cluster(drivers),
+            [_replicated_subquery(["site0", "site1", "site2"])],
+        )
+        assert outcome.complete
+        (execution,) = outcome.round.executions
+        assert execution.attempt_sites == ["site0", "site1", "site2"]
+        assert execution.failover_count == 2
+        assert execution.site == "site2"
+
+    def test_all_replicas_dead_fails_and_names_every_site_tried(self):
+        drivers = [StubDriver(fail_times=10), StubDriver(fail_times=10)]
+        dispatcher = ParallelDispatcher(retries=1, sleep=lambda s: None)
+        with pytest.raises(DispatchError) as info:
+            dispatcher.dispatch(
+                _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
+            )
+        (failure,) = info.value.failures
+        assert failure.attempts == 2
+        assert failure.attempt_sites == ["site0", "site1"]
+        assert "tried sites site0, site1" in failure.describe()
+
+    def test_rotation_skips_an_ejected_replica(self):
+        health = SiteHealth(ejection_threshold=3, clock=lambda: 0.0)
+        for _ in range(3):
+            health.record_failure("site1")
+        assert health.is_ejected("site1")
+        drivers = [StubDriver(fail_times=10), StubDriver(), StubDriver()]
+        dispatcher = ParallelDispatcher(
+            retries=1, site_health=health, sleep=lambda s: None
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers),
+            [_replicated_subquery(["site0", "site1", "site2"])],
+        )
+        assert outcome.complete
+        (execution,) = outcome.round.executions
+        assert execution.site == "site2"
+        assert execution.attempt_sites == ["site0", "site2"]
+        assert drivers[1].calls == []  # the ejected replica was never hit
+
+    def test_due_probe_readmits_an_ejected_replica(self):
+        now = [0.0]
+        health = SiteHealth(
+            ejection_threshold=3,
+            probe_interval_seconds=5.0,
+            clock=lambda: now[0],
+        )
+        for _ in range(3):
+            health.record_failure("site1")
+        now[0] = 6.0  # probe timer expired; InProcessTransport PING is up
+        drivers = [StubDriver(fail_times=10), StubDriver()]
+        dispatcher = ParallelDispatcher(
+            retries=1, site_health=health, sleep=lambda s: None
+        )
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
+        )
+        assert outcome.complete
+        (execution,) = outcome.round.executions
+        assert execution.site == "site1"
+        assert not health.is_ejected("site1")
+
+    def test_successful_primary_reports_no_failover(self):
+        drivers = [StubDriver(), StubDriver()]
+        outcome = ParallelDispatcher().dispatch(
+            _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
+        )
+        (execution,) = outcome.round.executions
+        assert execution.failover_count == 0
+        assert execution.attempt_sites == ["site0"]
+        assert drivers[1].calls == []
+
+
+class TestSiteHealthTracker:
+    def test_ejects_after_consecutive_failures(self):
+        health = SiteHealth(ejection_threshold=2, clock=lambda: 0.0)
+        assert not health.record_failure("s0")
+        assert health.record_failure("s0")  # crossing returns True
+        assert health.is_ejected("s0")
+        assert health.ejected_sites() == ["s0"]
+
+    def test_success_resets_the_streak(self):
+        health = SiteHealth(ejection_threshold=2)
+        health.record_failure("s0")
+        health.record_success("s0")
+        health.record_failure("s0")
+        assert not health.is_ejected("s0")
+
+    def test_probe_gates_readmission_on_the_timer_and_the_prober(self):
+        now = [0.0]
+        health = SiteHealth(
+            ejection_threshold=1,
+            probe_interval_seconds=5.0,
+            clock=lambda: now[0],
+        )
+        health.record_failure("s0")
+        assert not health.check("s0", prober=lambda: True)  # timer not due
+        now[0] = 5.0
+        assert not health.check("s0", prober=lambda: False)  # probe fails
+        now[0] = 9.0
+        assert not health.probe_due("s0")  # failed probe re-armed the timer
+        now[0] = 10.0
+        assert health.check("s0", prober=lambda: True)  # probe readmits
+        assert not health.is_ejected("s0")
+
+    def test_healthy_site_checks_true_without_probing(self):
+        health = SiteHealth()
+        probed = []
+        assert health.check("s0", prober=lambda: probed.append(True))
+        assert probed == []
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SiteHealth(ejection_threshold=0)
+        with pytest.raises(ValueError):
+            SiteHealth(probe_interval_seconds=-1.0)
+
+
+class _BudgetRecorder(Transport):
+    """Wraps another transport and records the timeout of each execute."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.timeouts = []
+
+    def resolve(self, site_names):
+        self.inner.resolve(site_names)
+
+    def ping(self, site):
+        return self.inner.ping(site)
+
+    def execute(self, subquery, default_collection=None, timeout=None, on_chunk=None):
+        self.timeouts.append(timeout)
+        return self.inner.execute(
+            subquery,
+            default_collection=default_collection,
+            timeout=timeout,
+            on_chunk=on_chunk,
+        )
+
+
+class TestRetryBudget:
+    def test_each_attempt_receives_only_the_remaining_budget(self):
+        drivers = [StubDriver(delay=0.03, fail_times=1), StubDriver()]
+        recorder = _BudgetRecorder(InProcessTransport(_cluster(drivers)))
+        dispatcher = ParallelDispatcher(
+            retries=2,
+            subquery_timeout=1.0,
+            backoff_seconds=0.001,
+        )
+        outcome = dispatcher.dispatch(
+            recorder, [_replicated_subquery(["site0", "site1"])]
+        )
+        assert outcome.complete
+        assert len(recorder.timeouts) == 2
+        # The first attempt gets (almost) the whole budget, the retry only
+        # what the failed attempt and the backoff left over.
+        assert recorder.timeouts[0] == pytest.approx(1.0, abs=0.01)
+        assert recorder.timeouts[1] < recorder.timeouts[0] - 0.02
+
+    def test_total_wall_stays_within_the_budget_plus_slack(self):
+        # Dead primary that burns 60ms per attempt, dead replica too: the
+        # old code gave every attempt a fresh full timeout (~(retries+1)×
+        # overshoot); the shared deadline keeps the whole envelope near
+        # subquery_timeout + one attempt's overshoot.
+        drivers = [
+            StubDriver(delay=0.06, fail_times=50),
+            StubDriver(delay=0.06, fail_times=50),
+        ]
+        dispatcher = ParallelDispatcher(
+            retries=8,
+            subquery_timeout=0.2,
+            backoff_seconds=0.005,
+            backoff_multiplier=1.0,
+            failure_policy=DEGRADE,
+        )
+        started = time.perf_counter()
+        outcome = dispatcher.dispatch(
+            _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
+        )
+        wall = time.perf_counter() - started
+        (failure,) = outcome.failures
+        assert failure.timed_out
+        # Budget 0.2s + at most one in-flight attempt (0.06s) + slack.
+        assert wall < 0.2 + 0.06 + 0.15
+
+
+class TestJitterPerTarget:
+    def test_jitter_schedule_differs_across_replica_targets(self):
+        dispatcher = ParallelDispatcher(backoff_jitter=0.5, jitter_seed=7)
+        subquery = _replicated_subquery(["site0", "site1"])
+        waits_primary = [
+            dispatcher._backoff_wait(subquery, attempt, "site0")
+            for attempt in range(3)
+        ]
+        waits_replica = [
+            dispatcher._backoff_wait(subquery, attempt, "site1")
+            for attempt in range(3)
+        ]
+        assert waits_primary != waits_replica
+
+    def test_jitter_defaults_to_the_primary_site(self):
+        dispatcher = ParallelDispatcher(backoff_jitter=0.5, jitter_seed=7)
+        subquery = _replicated_subquery(["site0", "site1"])
+        assert dispatcher._backoff_wait(subquery, 1) == dispatcher._backoff_wait(
+            subquery, 1, "site0"
+        )
 
 
 class TestTimeouts:
