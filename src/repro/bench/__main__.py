@@ -9,6 +9,7 @@ Usage::
     python -m repro.bench --figure modes --json modes.json
     python -m repro.bench --figure transport --json transport.json
     python -m repro.bench --figure streaming --json BENCH_streaming.json
+    python -m repro.bench --figure serving --json BENCH_serving.json
     python -m repro.bench --figure plans --golden-dir tests/golden/plans
     python -m repro.bench --figure plans --golden-dir tests/golden/plans --update-golden
 
@@ -25,6 +26,7 @@ import json
 import sys
 
 from repro.bench.plans import run_plans
+from repro.bench.serving import run_serving
 from repro.bench.reporting import (
     format_mode_comparison,
     mode_comparison_payload,
@@ -161,6 +163,7 @@ FIGURES = {
     "modes": run_modes,
     "transport": run_transport,
     "streaming": run_streaming,
+    "serving": run_serving,
     # "plans" is dispatched specially in main(): it takes the golden-file
     # flags instead of repetitions/transmission.
     "plans": run_plans,

@@ -63,6 +63,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 FAIL_FAST = "fail_fast"
 DEGRADE = "degrade"
 
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``
+#: (which means "no budget") for per-dispatch timeout overrides.
+_UNSET = object()
+
 
 class Transport(abc.ABC):
     """Where sub-queries physically run.
@@ -281,6 +285,11 @@ class ParallelDispatcher:
         plans; defaults to a private tracker.
     sleep:
         Injection point for the backoff sleep (tests pass a recorder).
+    clock:
+        Injection point for the monotonic clock driving wall timing and
+        the shared retry deadline (defaults to ``time.perf_counter``;
+        tests pass a fake clock advanced by their ``sleep`` stub so
+        timing assertions never depend on real sleeps).
     """
 
     def __init__(
@@ -295,6 +304,7 @@ class ParallelDispatcher:
         failure_policy: str = FAIL_FAST,
         site_health: Optional[SiteHealth] = None,
         sleep: Callable[[float], None] = time.sleep,
+        clock: Callable[[], float] = time.perf_counter,
     ):
         if failure_policy not in (FAIL_FAST, DEGRADE):
             raise ValueError(
@@ -317,6 +327,7 @@ class ParallelDispatcher:
         self.failure_policy = failure_policy
         self.site_health = site_health if site_health is not None else SiteHealth()
         self._sleep = sleep
+        self._clock = clock
 
     def _backoff_wait(
         self,
@@ -350,6 +361,7 @@ class ParallelDispatcher:
         subqueries: Sequence["SubQuery"],
         default_collection: Optional[str] = None,
         chunk_sink=None,
+        subquery_timeout: Optional[float] = _UNSET,
     ) -> DispatchOutcome:
         """Run ``subqueries`` concurrently; one worker lane per site.
 
@@ -364,7 +376,14 @@ class ParallelDispatcher:
         never leave duplicate bytes behind), feeds each arriving slice to
         ``chunk_sink.chunk(i, data)``, and calls ``chunk_sink.complete(i)``
         only once the attempt's result is accepted.
+
+        ``subquery_timeout`` overrides the dispatcher's configured budget
+        for this round only — the coordinator threads each query's
+        remaining deadline through here. Omitting it keeps the configured
+        value; an explicit ``None`` disables the budget for the round.
         """
+        if subquery_timeout is _UNSET:
+            subquery_timeout = self.subquery_timeout
         transport = (
             cluster
             if isinstance(cluster, Transport)
@@ -383,7 +402,7 @@ class ParallelDispatcher:
         cancel = threading.Event()
         skipped = [0]
 
-        wall_started = time.perf_counter()
+        wall_started = self._clock()
         if lanes:
             workers = len(lanes)
             if self.max_workers is not None:
@@ -403,12 +422,13 @@ class ParallelDispatcher:
                         cancel,
                         skipped,
                         chunk_sink,
+                        subquery_timeout,
                     )
                     for lane in lanes.values()
                 ]
                 for future in futures:
                     future.result()
-        wall_seconds = time.perf_counter() - wall_started
+        wall_seconds = self._clock() - wall_started
 
         if failures and self.failure_policy == FAIL_FAST:
             raise DispatchError(
@@ -452,6 +472,7 @@ class ParallelDispatcher:
         cancel: threading.Event,
         skipped: list[int],
         chunk_sink=None,
+        subquery_timeout: Optional[float] = None,
     ) -> None:
         """One site's sub-queries, in plan order, with retry + timeout."""
         for position, (index, subquery) in enumerate(lane):
@@ -467,6 +488,7 @@ class ParallelDispatcher:
                 results,
                 cancel,
                 chunk_sink,
+                subquery_timeout,
             )
             if failure is not None:
                 with failures_lock:
@@ -510,6 +532,7 @@ class ParallelDispatcher:
         results: list[Optional[SubQueryExecution]],
         cancel: threading.Event,
         chunk_sink=None,
+        subquery_timeout: Optional[float] = None,
     ) -> Optional[SubQueryFailure]:
         """One sub-query with its retry/backoff/timeout/failover envelope.
 
@@ -528,11 +551,8 @@ class ParallelDispatcher:
         cursor = 0
         failover_count = 0
         attempt_sites: list[str] = []
-        deadline = (
-            time.perf_counter() + self.subquery_timeout
-            if self.subquery_timeout is not None
-            else None
-        )
+        budget = subquery_timeout
+        deadline = self._clock() + budget if budget is not None else None
         on_chunk = None
         if chunk_sink is not None:
             def on_chunk(data, _index=index):
@@ -542,9 +562,9 @@ class ParallelDispatcher:
                 return failure
             target = targets[cursor]
             attempt_sites.append(target.site)
-            attempt_timeout = self.subquery_timeout
+            attempt_timeout = budget
             if deadline is not None:
-                attempt_timeout = deadline - time.perf_counter()
+                attempt_timeout = deadline - self._clock()
                 if attempt_timeout <= 0:
                     return SubQueryFailure(
                         site=target.site,
@@ -554,7 +574,7 @@ class ParallelDispatcher:
                         error=TimeoutError(
                             f"retry budget exhausted after {attempt + 1}"
                             f" attempt(s): the"
-                            f" {self.subquery_timeout:.3f}s deadline"
+                            f" {budget:.3f}s deadline"
                             f" passed before the attempt could start;"
                             f" last error: {failure.error if failure else None}"
                         ),
@@ -562,7 +582,7 @@ class ParallelDispatcher:
                         attempt_sites=list(attempt_sites),
                     )
             attempt_subquery = subquery.retarget(target)
-            started = time.perf_counter()
+            started = self._clock()
             try:
                 if chunk_sink is not None:
                     # Reset the lane at every attempt: a failed attempt's
@@ -586,7 +606,7 @@ class ParallelDispatcher:
                     attempt_sites=list(attempt_sites),
                 )
             else:
-                now = time.perf_counter()
+                now = self._clock()
                 if deadline is not None and now > deadline:
                     self.site_health.record_failure(target.site)
                     failure = SubQueryFailure(
@@ -595,7 +615,7 @@ class ParallelDispatcher:
                         query=attempt_subquery.query,
                         attempts=attempt + 1,
                         error=TimeoutError(
-                            f"exceeded {self.subquery_timeout:.3f}s budget"
+                            f"exceeded {budget:.3f}s budget"
                             f" (took {now - started:.3f}s)"
                         ),
                         timed_out=True,
@@ -616,7 +636,7 @@ class ParallelDispatcher:
                     subquery, attempt, targets[next_cursor].site
                 )
                 if deadline is not None:
-                    remaining = deadline - time.perf_counter()
+                    remaining = deadline - self._clock()
                     if remaining <= 0 or wait >= remaining:
                         return SubQueryFailure(
                             site=target.site,
@@ -627,7 +647,7 @@ class ParallelDispatcher:
                                 f"retry budget exhausted after {attempt + 1}"
                                 f" attempt(s): next backoff ({wait:.3f}s)"
                                 f" would overshoot the"
-                                f" {self.subquery_timeout:.3f}s deadline;"
+                                f" {budget:.3f}s deadline;"
                                 f" last error: {failure.error}"
                             ),
                             timed_out=True,

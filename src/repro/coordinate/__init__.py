@@ -1,0 +1,25 @@
+"""The multi-tenant coordinator service (``python -m repro.coordinate``).
+
+* :mod:`repro.coordinate.service` — the asyncio reactor serving
+  concurrent QUERY frames over one Partix middleware.
+* :mod:`repro.coordinate.admission` — bounded-concurrency /
+  bounded-queue admission control with typed load shedding.
+* :mod:`repro.coordinate.client` — pooled client speaking the QUERY
+  round trip.
+* :mod:`repro.coordinate.traffic` — closed-loop traffic generator with
+  byte-for-byte answer verification (the serving bench's load source).
+"""
+
+from repro.coordinate.admission import AdmissionController
+from repro.coordinate.client import CoordinatorClient
+from repro.coordinate.service import Coordinator
+from repro.coordinate.traffic import TrafficReport, WorkloadQuery, run_traffic
+
+__all__ = [
+    "AdmissionController",
+    "Coordinator",
+    "CoordinatorClient",
+    "TrafficReport",
+    "WorkloadQuery",
+    "run_traffic",
+]

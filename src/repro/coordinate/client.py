@@ -1,0 +1,132 @@
+"""Client for the coordinator service.
+
+:class:`CoordinatorClient` reuses the :class:`~repro.net.client.SiteClient`
+connection pool and handshake — the coordinator speaks the same frame
+protocol as a site server — and adds the QUERY round trip: a
+QUERY_RESULT answer returns the serving payload, a QUERY_ERROR raises
+the coordinator's typed exception
+(:class:`~repro.errors.AdmissionRejected` for a shed query,
+:class:`~repro.errors.QueryDeadlineExceeded` for an expired deadline,
+and so on) rebuilt by class name exactly as site ERROR frames are.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Optional
+
+from repro.errors import ProtocolError, TransportError, TransportTimeout
+from repro.net.client import SiteClient
+from repro.net.protocol import (
+    Frame,
+    FrameType,
+    payload_to_exception,
+    recv_frame,
+    send_frame,
+)
+
+
+class CoordinatorClient(SiteClient):
+    """Pooled connections to one coordinator."""
+
+    def query(
+        self,
+        query: str,
+        collection: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        read_timeout: Optional[float] = None,
+    ) -> dict:
+        """Run one query through the coordinator.
+
+        Returns the QUERY_RESULT payload (``result_text``,
+        ``result_bytes``, timing and failover stats). QUERY_ERROR
+        replies raise their mapped exception.
+        """
+        payload: dict = {"query": query}
+        if collection is not None:
+            payload["collection"] = collection
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        reply, _, _ = self.request(FrameType.QUERY, payload, read_timeout)
+        if reply.type is FrameType.QUERY_ERROR:
+            raise payload_to_exception(reply.payload)
+        if reply.type is not FrameType.QUERY_RESULT:
+            raise TransportError(f"QUERY answered with {reply.type.name}")
+        return reply.payload
+
+    def query_stream(
+        self,
+        query: str,
+        collection: Optional[str] = None,
+        deadline_seconds: Optional[float] = None,
+        on_chunk=None,
+        read_timeout: Optional[float] = None,
+    ) -> dict:
+        """Run one query with a streamed answer.
+
+        ``on_chunk`` receives each RESULT_CHUNK's raw bytes; their
+        concatenation is the UTF-8 answer. Returns the closing
+        QUERY_RESULT payload, with ``result_text`` assembled from the
+        chunks for convenience.
+        """
+        payload: dict = {"query": query, "stream": True}
+        if collection is not None:
+            payload["collection"] = collection
+        if deadline_seconds is not None:
+            payload["deadline_seconds"] = deadline_seconds
+        rid = self._next_request_id()
+        sock = self._borrow()
+        timeout = read_timeout if read_timeout is not None else self.read_timeout
+        chunks: list[bytes] = []
+        received_total = 0
+        try:
+            sock.settimeout(timeout)
+            sent = send_frame(
+                sock, Frame(type=FrameType.QUERY, request_id=rid, payload=payload)
+            )
+            while True:
+                reply, received = recv_frame(sock)
+                received_total += received
+                if reply.request_id != rid:
+                    sock.close()
+                    raise TransportError(
+                        f"coordinator answered request {reply.request_id},"
+                        f" expected {rid} — stream desynchronized"
+                    )
+                if reply.type is FrameType.RESULT_CHUNK:
+                    chunks.append(reply.raw)
+                    if on_chunk is not None:
+                        on_chunk(reply.raw)
+                elif reply.type is FrameType.QUERY_RESULT:
+                    break
+                elif reply.type is FrameType.QUERY_ERROR:
+                    self._repool(sock)
+                    self._count(sent, received_total)
+                    raise payload_to_exception(reply.payload)
+                else:
+                    sock.close()
+                    raise TransportError(
+                        f"streamed QUERY answered with {reply.type.name}"
+                    )
+        except socket.timeout as exc:
+            sock.close()
+            raise TransportTimeout(
+                f"coordinator did not answer a streamed QUERY within"
+                f" {timeout:.3f}s"
+            ) from exc
+        except (OSError, ProtocolError) as exc:
+            sock.close()
+            raise TransportError(
+                f"streamed QUERY truncated before QUERY_RESULT: {exc}"
+            ) from exc
+        self._repool(sock)
+        self._count(sent, received_total)
+        with self._lock:
+            self.requests += 1
+        result = dict(reply.payload)
+        result["result_text"] = b"".join(chunks).decode("utf-8")
+        return result
+
+    def coordinator_stats(self, read_timeout: Optional[float] = 5.0) -> dict:
+        """The coordinator's serving stats (admission, plan cache, pools)."""
+        return self.ping(read_timeout=read_timeout)

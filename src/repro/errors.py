@@ -130,6 +130,28 @@ class RemoteExecutionError(ClusterError):
     back to a local exception type (see ``repro.net.protocol``)."""
 
 
+class CoordinatorError(PartixError):
+    """Raised by the multi-tenant coordinator service (``repro.coordinate``)."""
+
+
+class AdmissionRejected(CoordinatorError):
+    """The coordinator shed a query: its bounded admission queue was full.
+
+    This is a *typed* load-shedding signal — clients distinguish it from
+    execution failures and may retry later with backoff. It crosses the
+    wire as a QUERY_ERROR frame and maps back to this same class.
+    """
+
+
+class QueryDeadlineExceeded(CoordinatorError, TimeoutError):
+    """A coordinated query ran out of its per-query deadline.
+
+    The deadline covers the whole query — admission wait, planning and
+    dispatch all draw down one budget (the remainder is handed to the
+    dispatcher as the round's sub-query timeout).
+    """
+
+
 class DispatchError(ClusterError):
     """Raised when concurrent sub-query dispatch fails under the
     ``fail_fast`` policy.

@@ -79,6 +79,11 @@ class SiteClient:
         self.bytes_sent = 0
         self.bytes_received = 0
         self.requests = 0
+        #: Connections dialed over this client's lifetime. With pooling
+        #: shared across in-flight queries this stays near ``pool_size``
+        #: no matter how many queries run — the coordinator's serving
+        #: stats surface it per site to prove pool reuse.
+        self.connections_created = 0
 
     # ------------------------------------------------------------------
     # Connection pool
@@ -127,6 +132,8 @@ class SiteClient:
             )
         if "chunk_bytes" in reply.payload:
             self.negotiated_chunk_bytes = reply.payload["chunk_bytes"]
+        with self._lock:
+            self.connections_created += 1
         return sock
 
     def _borrow(self) -> socket.socket:
@@ -151,6 +158,19 @@ class SiteClient:
         with self._lock:
             self.bytes_sent += sent
             self.bytes_received += received
+
+    def pool_stats(self) -> dict:
+        """This client's connection-pool counters (serving stats)."""
+        with self._lock:
+            return {
+                "site": self.site,
+                "pool_size": self.pool_size,
+                "idle_connections": len(self._idle),
+                "connections_created": self.connections_created,
+                "requests": self.requests,
+                "bytes_sent": self.bytes_sent,
+                "bytes_received": self.bytes_received,
+            }
 
     def close(self) -> None:
         """Close every pooled connection."""

@@ -111,6 +111,16 @@ class FrameType(enum.IntEnum):
     OK = 15  # generic success reply, payload depends on the request
     RESULT_CHUNK = 16  # raw bytes: one slice of a streamed result
     RESULT_END = 17  # {"result_bytes", "elapsed_seconds", stats...}
+    # Coordinator frames (client ↔ repro.coordinate service). A QUERY is
+    # answered by exactly one QUERY_RESULT or QUERY_ERROR carrying the
+    # same request id; with {"stream": true} the QUERY_RESULT is preceded
+    # by RESULT_CHUNK frames whose concatenation is the UTF-8 answer (the
+    # QUERY_RESULT then omits "result_text"). Replies to *different*
+    # request ids may interleave on one connection — the request id is
+    # the multiplexing key.
+    QUERY = 18  # {"query", "collection"?, "deadline_seconds"?, "stream"?}
+    QUERY_RESULT = 19  # {"result_text"?, "result_bytes", serving stats...}
+    QUERY_ERROR = 20  # {"error_type", "message", "shed": bool}
 
 
 #: Frame types whose payload is raw bytes, not a JSON object.
@@ -267,6 +277,52 @@ def recv_frame(sock: socket.socket) -> tuple[Frame, int]:
             f" {MAX_PAYLOAD_BYTES}-byte limit"
         )
     body = _recv_exactly(sock, size) if size else b""
+    frame, _ = decode_frame(header + body)
+    return frame, HEADER_BYTES + size
+
+
+# ----------------------------------------------------------------------
+# asyncio helpers (the coordinator's reactor reads frames off
+# StreamReaders; same validation as the socket path)
+# ----------------------------------------------------------------------
+async def read_frame_async(reader) -> tuple[Frame, int]:
+    """Read one frame off an ``asyncio.StreamReader``.
+
+    Returns ``(frame, bytes_received)``; mirrors :func:`recv_frame`,
+    including the header-before-payload validation, and maps a mid-frame
+    EOF to the same :class:`ProtocolError` message so connection-closed
+    handling is shared between the threaded and async paths.
+    """
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_BYTES)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError(
+            f"connection closed mid-frame ({len(exc.partial)} of"
+            f" {HEADER_BYTES} bytes read)"
+        ) from None
+    magic, version, type_code, request_id, size = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise ProtocolError(
+            f"bad frame magic {magic!r} (expected {MAGIC!r}) — peer is not"
+            " speaking the PartiX protocol"
+        )
+    if size > MAX_PAYLOAD_BYTES:
+        raise ProtocolError(
+            f"frame payload length {size} exceeds the"
+            f" {MAX_PAYLOAD_BYTES}-byte limit"
+        )
+    if size:
+        try:
+            body = await reader.readexactly(size)
+        except asyncio.IncompleteReadError as exc:
+            raise ProtocolError(
+                f"connection closed mid-frame ({len(exc.partial)} of"
+                f" {size} bytes read)"
+            ) from None
+    else:
+        body = b""
     frame, _ = decode_frame(header + body)
     return frame, HEADER_BYTES + size
 

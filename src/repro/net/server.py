@@ -72,6 +72,11 @@ def _stream_end_payload(result) -> dict:
     return payload
 
 
+#: How often an idle handler re-checks the server's shutdown flag while
+#: waiting for the connection's next frame.
+_IDLE_POLL_SECONDS = 0.05
+
+
 class _SiteHandler(socketserver.BaseRequestHandler):
     """One client connection: handshake, then a request/reply loop."""
 
@@ -85,6 +90,8 @@ class _SiteHandler(socketserver.BaseRequestHandler):
         if not self._handshake(sock, owner):
             return
         while True:
+            if not self._await_frame(sock, owner):
+                return
             try:
                 frame, received = recv_frame(sock)
             except ProtocolError as exc:
@@ -102,7 +109,36 @@ class _SiteHandler(socketserver.BaseRequestHandler):
                 return
 
     # ------------------------------------------------------------------
+    def _await_frame(self, sock: socket.socket, owner: "SiteServer") -> bool:
+        """Wait until the connection has bytes to read; False closes it.
+
+        A handler blocked in ``recv_frame`` on an *idle* connection — a
+        pooled client socket between requests, or a connection accepted
+        but not yet past HELLO — used to block forever, wedging the
+        drain join at shutdown (the accept loop's swallowed ``OSError``
+        hid the stuck handshake). Waiting is now a short-timeout
+        ``MSG_PEEK`` poll that abandons the connection once the server
+        starts draining; an in-flight request (already past this wait)
+        still finishes, which is exactly the drain contract.
+        """
+        try:
+            sock.settimeout(_IDLE_POLL_SECONDS)
+            while True:
+                try:
+                    if sock.recv(1, socket.MSG_PEEK) == b"":
+                        return False  # peer closed
+                    break
+                except socket.timeout:
+                    if owner._shutdown_requested.is_set():
+                        return False
+            sock.settimeout(None)
+        except OSError:
+            return False
+        return True
+
     def _handshake(self, sock: socket.socket, owner: "SiteServer") -> bool:
+        if not self._await_frame(sock, owner):
+            return False
         try:
             frame, received = recv_frame(sock)
         except (ProtocolError, OSError):
@@ -285,6 +321,10 @@ class _SiteHandler(socketserver.BaseRequestHandler):
 class _SiteTCPServer(socketserver.ThreadingTCPServer):
     allow_reuse_address = True
     daemon_threads = False  # drain: join in-flight handlers on close
+    # server_close() closes the *listener* first, then joins the handler
+    # threads — no new connection can arrive while the drain waits, and
+    # idle handlers notice _shutdown_requested within one poll interval
+    # (see _SiteHandler._await_frame), so the join always terminates.
     block_on_close = True
 
     def __init__(self, address, owner: "SiteServer"):
@@ -381,12 +421,20 @@ class SiteServer:
         # a handler thread directly.
         threading.Thread(target=self._server.shutdown, daemon=True).start()
 
-    def close(self) -> None:
-        """Shut down and wait for the serving thread (if any) to finish."""
+    def close(self) -> bool:
+        """Shut down and wait for the serving thread (if any) to finish.
+
+        Returns True when the drain completed cleanly — the serving
+        thread (which joins every handler on exit) actually terminated —
+        so tests can assert shutdown never leaks a wedged handler.
+        """
         self.request_shutdown()
+        clean = True
         if self._thread is not None:
             self._thread.join(timeout=10.0)
+            clean = not self._thread.is_alive()
             self._thread = None
+        return clean
 
 
 # ----------------------------------------------------------------------

@@ -115,24 +115,30 @@ class DistributionCatalog:
         self._fragmentations: dict[str, FragmentationSchema] = {}
         self._allocations: dict[str, dict[str, list[FragmentAllocation]]] = {}
         self._statistics: dict[tuple[str, str, str], FragmentStatistics] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic counter bumped by every design change (register,
+        replace, unregister). Plan caches key on it: a cached plan is
+        only valid for the catalog state it was derived from, so a
+        republish invalidates every entry for the old design."""
+        return self._version
 
     # ------------------------------------------------------------------
-    def register_fragmentation(
-        self,
+    @staticmethod
+    def validate_allocations(
         fragmentation: FragmentationSchema,
         allocations: Iterable[FragmentAllocation],
-    ) -> None:
-        """Register a fragmentation design with its site allocation.
+    ) -> dict[str, list[FragmentAllocation]]:
+        """Check an allocation set against a design; returns the
+        per-fragment allocation map (primary first).
 
         Every fragment must be allocated at least once; several
         allocations of one fragment declare replicas (each on a distinct
-        site).
+        site). Exposed so the publisher can validate a *replacement*
+        design before any data moves.
         """
-        name = fragmentation.collection
-        if name in self._fragmentations:
-            raise CatalogError(
-                f"collection {name!r} already has a fragmentation"
-            )
         allocation_map: dict[str, list[FragmentAllocation]] = {}
         for allocation in allocations:
             fragmentation.fragment(allocation.fragment)  # must exist
@@ -148,14 +154,37 @@ class DistributionCatalog:
             raise CatalogError(
                 f"fragments without allocation: {', '.join(sorted(missing))}"
             )
+        return allocation_map
+
+    def register_fragmentation(
+        self,
+        fragmentation: FragmentationSchema,
+        allocations: Iterable[FragmentAllocation],
+        replace: bool = False,
+    ) -> None:
+        """Register a fragmentation design with its site allocation.
+
+        With ``replace=True`` an existing registration for the same
+        collection is swapped out atomically (one assignment per dict, so
+        a concurrent reader sees either the old design or the new one,
+        never a mix) and the catalog version is bumped.
+        """
+        name = fragmentation.collection
+        if name in self._fragmentations and not replace:
+            raise CatalogError(
+                f"collection {name!r} already has a fragmentation"
+            )
+        allocation_map = self.validate_allocations(fragmentation, allocations)
         self._fragmentations[name] = fragmentation
         self._allocations[name] = allocation_map
+        self._version += 1
 
     def unregister(self, collection: str) -> None:
         self._fragmentations.pop(collection, None)
         self._allocations.pop(collection, None)
         for key in [k for k in self._statistics if k[0] == collection]:
             del self._statistics[key]
+        self._version += 1
 
     # ------------------------------------------------------------------
     def record_statistics(

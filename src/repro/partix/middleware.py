@@ -61,7 +61,7 @@ from repro.cluster.dispatch import (
     SerialTransport,
     Transport,
 )
-from repro.errors import ClusterError
+from repro.errors import CatalogError, ClusterError
 from repro.net.protocol import DEFAULT_CHUNK_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -78,8 +78,10 @@ from repro.partix.composer import ComposedResult, ResultComposer
 from repro.partix.decomposer import DecomposedQuery, QueryDecomposer
 from repro.partix.fragments import FragmentationSchema
 from repro.partix.publisher import DataPublisher, FragMode, PublicationReport
+from repro.plan.cache import PlanCache
 from repro.plan.cost import CostModel
 from repro.plan.executor import ExecutionMode, PlanExecutor
+from repro.plan.lower import lower
 
 
 @dataclass
@@ -192,8 +194,15 @@ class Partix:
         distribution_catalog: Optional[DistributionCatalog] = None,
         dispatcher: Optional[ParallelDispatcher] = None,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.cluster = cluster
+        #: Optional LRU of logical plans keyed on (query, collection,
+        #: catalog version). ``None`` (the default) plans every query
+        #: from scratch; the coordinator service passes a shared cache so
+        #: repeat queries skip decompose. Hits re-lower against the live
+        #: site health, so cached plans still avoid ejected sites.
+        self.plan_cache = plan_cache
         #: Streamed-chunk size: proposed to tcp site servers at connect
         #: time and used verbatim by the in-process chunk emulation and as
         #: the incremental composer's spill threshold.
@@ -245,8 +254,14 @@ class Partix:
         frag_mode: FragMode = FragMode.SINGLE_DOCUMENT,
         verify: bool = False,
         require_homogeneous: bool = True,
+        replace: bool = False,
     ) -> PublicationReport:
-        """Fragment and distribute a collection (see :class:`DataPublisher`)."""
+        """Fragment and distribute a collection (see :class:`DataPublisher`).
+
+        ``replace=True`` republishes over an existing design: data is
+        stored before the catalog registration is swapped, and the
+        resulting catalog-version bump invalidates cached plans.
+        """
         return self.publisher.publish(
             collection,
             fragmentation,
@@ -254,6 +269,7 @@ class Partix:
             frag_mode=frag_mode,
             verify=verify,
             require_homogeneous=require_homogeneous,
+            replace=replace,
         )
 
     def publish_centralized(
@@ -278,6 +294,7 @@ class Partix:
         execution_mode: str = "simulated",
         dispatcher: Optional[ParallelDispatcher] = None,
         streaming: bool = False,
+        deadline_seconds: Optional[float] = None,
     ) -> PartixResult:
         """Run a query over the fragmented repository.
 
@@ -300,10 +317,16 @@ class Partix:
         monolithic strings (``execution_mode="tcp-stream"`` is shorthand
         for tcp + streaming); the answer stays byte-identical and the
         round gains ``peak_buffered_bytes``/``first_chunk_seconds``.
+
+        ``deadline_seconds`` bounds this query: it is handed to the
+        dispatcher as the round's per-sub-query budget override (lanes
+        run in parallel, so it bounds the round's wall time through the
+        PR 6 shared-budget machinery). The coordinator threads each
+        client's remaining deadline through here.
         """
         mode = ExecutionMode.parse(execution_mode, streaming=streaming)
         if plan is None:
-            plan = self.decomposer.decompose(query, collection)
+            plan = self._plan_for(query, collection)
         plan = plan.with_execution(
             streaming=mode.streaming,
             chunk_bytes=self.chunk_bytes if mode.streaming else None,
@@ -311,7 +334,10 @@ class Partix:
         notes = list(plan.notes)
         active = dispatcher if dispatcher is not None else self.dispatcher
         executed = self.plan_executor.run(
-            plan, self._transport_for(mode), active
+            plan,
+            self._transport_for(mode),
+            active,
+            subquery_timeout=deadline_seconds,
         )
         notes.extend(executed.notes)
         round_ = executed.round
@@ -333,6 +359,46 @@ class Partix:
             plan=plan,
             notes=notes,
         )
+
+    def _plan_for(
+        self, query: str, collection: Optional[str]
+    ) -> DecomposedQuery:
+        """Plan a query, through :attr:`plan_cache` when one is set.
+
+        The cache stores the *logical* plan keyed on the catalog version;
+        every execution (hit or miss) re-lowers it against the live cost
+        model and site health, so routing decisions — ejected sites,
+        replica choice — are always current. A version change observed
+        across the decompose (a concurrent republish swapping the design
+        mid-read) discards the possibly-mixed plan and retries against
+        the new design.
+        """
+        if self.plan_cache is None:
+            return self.decomposer.decompose(query, collection)
+        catalog = self.distribution_catalog
+        for _ in range(4):
+            version = catalog.version
+            logical = self.plan_cache.get(query, collection, version)
+            if logical is None:
+                try:
+                    logical = self.decomposer.decompose_logical(
+                        query, collection
+                    )
+                except CatalogError:
+                    if catalog.version != version:
+                        continue  # design swapped mid-decompose; replan
+                    raise
+                if catalog.version != version:
+                    continue  # may mix old and new designs; replan
+                self.plan_cache.put(query, collection, version, logical)
+            return lower(
+                logical,
+                cost_model=self.cost_model,
+                site_health=self.site_health,
+            )
+        # Republishes kept racing us; plan once more uncached (the same
+        # exposure every uncached execution has always had).
+        return self.decomposer.decompose(query, collection)
 
     def _transport_for(self, mode: ExecutionMode) -> Transport:
         """The Transport a parsed mode runs over — the *only* thing that

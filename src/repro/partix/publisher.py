@@ -30,7 +30,7 @@ from repro.algebra.annotations import PXID, PXORIGIN, PXPARENT, annotate
 from repro.datamodel.collection import Collection
 from repro.datamodel.document import XMLDocument
 from repro.datamodel.tree import XMLNode
-from repro.errors import FragmentationError
+from repro.errors import CatalogError, FragmentationError
 from repro.partix.catalog import DistributionCatalog, FragmentAllocation
 from repro.partix.correctness import verify_fragmentation
 from repro.partix.fragments import (
@@ -99,6 +99,7 @@ class DataPublisher:
         frag_mode: FragMode = FragMode.SINGLE_DOCUMENT,
         verify: bool = False,
         require_homogeneous: bool = True,
+        replace: bool = False,
     ) -> PublicationReport:
         """Fragment ``collection`` and store the pieces across the cluster.
 
@@ -109,6 +110,13 @@ class DataPublisher:
         ``require_homogeneous`` enforces §3.2's precondition that MD
         fragmentation applies to homogeneous collections only (pass False
         for collections that are intentionally untyped).
+
+        ``replace=True`` republishes over an existing design: the new
+        fragments are validated and fully stored to their sites *first*,
+        and only then is the catalog registration swapped — queries
+        planned concurrently keep seeing (and finding the data of) the
+        old design until the new one is complete, then the catalog
+        version bump invalidates cached plans.
         """
         if require_homogeneous and not collection.is_homogeneous():
             raise FragmentationError(
@@ -140,7 +148,15 @@ class DataPublisher:
             )
             for a in allocations
         ]
-        self.catalog.register_fragmentation(fragmentation, allocations)
+        if not replace and self.catalog.is_fragmented(collection.name):
+            raise CatalogError(
+                f"collection {collection.name!r} already has a fragmentation"
+            )
+        # Validate the allocation set *before* any data moves, then store
+        # every fragment, then swap the registration in — a failed or
+        # in-progress (re)publish never leaves the catalog pointing at
+        # sites that do not hold the data yet.
+        self.catalog.validate_allocations(fragmentation, allocations)
         report = PublicationReport(collection=collection.name)
         for allocation in allocations:
             fragment = fragmentation.fragment(allocation.fragment)
@@ -148,6 +164,9 @@ class DataPublisher:
                 collection, fragment, allocation, frag_mode
             )
             report.fragments.append(publication)
+        self.catalog.register_fragmentation(
+            fragmentation, allocations, replace=replace
+        )
         return report
 
     def publish_centralized(

@@ -17,11 +17,15 @@ decomposer/middleware control flow:
   streaming recorded as plan attributes.
 * :mod:`repro.plan.explain` — the indented ``EXPLAIN`` tree with
   per-node cost estimates, plus dict round-tripping.
+* :mod:`repro.plan.cache` — a bounded LRU of *logical* plans keyed on
+  ``(query, collection, catalog_version)``; hits re-lower against the
+  live site health, so cached queries still avoid ejected sites.
 * :mod:`repro.plan.executor` — the single plan-driven executor every
   execution mode runs through (modes are Transport choices, nothing
   more), and the :class:`ExecutionMode` parser.
 """
 
+from repro.plan.cache import PlanCache
 from repro.plan.cost import CostEstimate, CostModel
 from repro.plan.executor import ExecutedPlan, ExecutionMode, PlanExecutor
 from repro.plan.explain import plan_from_dict, plan_to_dict, render_plan
@@ -53,6 +57,7 @@ __all__ = [
     "MergeAggregate",
     "PartialAggregate",
     "PhysicalPlan",
+    "PlanCache",
     "PlanExecutor",
     "PlanNode",
     "ScanCandidate",

@@ -1,0 +1,97 @@
+"""A bounded LRU cache of *logical* plans.
+
+Decompose is the expensive, deterministic half of planning: parse +
+analyze + localization against the fragmentation design. Lowering is the
+cheap, *dynamic* half — it consults the live cost model and
+:class:`~repro.cluster.health.SiteHealth`, so its output legitimately
+changes between two executions of the same query (a replica gets
+ejected, statistics move). The cache therefore stores the logical plan
+and callers re-lower on every hit: a cached query still routes around an
+ejected site, while skipping parse/analyze/localize entirely.
+
+The key is ``(query, collection, catalog_version)``. The catalog version
+is bumped by every design registration/replacement/unregistration, so a
+republish implicitly invalidates every entry planned against the old
+design — the design identity never needs to be hashed separately.
+
+Thread-safe: the coordinator looks plans up from many worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional
+
+from repro.plan.logical import LogicalPlan
+
+#: Default number of distinct (query, collection, version) entries kept.
+DEFAULT_PLAN_CACHE_CAPACITY = 256
+
+
+class PlanCache:
+    """Bounded, thread-safe LRU of decomposed logical plans."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_CAPACITY):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be at least 1")
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, LogicalPlan] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @staticmethod
+    def _key(query: str, collection: Optional[str], catalog_version: int) -> tuple:
+        return (query, collection, catalog_version)
+
+    def get(
+        self, query: str, collection: Optional[str], catalog_version: int
+    ) -> Optional[LogicalPlan]:
+        """The cached logical plan, or None; refreshes LRU order on hit."""
+        key = self._key(query, collection, catalog_version)
+        with self._lock:
+            plan = self._entries.get(key)
+            if plan is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return plan
+
+    def put(
+        self,
+        query: str,
+        collection: Optional[str],
+        catalog_version: int,
+        plan: LogicalPlan,
+    ) -> None:
+        """Insert (or refresh) an entry, evicting the LRU tail if full."""
+        key = self._key(query, collection, catalog_version)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = plan
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> dict:
+        """Counters for serving stats / bench payloads."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "capacity": self.capacity,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }

@@ -89,6 +89,7 @@ class PlanExecutor:
         transport: Transport,
         dispatcher: ParallelDispatcher,
         default_collection: Optional[str] = None,
+        subquery_timeout: Optional[float] = None,
     ) -> ExecutedPlan:
         subqueries = plan.subqueries
         sink = None
@@ -101,19 +102,19 @@ class PlanExecutor:
                 )
             else:
                 sink = self.composer.incremental(plan.composition, subqueries)
+        # Optional kwargs are only passed when set so dispatcher
+        # subclasses with older dispatch() signatures keep working.
+        extra: dict = {}
         if sink is not None:
-            outcome = dispatcher.dispatch(
-                transport,
-                subqueries,
-                default_collection=default_collection,
-                chunk_sink=sink,
-            )
-        else:
-            # chunk_sink omitted so dispatcher subclasses with the
-            # pre-streaming signature keep working.
-            outcome = dispatcher.dispatch(
-                transport, subqueries, default_collection=default_collection
-            )
+            extra["chunk_sink"] = sink
+        if subquery_timeout is not None:
+            extra["subquery_timeout"] = subquery_timeout
+        outcome = dispatcher.dispatch(
+            transport,
+            subqueries,
+            default_collection=default_collection,
+            **extra,
+        )
         round_ = outcome.round
         for lane, execution in zip(plan.lanes, outcome.executions_by_index):
             if execution is not None:

@@ -1,0 +1,30 @@
+"""A deterministic clock for timing tests.
+
+``FakeClock`` is injected into the dispatcher (``clock=clock,
+sleep=clock.sleep``) and into scripted drivers: every sleep *advances*
+the clock instead of blocking, so retry-budget and deadline assertions
+are exact and instant — no real sleeps, no slack for machine load.
+"""
+
+from __future__ import annotations
+
+import threading
+
+
+class FakeClock:
+    """Monotonic fake time: reading never advances, sleeping does."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+        self._lock = threading.Lock()
+
+    def __call__(self) -> float:
+        with self._lock:
+            return self._now
+
+    def sleep(self, seconds: float) -> None:
+        with self._lock:
+            self._now += max(0.0, seconds)
+
+    def advance(self, seconds: float) -> None:
+        self.sleep(seconds)

@@ -20,6 +20,7 @@ from repro.errors import DispatchError
 from repro.partix.decomposer import SubQuery
 from repro.partix.driver import PartixDriver
 from repro.plan.spec import SubQueryTarget
+from tests.fake_clock import FakeClock
 
 
 def _query_result(text: str = "ok") -> QueryResult:
@@ -39,10 +40,17 @@ def _query_result(text: str = "ok") -> QueryResult:
 class StubDriver(PartixDriver):
     """Scriptable driver: optional sleep, optional failures, call log."""
 
-    def __init__(self, delay=0.0, fail_times=0, error=RuntimeError("boom")):
+    def __init__(
+        self,
+        delay=0.0,
+        fail_times=0,
+        error=RuntimeError("boom"),
+        sleep=time.sleep,
+    ):
         self.delay = delay
         self.fail_times = fail_times
         self.error = error
+        self.sleep = sleep
         self.calls = []
         self.active = 0
         self.max_active = 0
@@ -67,7 +75,7 @@ class StubDriver(PartixDriver):
             self.max_active = max(self.max_active, self.active)
         try:
             if self.delay:
-                time.sleep(self.delay)
+                self.sleep(self.delay)
             with self._lock:
                 remaining = self.fail_times
                 if remaining > 0:
@@ -480,31 +488,39 @@ class _BudgetRecorder(Transport):
 
 class TestRetryBudget:
     def test_each_attempt_receives_only_the_remaining_budget(self):
-        drivers = [StubDriver(delay=0.03, fail_times=1), StubDriver()]
+        clock = FakeClock()
+        drivers = [
+            StubDriver(delay=0.03, fail_times=1, sleep=clock.sleep),
+            StubDriver(sleep=clock.sleep),
+        ]
         recorder = _BudgetRecorder(InProcessTransport(_cluster(drivers)))
         dispatcher = ParallelDispatcher(
             retries=2,
             subquery_timeout=1.0,
             backoff_seconds=0.001,
+            sleep=clock.sleep,
+            clock=clock,
         )
         outcome = dispatcher.dispatch(
             recorder, [_replicated_subquery(["site0", "site1"])]
         )
         assert outcome.complete
         assert len(recorder.timeouts) == 2
-        # The first attempt gets (almost) the whole budget, the retry only
-        # what the failed attempt and the backoff left over.
-        assert recorder.timeouts[0] == pytest.approx(1.0, abs=0.01)
-        assert recorder.timeouts[1] < recorder.timeouts[0] - 0.02
+        # The first attempt gets the whole budget; the retry exactly what
+        # the failed attempt (0.03) and the backoff (0.001) left over.
+        assert recorder.timeouts[0] == pytest.approx(1.0)
+        assert recorder.timeouts[1] == pytest.approx(1.0 - 0.03 - 0.001)
 
     def test_total_wall_stays_within_the_budget_plus_slack(self):
         # Dead primary that burns 60ms per attempt, dead replica too: the
         # old code gave every attempt a fresh full timeout (~(retries+1)×
         # overshoot); the shared deadline keeps the whole envelope near
-        # subquery_timeout + one attempt's overshoot.
+        # subquery_timeout + one attempt's overshoot. On the fake clock
+        # the bound is exact, not slack-padded.
+        clock = FakeClock()
         drivers = [
-            StubDriver(delay=0.06, fail_times=50),
-            StubDriver(delay=0.06, fail_times=50),
+            StubDriver(delay=0.06, fail_times=50, sleep=clock.sleep),
+            StubDriver(delay=0.06, fail_times=50, sleep=clock.sleep),
         ]
         dispatcher = ParallelDispatcher(
             retries=8,
@@ -512,16 +528,18 @@ class TestRetryBudget:
             backoff_seconds=0.005,
             backoff_multiplier=1.0,
             failure_policy=DEGRADE,
+            sleep=clock.sleep,
+            clock=clock,
         )
-        started = time.perf_counter()
+        started = clock()
         outcome = dispatcher.dispatch(
             _cluster(drivers), [_replicated_subquery(["site0", "site1"])]
         )
-        wall = time.perf_counter() - started
+        wall = clock() - started
         (failure,) = outcome.failures
         assert failure.timed_out
-        # Budget 0.2s + at most one in-flight attempt (0.06s) + slack.
-        assert wall < 0.2 + 0.06 + 0.15
+        # Budget 0.2s + at most one in-flight attempt (0.06s), exactly.
+        assert wall <= 0.2 + 0.06
 
 
 class TestJitterPerTarget:
@@ -548,9 +566,14 @@ class TestJitterPerTarget:
 
 class TestTimeouts:
     def test_overbudget_subquery_counts_as_timeout(self):
-        drivers = [StubDriver(delay=0.05)]
+        clock = FakeClock()
+        drivers = [StubDriver(delay=0.05, sleep=clock.sleep)]
         dispatcher = ParallelDispatcher(
-            subquery_timeout=0.005, retries=0, failure_policy=DEGRADE
+            subquery_timeout=0.005,
+            retries=0,
+            failure_policy=DEGRADE,
+            sleep=clock.sleep,
+            clock=clock,
         )
         outcome = dispatcher.dispatch(
             _cluster(drivers), _subqueries(1, site_for=lambda i: "site0")

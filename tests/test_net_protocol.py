@@ -52,6 +52,21 @@ PAYLOADS = {
     FrameType.OK: {"count": 7},
     FrameType.RESULT_CHUNK: {},  # raw-payload frame: payload stays {}
     FrameType.RESULT_END: {"result_bytes": 42, "elapsed_seconds": 0.01},
+    FrameType.QUERY: {
+        "query": 'count(collection("C")//Item)',
+        "collection": "C",
+        "deadline_seconds": 2.5,
+    },
+    FrameType.QUERY_RESULT: {
+        "result_text": "7",
+        "result_bytes": 1,
+        "elapsed_seconds": 0.01,
+    },
+    FrameType.QUERY_ERROR: {
+        "error_type": "AdmissionRejected",
+        "message": "coordinator overloaded",
+        "shed": True,
+    },
 }
 
 #: Raw bytes for the raw-payload frame types.

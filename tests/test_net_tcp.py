@@ -113,6 +113,21 @@ class TestServerOperations:
         else:
             pytest.fail("server kept answering after SHUTDOWN")
 
+    def test_close_is_clean_with_an_idle_connection_open(self, server, client):
+        # Regression: close() used to race the accept loop — a handler
+        # parked in recv on an idle connection kept the serve thread
+        # alive past the join, and the swallowed OSError hid it.
+        client.ping()  # leaves a pooled, idle connection open
+        assert server.close()
+
+    def test_close_is_clean_mid_handshake(self, server):
+        # A connection that dialed but never sent its HELLO must not
+        # wedge shutdown either: the handshake poll notices the
+        # shutdown request and gives up on the silent peer.
+        with socket.create_connection(("127.0.0.1", server.port), timeout=5.0):
+            time.sleep(0.05)  # let the server park in its HELLO read
+            assert server.close()
+
 
 class TestHandshake:
     def test_version_mismatch_is_refused(self, server):
