@@ -26,6 +26,7 @@ import json
 import sys
 
 from repro.bench.plans import run_plans
+from repro.bench.rebalance import run_rebalance
 from repro.bench.serving import run_serving
 from repro.bench.reporting import (
     format_mode_comparison,
@@ -164,6 +165,7 @@ FIGURES = {
     "transport": run_transport,
     "streaming": run_streaming,
     "serving": run_serving,
+    "rebalance": run_rebalance,
     # "plans" is dispatched specially in main(): it takes the golden-file
     # flags instead of repetitions/transmission.
     "plans": run_plans,

@@ -18,11 +18,23 @@ ejected. An ejected site is not gone forever — after
 failed one re-arms the probe timer. The tracker is thread-safe: lane
 threads of one round and concurrent rounds share a single instance.
 
+Probes run **off the dispatch hot path**: a due probe is handed to a
+background probe worker and the calling lane waits at most
+``probe_wait_seconds`` for the verdict (the per-lane probe budget). A
+fast prober — an in-process transport, a healthy server — answers well
+inside the budget and readmission is effectively synchronous; a *dead*
+TCP site whose PING blocks on a connect timeout costs the lane only the
+budget, and the probe keeps running in the background so a late success
+still readmits the site for subsequent rounds. Before this, a lane
+thread pinged the corpse inline and stalled for the full transport
+timeout.
+
 The clock is injectable so tests can step time deterministically.
 """
 
 from __future__ import annotations
 
+import queue
 import threading
 import time
 from dataclasses import dataclass
@@ -34,6 +46,9 @@ class _SiteState:
     consecutive_failures: int = 0
     ejected: bool = False
     next_probe_at: float = 0.0
+    #: A probe for this site is in flight on the worker; further lanes
+    #: must not enqueue a duplicate (or wait on someone else's probe).
+    probing: bool = False
 
 
 class SiteHealth:
@@ -44,16 +59,26 @@ class SiteHealth:
         ejection_threshold: int = 3,
         probe_interval_seconds: float = 5.0,
         clock: Callable[[], float] = time.monotonic,
+        probe_wait_seconds: float = 0.25,
     ):
         if ejection_threshold < 1:
             raise ValueError("ejection_threshold must be at least 1")
         if probe_interval_seconds < 0:
             raise ValueError("probe_interval_seconds must be non-negative")
+        if probe_wait_seconds < 0:
+            raise ValueError("probe_wait_seconds must be non-negative")
         self.ejection_threshold = ejection_threshold
         self.probe_interval_seconds = probe_interval_seconds
+        #: Per-lane probe budget: how long :meth:`check` waits for the
+        #: background probe verdict before treating the site as still
+        #: ejected (real wall time, not the injectable clock — it bounds
+        #: an actual thread wait).
+        self.probe_wait_seconds = probe_wait_seconds
         self._clock = clock
         self._lock = threading.Lock()
         self._states: dict[str, _SiteState] = {}
+        self._probe_queue: "queue.Queue" = queue.Queue()
+        self._probe_thread: Optional[threading.Thread] = None
 
     def _state(self, site: str) -> _SiteState:
         state = self._states.get(site)
@@ -124,22 +149,65 @@ class SiteHealth:
         transport's PING) confirms it answers — a successful probe
         readmits the site, a failed or unavailable probe re-arms the
         timer and keeps the site ejected.
+
+        The probe itself runs on a shared background worker; this call
+        waits at most :attr:`probe_wait_seconds` for the verdict. A
+        prober that hangs (a dead TCP site's connect timeout) therefore
+        cannot stall the calling lane beyond the budget — the probe
+        finishes in the background and a late success readmits the site
+        for the next round.
         """
         if not self.is_ejected(site):
             return True
-        if not self.probe_due(site):
-            return False
-        if prober is None:
-            return False
-        try:
-            alive = bool(prober())
-        except Exception:
-            alive = False
-        if alive:
-            self.record_success(site)
-            return True
-        self.record_failure(site)
-        return False
+        with self._lock:
+            state = self._states.get(site)
+            if state is None or not state.ejected:
+                return True
+            if self._clock() < state.next_probe_at:
+                return False
+            if prober is None:
+                return False
+            if state.probing:
+                # Another lane's probe is already in flight; don't pile a
+                # second wait (or a duplicate ping) onto the site.
+                return False
+            state.probing = True
+        done = threading.Event()
+        self._ensure_probe_worker()
+        self._probe_queue.put((site, prober, done))
+        done.wait(self.probe_wait_seconds)
+        return not self.is_ejected(site)
+
+    # -- background probing --------------------------------------------
+    def _ensure_probe_worker(self) -> None:
+        with self._lock:
+            if self._probe_thread is not None and self._probe_thread.is_alive():
+                return
+            self._probe_thread = threading.Thread(
+                target=self._probe_loop,
+                name="site-health-probe",
+                daemon=True,
+            )
+            self._probe_thread.start()
+
+    def _probe_loop(self) -> None:
+        while True:
+            site, prober, done = self._probe_queue.get()
+            try:
+                alive = bool(prober())
+            except Exception:
+                alive = False
+            try:
+                if alive:
+                    self.record_success(site)
+                else:
+                    self.record_failure(site)
+            finally:
+                with self._lock:
+                    state = self._states.get(site)
+                    if state is not None:
+                        state.probing = False
+                done.set()
 
     def snapshot(self) -> dict:
         """Per-site health for reporting: {site: {...}} (sorted keys)."""

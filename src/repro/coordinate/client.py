@@ -130,3 +130,43 @@ class CoordinatorClient(SiteClient):
     def coordinator_stats(self, read_timeout: Optional[float] = 5.0) -> dict:
         """The coordinator's serving stats (admission, plan cache, pools)."""
         return self.ping(read_timeout=read_timeout)
+
+    def advise(
+        self,
+        collection: Optional[str] = None,
+        top: int = 5,
+        read_timeout: Optional[float] = None,
+    ) -> dict:
+        """Ask the workload advisor for ranked rebalance actions.
+
+        Returns ``{"actions": [...], "catalog_version", "query_log"}``;
+        each action dict round-trips through
+        :meth:`repro.partix.advisor.RebalanceAction.from_dict`.
+        """
+        payload: dict = {"top": top}
+        if collection is not None:
+            payload["collection"] = collection
+        reply, _, _ = self.call(FrameType.ADVISE, payload, read_timeout)
+        if reply.type is not FrameType.OK:
+            raise TransportError(f"ADVISE answered with {reply.type.name}")
+        return reply.payload
+
+    def rebalance(
+        self,
+        collection: Optional[str] = None,
+        action: Optional[dict] = None,
+        read_timeout: Optional[float] = None,
+    ) -> dict:
+        """Apply one rebalance action online (the advisor's top pick when
+        ``action`` is None). Returns ``{"action", "report",
+        "catalog_version"}``; failures raise the coordinator's typed
+        exception (e.g. :class:`~repro.errors.RebalanceError`)."""
+        payload: dict = {}
+        if collection is not None:
+            payload["collection"] = collection
+        if action is not None:
+            payload["action"] = action
+        reply, _, _ = self.call(FrameType.REBALANCE, payload, read_timeout)
+        if reply.type is not FrameType.OK:
+            raise TransportError(f"REBALANCE answered with {reply.type.name}")
+        return reply.payload

@@ -48,6 +48,7 @@ from repro.errors import (
     CoordinatorError,
     DispatchError,
     QueryDeadlineExceeded,
+    RebalanceError,
 )
 from repro.net.protocol import (
     DEFAULT_CHUNK_BYTES,
@@ -61,8 +62,10 @@ from repro.net.protocol import (
     read_frame_async,
 )
 from repro.coordinate.admission import AdmissionController
+from repro.partix.advisor import RebalanceAction, WorkloadAdvisor
 from repro.partix.middleware import Partix, PartixResult
 from repro.plan.cache import PlanCache
+from repro.rebalance import QueryLog, Rebalancer
 
 
 def _query_result_payload(result: PartixResult, elapsed: float) -> dict:
@@ -90,6 +93,7 @@ class Coordinator:
         default_deadline_seconds: Optional[float] = None,
         plan_cache: Optional[PlanCache] = None,
         site: str = "coordinator",
+        query_log: Optional[QueryLog] = None,
     ):
         self.partix = partix
         self.execution_mode = execution_mode
@@ -108,6 +112,11 @@ class Coordinator:
         # Share the cache with the middleware so every served query
         # (and any in-process caller) plans through it.
         partix.plan_cache = plan_cache
+        #: Workload memory for the rebalancing advisor: every successful
+        #: query records which fragments it scanned where and how long
+        #: each lane took (see ``repro.rebalance``).
+        self.query_log = query_log if query_log is not None else QueryLog()
+        self.rebalancer = Rebalancer(partix)
         self._pool = ThreadPoolExecutor(
             max_workers=max_active, thread_name_prefix="partix-coordinate"
         )
@@ -253,6 +262,7 @@ class Coordinator:
             "uptime_seconds": time.perf_counter() - self._started,
             "admission": self.admission.snapshot(),
             "plan_cache": self.plan_cache.stats(),
+            "query_log": self.query_log.stats_payload(),
         }
         tcp = getattr(self.partix, "_tcp", None)
         if tcp is not None:
@@ -283,6 +293,14 @@ class Coordinator:
                 self._bytes_in += received
                 if frame.type is FrameType.QUERY:
                     self._spawn_query(frame, writer, write_lock, chunk_bytes)
+                elif frame.type is FrameType.ADVISE:
+                    self._spawn_task(
+                        self._serve_advise(frame, writer, write_lock)
+                    )
+                elif frame.type is FrameType.REBALANCE:
+                    self._spawn_task(
+                        self._serve_rebalance(frame, writer, write_lock)
+                    )
                 elif frame.type is FrameType.PING:
                     await self._send(
                         writer,
@@ -408,9 +426,13 @@ class Coordinator:
     # Query handling
     # ------------------------------------------------------------------
     def _spawn_query(self, frame, writer, write_lock, chunk_bytes) -> None:
-        task = asyncio.ensure_future(
+        self._spawn_task(
             self._serve_query(frame, writer, write_lock, chunk_bytes)
         )
+
+    def _spawn_task(self, coroutine) -> None:
+        """Track a request task so the drain waits for it."""
+        task = asyncio.ensure_future(coroutine)
         self._query_tasks.add(task)
         task.add_done_callback(self._query_tasks.discard)
 
@@ -442,6 +464,15 @@ class Coordinator:
             return
         elapsed = time.perf_counter() - arrived
         self._queries_served += 1
+        catalog = self.partix.distribution_catalog
+        self.query_log.record_result(
+            query,
+            payload.get("collection"),
+            result,
+            elapsed,
+            catalog.version,
+            catalog=catalog,
+        )
         reply = _query_result_payload(result, elapsed)
         if payload.get("stream"):
             # Streamed reply: the answer travels as RESULT_CHUNK frames
@@ -464,6 +495,92 @@ class Coordinator:
             writer,
             write_lock,
             Frame(type=FrameType.QUERY_RESULT, request_id=rid, payload=reply),
+        )
+
+    # ------------------------------------------------------------------
+    # Rebalancing (ADVISE / REBALANCE frames)
+    # ------------------------------------------------------------------
+    def _advisor(self) -> WorkloadAdvisor:
+        return WorkloadAdvisor(
+            self.partix.distribution_catalog,
+            self.partix.cost_model,
+            self.query_log,
+            self.partix.cluster.site_names(),
+        )
+
+    async def _serve_advise(self, frame, writer, write_lock) -> None:
+        payload = frame.payload
+        try:
+            loop = asyncio.get_running_loop()
+            actions = await loop.run_in_executor(
+                self._pool,
+                partial(
+                    self._advisor().advise,
+                    collection=payload.get("collection"),
+                    top=int(payload.get("top", 5)),
+                ),
+            )
+            reply = {
+                "actions": [action.to_dict() for action in actions],
+                "catalog_version": self.partix.distribution_catalog.version,
+                "query_log": self.query_log.stats_payload(),
+            }
+        except Exception as exc:  # noqa: BLE001 - becomes an ERROR frame
+            await self._send_error(writer, write_lock, frame.request_id, exc)
+            return
+        await self._send(
+            writer,
+            write_lock,
+            Frame(type=FrameType.OK, request_id=frame.request_id, payload=reply),
+        )
+
+    async def _serve_rebalance(self, frame, writer, write_lock) -> None:
+        try:
+            if self._draining:
+                raise CoordinatorError("coordinator is draining; reconnect")
+            loop = asyncio.get_running_loop()
+            reply = await loop.run_in_executor(
+                self._pool, partial(self._apply_rebalance, frame.payload)
+            )
+        except Exception as exc:  # noqa: BLE001 - becomes an ERROR frame
+            await self._send_error(writer, write_lock, frame.request_id, exc)
+            return
+        await self._send(
+            writer,
+            write_lock,
+            Frame(type=FrameType.OK, request_id=frame.request_id, payload=reply),
+        )
+
+    def _apply_rebalance(self, payload: dict) -> dict:
+        """Runs on the pool: pick (or decode) an action, migrate, report."""
+        if payload.get("action"):
+            action = RebalanceAction.from_dict(payload["action"])
+        else:
+            actions = self._advisor().advise(
+                collection=payload.get("collection"), top=1
+            )
+            if not actions:
+                raise RebalanceError(
+                    "the advisor found no rebalance action to apply (is the"
+                    " query log empty?)"
+                )
+            action = actions[0]
+        report = self.rebalancer.apply(action)
+        return {
+            "action": action.to_dict(),
+            "report": report.to_dict(),
+            "catalog_version": self.partix.distribution_catalog.version,
+        }
+
+    async def _send_error(self, writer, write_lock, rid, exc) -> None:
+        await self._send(
+            writer,
+            write_lock,
+            Frame(
+                type=FrameType.ERROR,
+                request_id=rid,
+                payload=exception_to_payload(exc),
+            ),
         )
 
     async def _execute(

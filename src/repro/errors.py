@@ -99,6 +99,29 @@ class CatalogError(PartixError):
     """Raised by the schema/distribution catalog services."""
 
 
+class CatalogContention(CatalogError):
+    """Planning kept losing races against concurrent catalog replaces.
+
+    ``Partix._plan_for`` retries a bounded number of times when the
+    catalog version changes mid-decompose (a concurrent republish or
+    rebalance swapping the design). Exhausting the retry budget raises
+    this instead of silently planning against a possibly-mixed design —
+    callers (the coordinator surfaces it as a QUERY_ERROR) may simply
+    retry the query once the replace storm settles.
+    """
+
+
+class RebalanceError(PartixError):
+    """Raised by the online rebalancer (``repro.rebalance``) when a
+    migration cannot be performed: unknown fragment, a fragment that is
+    not splittable, a target site already holding the data, or a primary
+    whose driver exposes no local engine to read documents from.
+
+    A raised migration never half-applies: the catalog is only swapped
+    after every new fragment is fully stored, so the old design stays
+    routable."""
+
+
 class DecompositionError(PartixError):
     """Raised when a query cannot be decomposed over a fragmentation schema."""
 

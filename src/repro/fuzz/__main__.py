@@ -75,6 +75,13 @@ def main(argv: list[str] | None = None) -> int:
         " site, kill one primary's server mid-case, and require the"
         " answers to still converge via the replica (needs a tcp mode)",
     )
+    parser.add_argument(
+        "--migrate",
+        action="store_true",
+        help="online-rebalancing oracle: run every case once, fire a"
+        " live split/move migration onto a spare site, run it again —"
+        " answers must converge on both catalog versions",
+    )
     options = parser.parse_args(argv)
 
     modes = tuple(
@@ -89,12 +96,15 @@ def main(argv: list[str] | None = None) -> int:
         )
     if options.kill_site and not any(mode.startswith("tcp") for mode in modes):
         parser.error("--kill-site requires a tcp mode in --modes")
+    if options.kill_site and options.migrate:
+        parser.error("--kill-site and --migrate are mutually exclusive")
 
     if options.replay is not None:
         outcome = run_case(
             CaseSpec.from_dict(json.loads(options.replay)),
             modes=modes,
             kill_site=options.kill_site,
+            migrate=options.migrate,
         )
         payload = outcome.to_dict()
         ok = outcome.ok
@@ -107,6 +117,7 @@ def main(argv: list[str] | None = None) -> int:
             max_failures=options.max_failures,
             modes=modes,
             kill_site=options.kill_site,
+            migrate=options.migrate,
         )
         ok = payload["ok"]
         _print_digest(payload)
@@ -136,12 +147,15 @@ def _print_digest(summary: dict) -> None:
         (f"composition {kind}", count)
         for kind, count in sorted(summary["composition_kinds"].items())
     )
+    if summary.get("migrate"):
+        rows.append(("migrations completed", summary["migrations_completed"]))
     rows.append(("failures", len(summary["failures"])))
     title = (
         f"repro.fuzz — seed {summary['seed']},"
         f" {summary['iterations']} iterations,"
         f" modes {'/'.join(summary['execution_modes'])}"
         + (" [kill-site]" if summary.get("kill_site") else "")
+        + (" [migrate]" if summary.get("migrate") else "")
     )
     print(format_kv_table(title, rows), file=sys.stderr)
     for failure in summary["failures"]:

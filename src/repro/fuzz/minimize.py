@@ -40,6 +40,7 @@ def minimize_spec(
     budget: int = DEFAULT_BUDGET,
     modes: Optional[tuple] = None,
     kill_site: bool = False,
+    migrate: bool = False,
 ) -> CaseOutcome:
     """Shrink ``spec`` greedily while it keeps failing the same way.
 
@@ -60,7 +61,7 @@ def minimize_spec(
             candidate = replace(best_spec, query_index=failing[0])
             attempts += 1
             reproduced = _reproduces(
-                candidate, fingerprint, partix_factory, modes, kill_site
+                candidate, fingerprint, partix_factory, modes, kill_site, migrate
             )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
@@ -73,7 +74,7 @@ def minimize_spec(
                 break
             attempts += 1
             reproduced = _reproduces(
-                candidate, fingerprint, partix_factory, modes, kill_site
+                candidate, fingerprint, partix_factory, modes, kill_site, migrate
             )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
@@ -88,11 +89,15 @@ def _reproduces(
     partix_factory: Optional[Callable],
     modes: Optional[tuple] = None,
     kill_site: bool = False,
+    migrate: bool = False,
 ) -> Optional[CaseOutcome]:
     try:
         if modes is None:
             outcome = run_case(
-                spec, partix_factory=partix_factory, kill_site=kill_site
+                spec,
+                partix_factory=partix_factory,
+                kill_site=kill_site,
+                migrate=migrate,
             )
         else:
             outcome = run_case(
@@ -100,6 +105,7 @@ def _reproduces(
                 partix_factory=partix_factory,
                 modes=modes,
                 kill_site=kill_site,
+                migrate=migrate,
             )
     except Exception:  # noqa: BLE001 — a crashing shrink is just rejected
         return None

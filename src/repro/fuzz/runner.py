@@ -61,6 +61,10 @@ CENTRAL_SITE = "central"
 #: Extra site holding one replica of every fragment in ``kill_site``
 #: mode, so killing a primary's server leaves a live copy reachable.
 MIRROR_SITE = "mirror"
+#: Extra empty site added in ``migrate`` mode: the mid-run migration
+#: splits or moves a fragment onto it, so the second pass exercises a
+#: placement the first pass never saw.
+SPARE_SITE = "spare"
 EXECUTION_MODES = ("simulated", "threads")
 ALL_EXECUTION_MODES = ("simulated", "threads", "tcp", "tcp-stream")
 
@@ -76,7 +80,7 @@ ADVERSARIAL_CHUNK_BYTES = 7
 class Mismatch:
     """One oracle violation observed while running a case."""
 
-    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error" | "failover"
+    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error" | "failover" | "migrate"
     detail: str
     query_index: Optional[int] = None
     query: Optional[str] = None
@@ -150,6 +154,7 @@ def run_case(
     partix_factory: Optional[Callable[[Cluster], Partix]] = None,
     modes: Sequence[str] = EXECUTION_MODES,
     kill_site: bool = False,
+    migrate: bool = False,
 ) -> CaseOutcome:
     """Generate (unless given) and differentially execute one case.
 
@@ -171,8 +176,25 @@ def run_case(
     reported. Killing between the passes means the coordinator's pooled
     sockets to the victim die mid-use — the retry loop discovers the
     corpse on a live connection, not on a fresh connect.
+
+    ``migrate`` is the online-rebalancing oracle (any execution mode):
+    the queries run once against the published design, then a live
+    migration fires — the first splittable horizontal fragment is split
+    onto a dedicated empty ``spare`` site, falling back to moving the
+    first fragment there — and the same queries run again against the
+    new catalog version. Both passes face the standard oracles, so at
+    least one query is compared on *each* catalog version and the
+    answers must keep converging to the centralized baseline; a
+    migration that fails to complete (or to bump the catalog version) is
+    reported as a mismatch of kind ``migrate``. A plan cache is
+    installed so the version bump also exercises cache invalidation.
     """
     outcome = CaseOutcome(spec=spec)
+    if kill_site and migrate:
+        raise ValueError(
+            "kill_site and migrate are mutually exclusive oracles:"
+            " a mid-run migration needs every site alive"
+        )
     if case is None:
         case = generate_case(spec)
     outcome.notes.extend(case.notes)
@@ -230,6 +252,10 @@ def run_case(
         allocations=allocations,
         frag_mode=case.frag_mode,
     )
+    if migrate:
+        # Added *after* publish so the round-robin placement ignores it:
+        # the spare site is empty until the mid-run migration fills it.
+        cluster.add(Site(SPARE_SITE))
     cluster.add(Site(CENTRAL_SITE))
     partix.publish_centralized(case.collection, CENTRAL_SITE)
 
@@ -240,6 +266,9 @@ def run_case(
             partix.chunk_bytes = ADVERSARIAL_CHUNK_BYTES
         if any(mode.transport == "tcp" for mode in parsed_modes):
             partix.start_tcp()
+        if migrate:
+            _run_migrate_case(partix, case, outcome, modes)
+            return outcome
         if not kill_site:
             for index, query in case.active_queries:
                 _run_query(partix, index, query, outcome, modes)
@@ -300,6 +329,101 @@ def run_case(
     finally:
         partix.stop_tcp()
     return outcome
+
+
+def _run_migrate_case(
+    partix: Partix,
+    case: GeneratedCase,
+    outcome: CaseOutcome,
+    modes: Sequence[str],
+) -> None:
+    """Two differential passes with a live migration fired in between."""
+    from repro.plan.cache import PlanCache
+
+    if partix.plan_cache is None:
+        # The version bump must also invalidate cached plans; give the
+        # middleware a cache so both passes plan through it.
+        partix.plan_cache = PlanCache()
+    catalog = partix.distribution_catalog
+    version_before = catalog.version
+
+    for index, query in case.active_queries:
+        _run_query(partix, index, query, outcome, modes)
+    first_pass = outcome.queries_run
+
+    report = _fire_migration(partix, case, outcome)
+    if report is None or not report.completed:
+        outcome.mismatches.append(
+            Mismatch(
+                kind="migrate",
+                detail="no migration could be performed on the case design",
+            )
+        )
+        return
+    if catalog.version == version_before:
+        outcome.mismatches.append(
+            Mismatch(
+                kind="migrate",
+                detail=(
+                    f"migration reported completion but the catalog version"
+                    f" stayed at {version_before}"
+                ),
+            )
+        )
+        return
+
+    for index, query in case.active_queries:
+        _run_query(partix, index, query, outcome, modes)
+    outcome.notes.append(
+        f"queries compared on catalog v{version_before}: {first_pass},"
+        f" on v{catalog.version}: {outcome.queries_run - first_pass}"
+    )
+    stats = partix.plan_cache.stats()
+    outcome.notes.append(
+        f"plan cache across the migration: {stats}"
+    )
+
+
+def _fire_migration(partix: Partix, case: GeneratedCase, outcome: CaseOutcome):
+    """Split the first splittable horizontal fragment onto the spare
+    site, else move the first fragment there. Returns the report, or
+    None when every migration attempt failed."""
+    from repro.errors import RebalanceError
+    from repro.partix.fragments import HorizontalFragment
+    from repro.rebalance import Rebalancer
+
+    rebalancer = Rebalancer(partix)
+    collection = case.collection.name
+    catalog = partix.distribution_catalog
+    for fragment in case.design.fragments:
+        if not isinstance(fragment, HorizontalFragment):
+            continue
+        primary = catalog.allocation(collection, fragment.name)
+        try:
+            report = rebalancer.split(
+                collection,
+                fragment.name,
+                target_sites=(primary.site, SPARE_SITE),
+            )
+        except RebalanceError:
+            continue
+        outcome.notes.append(
+            f"migration: split {fragment.name!r} at {report.split_path}"
+            f" ∈ {report.split_values} → {report.new_fragments}"
+            f" ({report.documents_moved} documents, spare site got one half)"
+        )
+        return report
+    first = case.design.fragments[0].name
+    try:
+        report = rebalancer.move(collection, first, SPARE_SITE)
+    except RebalanceError as error:
+        outcome.notes.append(f"migration fallback failed: {error}")
+        return None
+    outcome.notes.append(
+        f"migration: moved {first!r} to the spare site"
+        f" ({report.documents_moved} documents)"
+    )
+    return report
 
 
 def _run_query(
@@ -522,19 +646,23 @@ def run_fuzz(
     max_failures: int = 5,
     modes: Sequence[str] = EXECUTION_MODES,
     kill_site: bool = False,
+    migrate: bool = False,
 ) -> dict:
     """Run the full differential session; returns a JSON-able summary.
 
     Stops early once ``max_failures`` distinct failing cases have been
     collected (each one is expensive: it triggers minimization and a
     written reproducer when ``repro_dir`` is set). ``kill_site`` runs
-    every case through the failover oracle (see :func:`run_case`).
+    every case through the failover oracle, ``migrate`` through the
+    online-rebalancing oracle (see :func:`run_case`).
     """
     summary: dict = {
         "seed": seed,
         "iterations": iterations,
         "execution_modes": list(modes),
         "kill_site": kill_site,
+        "migrate": migrate,
+        "migrations_completed": 0,
         "cases": 0,
         "queries_run": 0,
         "queries_skipped": 0,
@@ -553,7 +681,12 @@ def run_fuzz(
             partix_factory=partix_factory,
             modes=modes,
             kill_site=kill_site,
+            migrate=migrate,
         )
+        if migrate and not any(
+            m.kind == "migrate" for m in outcome.mismatches
+        ):
+            summary["migrations_completed"] += 1
         summary["cases"] += 1
         summary["queries_run"] += outcome.queries_run
         summary["queries_skipped"] += outcome.queries_skipped
@@ -574,6 +707,7 @@ def run_fuzz(
                     partix_factory=partix_factory,
                     modes=modes,
                     kill_site=kill_site,
+                    migrate=migrate,
                 )
                 if minimize
                 else outcome

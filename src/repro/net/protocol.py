@@ -121,6 +121,12 @@ class FrameType(enum.IntEnum):
     QUERY = 18  # {"query", "collection"?, "deadline_seconds"?, "stream"?}
     QUERY_RESULT = 19  # {"result_text"?, "result_bytes", serving stats...}
     QUERY_ERROR = 20  # {"error_type", "message", "shed": bool}
+    # Rebalancing frames (client ↔ repro.coordinate service), both
+    # answered by OK or ERROR. ADVISE mines the coordinator's query log
+    # for ranked RebalanceActions; REBALANCE applies one online (the
+    # advisor's top action when the payload names none).
+    ADVISE = 21  # {"collection"?, "top"?}
+    REBALANCE = 22  # {"collection"?, "action"?: RebalanceAction dict}
 
 
 #: Frame types whose payload is raw bytes, not a JSON object.

@@ -528,3 +528,365 @@ def _solo_weight(
 def _slug(value: str) -> str:
     cleaned = "".join(c if c.isalnum() else "_" for c in value.strip())
     return cleaned[:24] or "value"
+
+
+# ----------------------------------------------------------------------
+# Workload-driven rebalancing (the online half of the advisor)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RebalanceAction:
+    """One ranked re-placement the workload advisor proposes.
+
+    ``score`` is estimated seconds shaved off the *bottleneck site's*
+    per-workload busy time (current − projected); actions are ranked by
+    it. The action is plain data — :class:`repro.rebalance.Rebalancer`
+    applies it.
+    """
+
+    kind: str  # "split" | "move" | "replicate" | "merge"
+    collection: str
+    fragment: str
+    target_sites: tuple[str, ...] = ()
+    score: float = 0.0
+    current_bottleneck_seconds: float = 0.0
+    projected_bottleneck_seconds: float = 0.0
+    rationale: str = ""
+    #: Second fragment of a merge (unused otherwise).
+    fragment_b: Optional[str] = None
+    #: Explicit split boundary path (None = let the rebalancer probe).
+    split_path: Optional[str] = None
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "collection": self.collection,
+            "fragment": self.fragment,
+            "target_sites": list(self.target_sites),
+            "score": self.score,
+            "current_bottleneck_seconds": self.current_bottleneck_seconds,
+            "projected_bottleneck_seconds": self.projected_bottleneck_seconds,
+            "rationale": self.rationale,
+            "fragment_b": self.fragment_b,
+            "split_path": self.split_path,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RebalanceAction":
+        return cls(
+            kind=payload["kind"],
+            collection=payload["collection"],
+            fragment=payload["fragment"],
+            target_sites=tuple(payload.get("target_sites") or ()),
+            score=float(payload.get("score", 0.0)),
+            current_bottleneck_seconds=float(
+                payload.get("current_bottleneck_seconds", 0.0)
+            ),
+            projected_bottleneck_seconds=float(
+                payload.get("projected_bottleneck_seconds", 0.0)
+            ),
+            rationale=payload.get("rationale", ""),
+            fragment_b=payload.get("fragment_b"),
+            split_path=payload.get("split_path"),
+        )
+
+
+class _StatsOverlay:
+    """A catalog stand-in whose ``statistics`` answers hypothetically.
+
+    The cost model duck-types its catalog, so scoring a *candidate*
+    design only needs fragment statistics for replicas that do not exist
+    yet — this overlay serves those from ``overrides`` and delegates
+    everything else to the real catalog.
+    """
+
+    def __init__(self, catalog, overrides: dict):
+        self._catalog = catalog
+        self._overrides = overrides
+
+    def statistics(self, collection: str, fragment: str, site: str):
+        key = (collection, fragment, site)
+        if key in self._overrides:
+            return self._overrides[key]
+        return self._catalog.statistics(collection, fragment, site)
+
+
+class WorkloadAdvisor:
+    """Mines a :class:`repro.rebalance.QueryLog` for rebalance actions.
+
+    Where :class:`FragmentationAdvisor` designs a fragmentation from
+    scratch (collection + anticipated workload), the workload advisor
+    starts from the *observed* workload of a live deployment: which
+    fragments each query actually scanned, on which site, and how
+    selective it turned out to be. It rebuilds each site's busy time per
+    pass over the logged workload with the plan's own
+    :class:`~repro.plan.cost.CostModel`, then scores candidate actions —
+    split the hottest horizontal fragment, move or replicate it, merge
+    the two coldest siblings — by how far they lower the bottleneck
+    site's busy time. Hypothetical replicas (split halves, moved copies)
+    are costed through a statistics overlay so the same model prices
+    designs that do not exist yet.
+    """
+
+    def __init__(self, catalog, cost_model, query_log, sites: Sequence[str]):
+        self.catalog = catalog
+        self.cost_model = cost_model
+        self.query_log = query_log
+        self.sites = list(sites)
+
+    # ------------------------------------------------------------------
+    def advise(
+        self, collection: Optional[str] = None, top: int = 5
+    ) -> list[RebalanceAction]:
+        """Ranked rebalance actions (best first; may be empty)."""
+        if collection is not None:
+            collections = [collection]
+        else:
+            collections = sorted(
+                {
+                    entry.collection
+                    for entry in self.query_log.entries()
+                    if entry.collection is not None
+                    and self.catalog.is_fragmented(entry.collection)
+                }
+            )
+        actions: list[RebalanceAction] = []
+        for name in collections:
+            actions.extend(self._advise_collection(name))
+        actions.sort(key=lambda action: -action.score)
+        return actions[:top]
+
+    # ------------------------------------------------------------------
+    def _advise_collection(self, collection: str) -> list[RebalanceAction]:
+        design = self.catalog.fragmentation(collection)
+        fragment_names = set(design.fragment_names())
+        # Re-price every logged lane with the cost model: estimated busy
+        # seconds per (fragment, site) over one pass of the logged
+        # workload. Lanes from earlier catalog versions whose fragments
+        # no longer exist are skipped — their design is gone.
+        lane_cost: dict[tuple[str, str], float] = {}
+        entries = self.query_log.entries(collection)
+        for entry in entries:
+            for lane in entry.lanes:
+                if lane.fragment not in fragment_names:
+                    continue
+                estimate = self.cost_model.scan_estimate(
+                    collection,
+                    lane.fragment,
+                    lane.site,
+                    entry.query,
+                    selectivity=(
+                        lane.selectivity
+                        if lane.selectivity is not None
+                        else 1.0
+                    ),
+                )
+                key = (lane.fragment, lane.site)
+                lane_cost[key] = lane_cost.get(key, 0.0) + estimate.total_seconds
+        if not lane_cost:
+            return []
+        site_load: dict[str, float] = {site: 0.0 for site in self.sites}
+        for (fragment, site), seconds in lane_cost.items():
+            site_load[site] = site_load.get(site, 0.0) + seconds
+        bottleneck_site = max(site_load, key=lambda s: (site_load[s], s))
+        current = site_load[bottleneck_site]
+        if current <= 0.0:
+            return []
+        hot_candidates = [
+            (fragment, seconds)
+            for (fragment, site), seconds in lane_cost.items()
+            if site == bottleneck_site
+        ]
+        hot_fragment, hot_seconds = max(
+            hot_candidates, key=lambda item: (item[1], item[0])
+        )
+        cold_sites = sorted(
+            (site for site in site_load if site != bottleneck_site),
+            key=lambda s: (site_load[s], s),
+        )
+        if not cold_sites:
+            return []
+        actions: list[RebalanceAction] = []
+
+        def projected(moves: dict[str, float]) -> float:
+            """Bottleneck after adding per-site deltas to the load map."""
+            adjusted = dict(site_load)
+            for site, delta in moves.items():
+                adjusted[site] = adjusted.get(site, 0.0) + delta
+            return max(adjusted.values())
+
+        # -- split: halve the hot fragment across bottleneck + coldest --
+        fragment_def = design.fragment(hot_fragment)
+        stats = self.catalog.statistics(
+            collection, hot_fragment, bottleneck_site
+        )
+        if (
+            isinstance(fragment_def, HorizontalFragment)
+            and stats is not None
+            and stats.documents >= 2
+        ):
+            half_seconds = self._half_cost(
+                collection, hot_fragment, bottleneck_site, stats, entries
+            )
+            target = cold_sites[0]
+            after = projected(
+                {
+                    bottleneck_site: half_seconds - hot_seconds,
+                    target: half_seconds,
+                }
+            )
+            actions.append(
+                RebalanceAction(
+                    kind="split",
+                    collection=collection,
+                    fragment=hot_fragment,
+                    target_sites=(bottleneck_site, target),
+                    score=current - after,
+                    current_bottleneck_seconds=current,
+                    projected_bottleneck_seconds=after,
+                    rationale=(
+                        f"{bottleneck_site!r} is the bottleneck"
+                        f" ({current:.3f}s busy per workload pass) and"
+                        f" {hot_fragment!r} accounts for"
+                        f" {hot_seconds:.3f}s of it; splitting the"
+                        f" fragment keeps one half there and places the"
+                        f" other on {target!r}"
+                        f" (least-loaded, {site_load[target]:.3f}s)"
+                    ),
+                )
+            )
+        # -- move: ship the hot fragment to the coldest site -----------
+        target = cold_sites[0]
+        after = projected({bottleneck_site: -hot_seconds, target: hot_seconds})
+        actions.append(
+            RebalanceAction(
+                kind="move",
+                collection=collection,
+                fragment=hot_fragment,
+                target_sites=(target,),
+                score=current - after,
+                current_bottleneck_seconds=current,
+                projected_bottleneck_seconds=after,
+                rationale=(
+                    f"re-placing {hot_fragment!r} ({hot_seconds:.3f}s of"
+                    f" {bottleneck_site!r}'s {current:.3f}s) onto"
+                    f" {target!r} ({site_load[target]:.3f}s)"
+                ),
+            )
+        )
+        # -- replicate: failover headroom for the hot fragment ---------
+        # Scored at zero latency benefit on purpose: the lane scheduler
+        # balances load *within* one query's plan, so a single-scan
+        # query keeps choosing the same cheapest replica — a copy buys
+        # failover capacity, not lower steady-state latency.
+        replica_sites = {
+            allocation.site
+            for allocation in self.catalog.replicas(collection, hot_fragment)
+        }
+        replica_targets = [s for s in cold_sites if s not in replica_sites]
+        if replica_targets:
+            target = replica_targets[0]
+            actions.append(
+                RebalanceAction(
+                    kind="replicate",
+                    collection=collection,
+                    fragment=hot_fragment,
+                    target_sites=(target,),
+                    score=0.0,
+                    current_bottleneck_seconds=current,
+                    projected_bottleneck_seconds=current,
+                    rationale=(
+                        f"a replica of {hot_fragment!r} on {target!r}"
+                        " adds failover headroom for the hottest"
+                        " fragment (lowering picks one replica per"
+                        " query, so steady-state latency is unchanged)"
+                    ),
+                )
+            )
+        # -- merge: fuse the two coldest horizontal siblings -----------
+        horizontal = [
+            item
+            for item in design.fragments
+            if isinstance(item, HorizontalFragment)
+        ]
+        if len(horizontal) >= 3:
+            by_heat = sorted(
+                horizontal,
+                key=lambda item: (
+                    sum(
+                        seconds
+                        for (fragment, _), seconds in lane_cost.items()
+                        if fragment == item.name
+                    ),
+                    item.name,
+                ),
+            )
+            cold_a, cold_b = by_heat[0], by_heat[1]
+            if cold_a.name != hot_fragment and cold_b.name != hot_fragment:
+                cold_cost = sum(
+                    seconds
+                    for (fragment, _), seconds in lane_cost.items()
+                    if fragment in (cold_a.name, cold_b.name)
+                )
+                target = self.catalog.allocation(collection, cold_a.name).site
+                actions.append(
+                    RebalanceAction(
+                        kind="merge",
+                        collection=collection,
+                        fragment=cold_a.name,
+                        fragment_b=cold_b.name,
+                        target_sites=(target,),
+                        score=0.0,
+                        current_bottleneck_seconds=current,
+                        projected_bottleneck_seconds=current,
+                        rationale=(
+                            f"{cold_a.name!r} + {cold_b.name!r} together"
+                            f" cost only {cold_cost:.3f}s per pass;"
+                            " merging them frees a dispatch lane without"
+                            " moving the bottleneck"
+                        ),
+                    )
+                )
+        return actions
+
+    # ------------------------------------------------------------------
+    def _half_cost(
+        self, collection, fragment, site, stats, entries
+    ) -> float:
+        """Cost of one split half's share of the logged workload, priced
+        by the same model through a halved-statistics overlay."""
+        from repro.partix.catalog import FragmentStatistics
+        from repro.plan.cost import CostModel
+
+        half_name = f"{fragment}@half"
+        overlay = _StatsOverlay(
+            self.catalog,
+            {
+                (collection, half_name, site): FragmentStatistics(
+                    documents=max(1, stats.documents // 2),
+                    bytes=max(1, stats.bytes // 2),
+                )
+            },
+        )
+        model = CostModel(
+            overlay,
+            self.cost_model.network,
+            seconds_per_document=self.cost_model.seconds_per_document,
+            seconds_per_byte=self.cost_model.seconds_per_byte,
+        )
+        total = 0.0
+        for entry in entries:
+            for lane in entry.lanes:
+                if lane.fragment != fragment:
+                    continue
+                total += model.scan_estimate(
+                    collection,
+                    half_name,
+                    site,
+                    entry.query,
+                    selectivity=(
+                        lane.selectivity
+                        if lane.selectivity is not None
+                        else 1.0
+                    ),
+                ).total_seconds
+        return total

@@ -61,7 +61,7 @@ from repro.cluster.dispatch import (
     SerialTransport,
     Transport,
 )
-from repro.errors import CatalogError, ClusterError
+from repro.errors import CatalogContention, CatalogError, ClusterError
 from repro.net.protocol import DEFAULT_CHUNK_BYTES
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -203,6 +203,10 @@ class Partix:
         #: repeat queries skip decompose. Hits re-lower against the live
         #: site health, so cached plans still avoid ejected sites.
         self.plan_cache = plan_cache
+        #: How many times cached planning retries when a concurrent
+        #: catalog replace invalidates the version it read mid-decompose,
+        #: before raising :class:`~repro.errors.CatalogContention`.
+        self.plan_retry_attempts = 4
         #: Streamed-chunk size: proposed to tcp site servers at connect
         #: time and used verbatim by the in-process chunk emulation and as
         #: the incremental composer's spill threshold.
@@ -371,12 +375,16 @@ class Partix:
         replica choice — are always current. A version change observed
         across the decompose (a concurrent republish swapping the design
         mid-read) discards the possibly-mixed plan and retries against
-        the new design.
+        the new design. The retry loop is bounded by
+        :attr:`plan_retry_attempts`: if replaces keep racing planning, a
+        typed :class:`~repro.errors.CatalogContention` is raised instead
+        of silently planning against a design that may be mixed — the
+        caller can retry once the replace storm settles.
         """
         if self.plan_cache is None:
             return self.decomposer.decompose(query, collection)
         catalog = self.distribution_catalog
-        for _ in range(4):
+        for _ in range(self.plan_retry_attempts):
             version = catalog.version
             logical = self.plan_cache.get(query, collection, version)
             if logical is None:
@@ -396,9 +404,12 @@ class Partix:
                 cost_model=self.cost_model,
                 site_health=self.site_health,
             )
-        # Republishes kept racing us; plan once more uncached (the same
-        # exposure every uncached execution has always had).
-        return self.decomposer.decompose(query, collection)
+        raise CatalogContention(
+            f"catalog version changed across {self.plan_retry_attempts}"
+            f" consecutive planning attempts for query {query!r}"
+            " (concurrent replaces/rebalances kept invalidating the"
+            " design mid-decompose); retry once the catalog settles"
+        )
 
     def _transport_for(self, mode: ExecutionMode) -> Transport:
         """The Transport a parsed mode runs over — the *only* thing that

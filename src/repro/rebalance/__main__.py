@@ -1,0 +1,161 @@
+"""``python -m repro.rebalance`` — drive the rebalancer from the CLI.
+
+Three subcommands against a running coordinator (start one with
+``python -m repro.coordinate``), plus a self-contained demo::
+
+    python -m repro.rebalance advise --port 7400
+    python -m repro.rebalance advise --port 7400 --collection Citems --top 3
+    python -m repro.rebalance apply  --port 7400 --collection Citems
+    python -m repro.rebalance apply  --port 7400 --action '{"kind": "move", ...}'
+    python -m repro.rebalance demo
+
+``advise`` prints the workload advisor's ranked
+:class:`~repro.partix.advisor.RebalanceAction`\\ s mined from the
+coordinator's query log; ``apply`` performs one online (the top-ranked
+action when ``--action`` is omitted) and prints the migration report;
+``demo`` runs the ``--figure rebalance`` benchmark end to end — hot
+fragment, closed-loop traffic, advised split, before/after p95.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.coordinate.client import CoordinatorClient
+
+
+def _client(args) -> CoordinatorClient:
+    return CoordinatorClient(args.host, args.port, site="coordinator")
+
+
+def _print_action(rank: int, action: dict) -> None:
+    targets = ", ".join(action["target_sites"]) or "-"
+    print(
+        f"  #{rank} {action['kind']:<9} {action['fragment']:<12}"
+        f" -> {targets:<16} score={action['score']:+.4f}s"
+    )
+    print(f"      {action['rationale']}")
+
+
+def _advise(args) -> int:
+    client = _client(args)
+    try:
+        reply = client.advise(collection=args.collection, top=args.top)
+    finally:
+        client.close()
+    log = reply["query_log"]
+    print(
+        f"query log: {log['entries']} entries"
+        f" ({log['distinct_queries']} distinct queries),"
+        f" catalog version {reply['catalog_version']}"
+    )
+    if not reply["actions"]:
+        print("no rebalance actions (empty log or nothing to gain)")
+        return 1
+    for rank, action in enumerate(reply["actions"], start=1):
+        _print_action(rank, action)
+    if args.json:
+        print(json.dumps(reply, indent=2))
+    return 0
+
+
+def _apply(args) -> int:
+    action = json.loads(args.action) if args.action else None
+    client = _client(args)
+    try:
+        reply = client.rebalance(
+            collection=args.collection,
+            action=action,
+            read_timeout=args.timeout,
+        )
+    finally:
+        client.close()
+    report = reply["report"]
+    applied = reply["action"]
+    print(f"applied {applied['kind']} of {applied['fragment']!r}:")
+    print(
+        f"  {report['documents_moved']} documents"
+        f" ({report['bytes_moved']} bytes) -> {report['target_sites']}"
+        f" in {report['elapsed_seconds']:.3f}s"
+    )
+    if report["split_path"]:
+        print(
+            f"  boundary: {report['split_path']} in"
+            f" {report['split_values']} -> {report['new_fragments']}"
+        )
+    print(
+        f"  catalog version {report['catalog_version_before']}"
+        f" -> {report['catalog_version_after']}"
+    )
+    for note in report["notes"]:
+        print(f"  note: {note}")
+    if args.json:
+        print(json.dumps(reply, indent=2))
+    return 0 if report["completed"] else 1
+
+
+def _demo(args) -> int:
+    from repro.bench.rebalance import run_rebalance
+
+    run_rebalance(
+        scale=args.scale, repetitions=args.repetitions, transmission="model"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.rebalance",
+        description="online fragment rebalancing + workload advisor",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    advise = commands.add_parser(
+        "advise", help="print the advisor's ranked rebalance actions"
+    )
+    apply_ = commands.add_parser(
+        "apply", help="apply one rebalance action online"
+    )
+    for sub in (advise, apply_):
+        sub.add_argument("--host", default="127.0.0.1")
+        sub.add_argument("--port", type=int, default=7400)
+        sub.add_argument(
+            "--collection",
+            default=None,
+            help="restrict to one collection (default: all logged)",
+        )
+        sub.add_argument(
+            "--json", action="store_true", help="also dump the raw payload"
+        )
+    advise.add_argument(
+        "--top", type=int, default=5, help="how many actions to show"
+    )
+    advise.set_defaults(run=_advise)
+    apply_.add_argument(
+        "--action",
+        default=None,
+        help="explicit RebalanceAction as JSON (default: advisor's top pick)",
+    )
+    apply_.add_argument(
+        "--timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for the migration",
+    )
+    apply_.set_defaults(run=_apply)
+
+    demo = commands.add_parser(
+        "demo", help="run the --figure rebalance benchmark end to end"
+    )
+    demo.add_argument("--scale", type=float, default=0.002)
+    demo.add_argument("--repetitions", type=int, default=1)
+    demo.set_defaults(run=_demo)
+
+    args = parser.parse_args(argv)
+    return args.run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -155,6 +155,63 @@ class TestDispatchBasics:
         assert outcome.complete
         assert outcome.round.executions == []
 
+    def test_hanging_prober_cannot_stall_a_lane_beyond_the_budget(self):
+        """Regression: probes run on a background worker with a per-lane
+        wait budget. A prober that blocks (a dead TCP site's connect
+        timeout) must not stall the calling lane for its full duration —
+        and its late success must still readmit the site."""
+        health = SiteHealth(
+            ejection_threshold=1,
+            probe_interval_seconds=0.0,
+            probe_wait_seconds=0.05,
+        )
+        health.record_failure("s0")
+        release = threading.Event()
+
+        def slow_prober():
+            release.wait(5.0)
+            return True
+
+        started = time.monotonic()
+        usable = health.check("s0", prober=slow_prober)
+        waited = time.monotonic() - started
+        assert not usable  # verdict not in within the budget
+        assert waited < 1.0  # the lane did not wait out the hang
+        assert health.is_ejected("s0")
+
+        release.set()  # the probe finishes late, in the background
+        deadline = time.monotonic() + 2.0
+        while health.is_ejected("s0") and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert not health.is_ejected("s0")  # late success readmitted it
+
+    def test_concurrent_lanes_share_one_probe_in_flight(self):
+        """While a probe is on the worker, other lanes return ejected
+        immediately instead of piling up duplicate pings."""
+        health = SiteHealth(
+            ejection_threshold=1,
+            probe_interval_seconds=0.0,
+            probe_wait_seconds=0.02,
+        )
+        health.record_failure("s0")
+        release = threading.Event()
+        calls = []
+
+        def slow_prober():
+            calls.append(threading.get_ident())
+            release.wait(2.0)
+            return True
+
+        assert not health.check("s0", prober=slow_prober)
+        started = time.monotonic()
+        assert not health.check("s0", prober=slow_prober)
+        assert time.monotonic() - started < 0.5
+        release.set()
+        deadline = time.monotonic() + 2.0
+        while health.is_ejected("s0") and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert len(calls) == 1
+
     def test_invalid_configuration_rejected(self):
         with pytest.raises(ValueError):
             ParallelDispatcher(failure_policy="shrug")

@@ -67,6 +67,11 @@ PAYLOADS = {
         "message": "coordinator overloaded",
         "shed": True,
     },
+    FrameType.ADVISE: {"collection": "Citems", "top": 3},
+    FrameType.REBALANCE: {
+        "collection": "Citems",
+        "action": {"kind": "split", "collection": "Citems", "fragment": "F1"},
+    },
 }
 
 #: Raw bytes for the raw-payload frame types.

@@ -186,3 +186,71 @@ class TestHomogeneityPrecondition:
             mixed, items_design(), require_homogeneous=False
         )
         assert report.total_documents >= 1
+
+
+class _QuotaDriver:
+    """Delegates to a live driver; store_document fails after ``allow``
+    calls — a disk-full halfway through a republish's store phase."""
+
+    def __init__(self, inner, allow=1):
+        self._inner = inner
+        self._remaining = allow
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def store_document(self, collection, document, name=None, origin=None):
+        if self._remaining <= 0:
+            raise RuntimeError("simulated disk-full during the store phase")
+        self._remaining -= 1
+        return self._inner.store_document(
+            collection, document, name=name, origin=origin
+        )
+
+
+class TestReplaceStoreThenSwap:
+    """``replace=True`` is store-then-swap: a partial failure while the
+    new fragments are being stored must leave the *old* design fully
+    registered and answering queries."""
+
+    def test_partial_failure_keeps_old_design_routable(self, items_collection):
+        from repro.partix.middleware import Partix
+
+        cluster = Cluster.with_sites(3)
+        partix = Partix(cluster)
+        partix.publish(items_collection, items_design())
+        catalog = partix.distribution_catalog
+        version = catalog.version
+        queries = [
+            'count(collection("Citems")/Item)',
+            'for $i in collection("Citems")/Item'
+            ' where $i/Section = "CD" return $i',
+        ]
+        baselines = [
+            partix.execute(q, execution_mode="simulated").result_text
+            for q in queries
+        ]
+
+        replacement = FragmentationSchema("Citems", [
+            HorizontalFragment(
+                "G1", "Citems", predicate=eq("/Item/Section", "CD")
+            ),
+            HorizontalFragment(
+                "G2", "Citems", predicate=ne("/Item/Section", "CD")
+            ),
+        ], root_label="Item")
+        # G2 lands on site1 round-robin; fail its second document store.
+        site = cluster.site("site1")
+        site.driver = _QuotaDriver(site.driver, allow=1)
+        with pytest.raises(RuntimeError, match="disk-full"):
+            partix.publish(items_collection, replacement, replace=True)
+
+        # The catalog never learned about the half-stored design.
+        assert catalog.version == version
+        design = catalog.fragmentation("Citems")
+        assert design.fragment_names() == ["F1", "F2", "F3"]
+        for query, expected in zip(queries, baselines):
+            after = partix.execute(
+                query, execution_mode="simulated"
+            ).result_text
+            assert after == expected
