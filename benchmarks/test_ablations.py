@@ -219,6 +219,123 @@ class TestEscapeHotPath:
         assert escape_attribute(clean) == clean
 
 
+class TestBinaryHotPath:
+    """Guards for the binary node-table hot paths (PR 9).
+
+    The engine answers structural tests with prefix-label comparisons
+    over the preorder table and materializes documents by decoding that
+    table instead of re-tokenizing XML text. Both claims are measurable;
+    these guards keep the fast paths ahead of the DOM-era baselines they
+    replaced, so a regression back to parse-on-access or pointer-chasing
+    structural tests fails the benchmark suite.
+    """
+
+    def _corpus(self):
+        from repro.datamodel.binary import BinaryXMLDocument, StringPool
+        from repro.xmltext import serialize
+
+        pool = StringPool()
+        documents = list(build_items_collection(60, kind="small", seed=9))
+        texts = [serialize(document) for document in documents]
+        binaries = [
+            BinaryXMLDocument.encode(document, pool)
+            for document in documents
+        ]
+        return pool, documents, texts, binaries
+
+    @staticmethod
+    def _best_of(func, rounds: int = 5) -> float:
+        import time
+
+        best = float("inf")
+        for _ in range(rounds):
+            start = time.perf_counter()
+            func()
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def test_label_comparison_beats_dom_walk(self):
+        """Ancestor tests: label-prefix comparison vs climbing DOM
+        parent pointers (the cheapest tree-walk formulation — a
+        childless DOM would need a full descendant search)."""
+        pool, _, _, binaries = self._corpus()
+        binary = binaries[0]
+        trees = [binary.materialize() for _ in range(1)]
+        tree = trees[0]
+        nodes = list(tree.nodes())
+        count = len(binary)
+        pairs = [
+            (a, d)
+            for a in range(count)
+            for d in range(count)
+            if a != d
+        ]
+
+        def dom_is_ancestor(ancestor, descendant):
+            node = descendant.parent
+            while node is not None:
+                if node is ancestor:
+                    return True
+                node = node.parent
+            return False
+
+        # Preorder index i ↔ the i-th node of the materialized tree, so
+        # both formulations answer the very same questions — checked
+        # before timing them.
+        for a, d in pairs:
+            assert binary.is_ancestor(a, d) == dom_is_ancestor(
+                nodes[a], nodes[d]
+            )
+
+        label_seconds = self._best_of(
+            lambda: [binary.is_ancestor(a, d) for a, d in pairs]
+        )
+        dom_seconds = self._best_of(
+            lambda: [dom_is_ancestor(nodes[a], nodes[d]) for a, d in pairs]
+        )
+        print(
+            f"\n{len(pairs)} ancestor tests best-of-5:"
+            f" labels {label_seconds * 1000:.2f}ms vs"
+            f" DOM walk {dom_seconds * 1000:.2f}ms"
+            f" ({dom_seconds / label_seconds:.1f}x)"
+        )
+        assert label_seconds < dom_seconds, (
+            "prefix-label structural tests regressed behind the DOM walk"
+        )
+
+    def test_binary_decode_beats_reparse(self):
+        """Per-document access: decoding the preorder table vs
+        re-tokenizing the serialized XML text (what every query paid
+        before binary storage)."""
+        from repro.datamodel.binary import BinaryXMLDocument
+        from repro.xmltext import parse_xml
+
+        pool, documents, texts, binaries = self._corpus()
+        tables = [binary.to_bytes() for binary in binaries]
+
+        for text, binary, document in zip(texts, binaries, documents):
+            assert binary.materialize().tree_equal(parse_xml(text))
+
+        decode_seconds = self._best_of(
+            lambda: [
+                BinaryXMLDocument.from_bytes(table, pool).materialize()
+                for table in tables
+            ]
+        )
+        reparse_seconds = self._best_of(
+            lambda: [parse_xml(text) for text in texts]
+        )
+        print(
+            f"\n{len(texts)} document accesses best-of-5:"
+            f" binary decode {decode_seconds * 1000:.2f}ms vs"
+            f" reparse {reparse_seconds * 1000:.2f}ms"
+            f" ({reparse_seconds / decode_seconds:.1f}x)"
+        )
+        assert decode_seconds < reparse_seconds, (
+            "binary decode regressed behind re-parsing the XML text"
+        )
+
+
 class TestAdvisorDesign:
     """The auto-designed fragmentation (paper future work) should hold
     its own against the paper's hand-made Section design."""

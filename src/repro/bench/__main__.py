@@ -26,6 +26,7 @@ import json
 import sys
 
 from repro.bench.plans import run_plans
+from repro.bench.pushdown import run_pushdown
 from repro.bench.rebalance import run_rebalance
 from repro.bench.serving import run_serving
 from repro.bench.reporting import (
@@ -166,6 +167,7 @@ FIGURES = {
     "streaming": run_streaming,
     "serving": run_serving,
     "rebalance": run_rebalance,
+    "pushdown": run_pushdown,
     # "plans" is dispatched specially in main(): it takes the golden-file
     # flags instead of repetitions/transmission.
     "plans": run_plans,

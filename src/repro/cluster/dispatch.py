@@ -147,7 +147,11 @@ class InProcessTransport(Transport):
         on_chunk=None,
     ) -> SubQueryExecution:
         site = self.cluster.site(subquery.site)
-        result = site.execute(subquery.query, default_collection=default_collection)
+        result = site.execute(
+            subquery.query,
+            default_collection=default_collection,
+            use_indexes=subquery.use_indexes,
+        )
         if on_chunk is not None:
             # Chunk emulation: slice the serialized answer into the same
             # chunk_bytes-sized pieces a site server would stream, so the

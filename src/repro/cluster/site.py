@@ -54,11 +54,19 @@ class Site:
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ) -> QueryResult:
+        # The override travels only when set — mirroring the wire
+        # protocol, and keeping duck-typed driver substitutes with the
+        # historical three-argument signature working on plain lanes.
+        kwargs = {}
+        if use_indexes is not None:
+            kwargs["use_indexes"] = use_indexes
         return self.driver.execute(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
+            **kwargs,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

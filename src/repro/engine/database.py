@@ -8,10 +8,14 @@ query is:
 1. parse the query and statically analyze it;
 2. for each referenced collection, prune candidate documents through the
    indexes (text-search and equality predicates);
-3. parse candidate documents *on access* — serialized storage means every
-   touched document pays real parse cost, the effect behind the paper's
-   superlinear fragmentation speedups;
-4. evaluate and serialize the result.
+3. with indexes on, verify each candidate's predicate exactly over its
+   binary node table (label pushdown) so non-matching documents never
+   materialize;
+4. materialize the survivors on access — decoding the binary table when
+   present, else the parse-on-text path that made every touched document
+   pay real parse cost (the effect behind the paper's superlinear
+   fragmentation speedups, still the behaviour with ``use_indexes=False``);
+5. evaluate and serialize the result.
 
 ``cache_parsed`` can keep parsed trees in an LRU cache; it defaults to
 off so benchmarks model the paper's per-query parse behaviour, and the
@@ -59,6 +63,14 @@ class XMLEngine:
         default (see module docstring).
     use_indexes:
         Enable index-assisted document pruning.
+    label_pushdown:
+        When index pruning runs, verify each candidate's predicate
+        exactly over its binary node table *before* materializing a DOM
+        (see :func:`repro.paths.predicates.evaluate_on_binary`), so an
+        index probe prunes to the truly matching documents. Sound because
+        extracted predicates are necessary conditions and the binary
+        evaluation is exact; a no-op when ``use_indexes`` is off (the
+        paper-faithful mode scans everything).
     per_document_overhead:
         *Simulated* fixed cost (seconds) per document access, added to
         reported elapsed times but never slept. Models the per-document
@@ -79,12 +91,14 @@ class XMLEngine:
         cache_parsed: bool = False,
         cache_size: int = 256,
         use_indexes: bool = True,
+        label_pushdown: bool = True,
         per_document_overhead: float = 0.0,
     ):
         self.name = name
         self.store = DocumentStore(storage_dir=storage_dir)
         self.stats = EngineStats()
         self.planner = Planner(use_indexes=use_indexes)
+        self.label_pushdown = label_pushdown
         self.cache_parsed = cache_parsed
         self.per_document_overhead = per_document_overhead
         self._cache: OrderedDict[tuple[str, str], XMLDocument] = OrderedDict()
@@ -154,7 +168,12 @@ class XMLEngine:
         name: str,
         stats: Optional[EngineStats] = None,
     ) -> XMLDocument:
-        """Parse-on-access with optional LRU caching; updates stats.
+        """Materialize-on-access with optional LRU caching; updates stats.
+
+        Documents carrying a binary node table decode it (no tokenizer);
+        only table-less records — old on-disk stores — pay a text parse.
+        ``documents_parsed`` counts every materialization from storage
+        either way; ``binary_decodes`` counts the fast-path subset.
 
         ``stats`` is the accumulator to charge — a query in flight passes
         its private per-query accumulator so concurrent queries never
@@ -182,8 +201,12 @@ class XMLEngine:
                 return cached
         stored = self.store.load_document(collection, name)
         started = time.perf_counter()
-        document = parse_xml(stored.data.decode("utf-8"), name=name)
-        document.origin = stored.origin
+        if stored.binary is not None:
+            document = stored.binary.materialize(name=name, origin=stored.origin)
+            charge.binary_decodes += 1
+        else:
+            document = parse_xml(stored.data.decode("utf-8"), name=name)
+            document.origin = stored.origin
         charge.parse_seconds += time.perf_counter() - started
         charge.documents_parsed += 1
         charge.bytes_parsed += stored.size
@@ -210,13 +233,17 @@ class XMLEngine:
         query: Union[str, Expr],
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ) -> QueryResult:
         """Execute a query and return its :class:`QueryResult`.
 
         ``default_collection`` resolves bare ``collection()`` calls.
         ``extra_predicate`` lets a coordinator push an additional pruning
         predicate (PartiX uses this when it knows a sub-query can only
-        match documents satisfying a fragment's μ).
+        match documents satisfying a fragment's μ). ``use_indexes``
+        overrides the engine's index setting for this query only — the
+        knob an ``IndexScan`` plan leaf turns on at a site whose default
+        is the paper-faithful full scan.
         """
         started = time.perf_counter()
         # Per-query accumulator: every counter this query touches lands
@@ -235,7 +262,9 @@ class XMLEngine:
                 if predicate is None
                 else And((predicate, extra_predicate))
             )
-        provider = _EngineProvider(self, default_collection, predicate, delta)
+        provider = _EngineProvider(
+            self, default_collection, predicate, delta, use_indexes
+        )
         eval_started = time.perf_counter()
         items = Evaluator().evaluate(expr, DynamicContext(provider=provider))
         delta.evaluation_seconds += time.perf_counter() - eval_started
@@ -257,6 +286,8 @@ class XMLEngine:
             documents_pruned=delta.documents_pruned,
             cache_hits=delta.cache_hits,
             simulated_overhead_seconds=delta.simulated_overhead_seconds,
+            binary_decodes=delta.binary_decodes,
+            label_pruned=delta.label_pruned,
             stats=cumulative,
         )
 
@@ -265,6 +296,7 @@ class XMLEngine:
         query: Union[str, Expr],
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ) -> "StreamedExecution":
         """Execute a query as a stream of per-item serialized pieces.
 
@@ -287,7 +319,9 @@ class XMLEngine:
                 if predicate is None
                 else And((predicate, extra_predicate))
             )
-        provider = _EngineProvider(self, default_collection, predicate, delta)
+        provider = _EngineProvider(
+            self, default_collection, predicate, delta, use_indexes
+        )
         eval_started = time.perf_counter()
         items = Evaluator().evaluate(expr, DynamicContext(provider=provider))
         delta.evaluation_seconds += time.perf_counter() - eval_started
@@ -345,11 +379,13 @@ class _EngineProvider:
         default_collection: Optional[str],
         predicate: Optional[Predicate],
         stats: EngineStats,
+        use_indexes: Optional[bool] = None,
     ):
         self._engine = engine
         self._default = default_collection
         self._predicate = predicate
         self._stats = stats
+        self._use_indexes = use_indexes
 
     def collection_roots(self, name: Optional[str]) -> list[XMLNode]:
         collection_name = name or self._default
@@ -359,19 +395,47 @@ class _EngineProvider:
             )
         if not self._engine.store.has_collection(collection_name):
             raise StorageError(f"no collection named {collection_name!r}")
-        collection = self._engine.store.collection(collection_name)
-        candidates, lookups = self._engine.planner.candidate_documents(
-            collection, self._predicate
+        engine = self._engine
+        collection = engine.store.collection(collection_name)
+        candidates, lookups = engine.planner.candidate_documents(
+            collection, self._predicate, use_indexes=self._use_indexes
         )
         self._stats.index_lookups += lookups
+        indexing = (
+            engine.planner.use_indexes
+            if self._use_indexes is None
+            else self._use_indexes
+        )
+        if indexing and engine.label_pushdown and self._predicate is not None:
+            candidates = self._verify_on_binary(collection, candidates)
         self._stats.documents_scanned += len(candidates)
         self._stats.documents_pruned += len(collection) - len(candidates)
         return [
-            self._engine.load_parsed(
+            engine.load_parsed(
                 collection_name, doc_name, stats=self._stats
             ).root
             for doc_name in candidates
         ]
+
+    def _verify_on_binary(self, collection, candidates: list[str]) -> list[str]:
+        """Exact pushdown: evaluate the predicate over each candidate's
+        binary node table and drop definite non-matches before any DOM is
+        built. Sound because extracted predicates are *necessary*
+        conditions (planner invariant) and the binary evaluation mirrors
+        DOM evaluation exactly; undecidable atoms (``None``) keep the
+        document, as does a record with no table."""
+        from repro.paths.predicates import evaluate_on_binary
+
+        verified: list[str] = []
+        for doc_name in candidates:
+            binary = collection.get(doc_name).binary
+            if binary is not None and evaluate_on_binary(
+                self._predicate, binary
+            ) is False:
+                self._stats.label_pruned += 1
+                continue
+            verified.append(doc_name)
+        return verified
 
     def document_root(self, name: str) -> Optional[XMLNode]:
         for collection_name in self._engine.store.collection_names():
@@ -444,6 +508,8 @@ class StreamedExecution:
             documents_pruned=delta.documents_pruned,
             cache_hits=delta.cache_hits,
             simulated_overhead_seconds=delta.simulated_overhead_seconds,
+            binary_decodes=delta.binary_decodes,
+            label_pruned=delta.label_pruned,
             stats=cumulative,
         )
 

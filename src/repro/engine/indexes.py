@@ -1,4 +1,4 @@
-"""Document-level indexes of the storage engine.
+"""Indexes of the storage engine, built over the binary node tables.
 
 Mirrors what eXist set up for the paper's experiments ("some indexes were
 automatically created by the eXist DBMS to speed up text search operations
@@ -6,30 +6,59 @@ and path expressions evaluation"):
 
 * :class:`FullTextIndex` — inverted word index over all text content;
   answers ``contains`` predicates with a (sound) superset of documents.
-* :class:`ValueIndex` — maps ``(element label, value)`` to documents;
-  answers equality predicates.
+* :class:`ValueIndex` — maps ``(element label, value)`` to documents
+  *and* the prefix labels of the matching nodes.
 * :class:`ElementIndex` — maps element/attribute labels to documents;
   answers existential path tests.
+* :class:`PathIndex` — root-to-node label paths, also with per-document
+  node prefix labels.
+* :class:`RangeIndex` — ordered values for ``<``/``>`` predicates.
 
-All indexes are document-granular: they prune which documents a query
-must parse, the engine's dominant cost. Lookups are *sound
-overapproximations* — a lookup may return documents that do not match
-(e.g. the label occurs under a different path), never miss one that does.
+Indexes ingest :class:`~repro.datamodel.binary.BinaryXMLDocument` tables
+(one linear pass over the preorder arrays — no DOM). Document-level
+lookups return sound supersets, exactly as before. The value and path
+indexes additionally record each hit's *prefix label*, so a hit prunes
+to a node range: the label identifies the node's position and, through
+the table's subtree sizes, the contiguous preorder slice beneath it —
+the engine's post-index verification starts from those labels instead of
+re-scanning whole documents.
 """
 
 from __future__ import annotations
 
 import re
 
-from repro.datamodel.document import XMLDocument
-from repro.datamodel.tree import NodeKind
+from repro.datamodel.binary import (
+    KIND_ATTRIBUTE,
+    KIND_ELEMENT,
+    KIND_TEXT,
+    BinaryXMLDocument,
+)
 
 _WORD_RE = re.compile(r"[A-Za-z0-9]+")
+
+#: A node's prefix label: child ordinals from the root (root = ``()``).
+PrefixLabel = tuple[int, ...]
 
 
 def tokenize_text(text: str) -> set[str]:
     """Lowercased word tokens of a text value."""
     return {match.group(0).lower() for match in _WORD_RE.finditer(text)}
+
+
+def _value_at(binary: BinaryXMLDocument, index: int) -> str:
+    value = binary.values[index]
+    return binary.pool.get(value) if value >= 0 else ""
+
+
+def _immediate_text(binary: BinaryXMLDocument, index: int) -> str | None:
+    """Concatenated direct text children of an element, None when none."""
+    texts = [
+        _value_at(binary, child)
+        for child in binary.children(index)
+        if binary.kinds[child] == KIND_TEXT
+    ]
+    return "".join(texts) if texts else None
 
 
 class FullTextIndex:
@@ -38,10 +67,10 @@ class FullTextIndex:
     def __init__(self) -> None:
         self._postings: dict[str, set[str]] = {}
 
-    def add_document(self, name: str, document: XMLDocument) -> None:
-        for node in document.nodes():
-            if node.kind is NodeKind.TEXT or node.kind is NodeKind.ATTRIBUTE:
-                for token in tokenize_text(node.value or ""):
+    def add_document(self, name: str, binary: BinaryXMLDocument) -> None:
+        for index in range(len(binary)):
+            if binary.kinds[index] != KIND_ELEMENT:
+                for token in tokenize_text(_value_at(binary, index)):
                     self._postings.setdefault(token, set()).add(name)
 
     def remove_document(self, name: str) -> None:
@@ -79,32 +108,36 @@ class FullTextIndex:
 
 
 class ValueIndex:
-    """Equality index: (element label, exact value) → document names."""
+    """Equality index: (element label, exact value) → documents + labels."""
 
     def __init__(self) -> None:
-        self._entries: dict[tuple[str, str], set[str]] = {}
+        self._entries: dict[tuple[str, str], dict[str, list[PrefixLabel]]] = {}
         self._labels: set[str] = set()
 
-    def add_document(self, name: str, document: XMLDocument) -> None:
-        for node in document.nodes():
-            if node.kind is NodeKind.ATTRIBUTE:
-                key = ("@" + (node.label or ""), node.value or "")
-                self._entries.setdefault(key, set()).add(name)
-                self._labels.add("@" + (node.label or ""))
-            elif node.kind is NodeKind.ELEMENT:
-                texts = [
-                    c.value or ""
-                    for c in node.children
-                    if c.kind is NodeKind.TEXT
-                ]
-                if texts:
-                    key = (node.label or "", "".join(texts))
-                    self._entries.setdefault(key, set()).add(name)
-                    self._labels.add(node.label or "")
+    def _add(self, key: tuple[str, str], name: str, label: PrefixLabel) -> None:
+        self._entries.setdefault(key, {}).setdefault(name, []).append(label)
+
+    def add_document(self, name: str, binary: BinaryXMLDocument) -> None:
+        for index in range(len(binary)):
+            kind = binary.kinds[index]
+            if kind == KIND_ATTRIBUTE:
+                label = "@" + (binary.name_of(index) or "")
+                self._add(
+                    (label, _value_at(binary, index)),
+                    name,
+                    binary.labels[index],
+                )
+                self._labels.add(label)
+            elif kind == KIND_ELEMENT:
+                text = _immediate_text(binary, index)
+                if text is not None:
+                    label = binary.name_of(index) or ""
+                    self._add((label, text), name, binary.labels[index])
+                    self._labels.add(label)
 
     def remove_document(self, name: str) -> None:
         for postings in self._entries.values():
-            postings.discard(name)
+            postings.pop(name, None)
 
     def covers_label(self, label: str) -> bool:
         """Is this label indexed at all (i.e. can a lookup be trusted)?"""
@@ -112,43 +145,64 @@ class ValueIndex:
 
     def lookup(self, label: str, value: str) -> set[str]:
         """Documents holding an element/attribute ``label`` with ``value``."""
-        return set(self._entries.get((label, value), set()))
+        return set(self._entries.get((label, value), {}))
+
+    def lookup_nodes(self, label: str, value: str) -> dict[str, list[PrefixLabel]]:
+        """Per-document prefix labels of the hit nodes — an index hit
+        narrows verification to those nodes' ranges, not the whole
+        document."""
+        return {
+            name: list(labels)
+            for name, labels in self._entries.get((label, value), {}).items()
+        }
 
     def entry_count(self) -> int:
         return len(self._entries)
 
 
 class PathIndex:
-    """Structural index: root-to-node label paths → document names.
+    """Structural index: root-to-node label paths → documents + labels.
 
     Keys are label sequences like ``("Store", "Items", "Item",
     "Section")`` — the structural summary eXist and most native XML
     stores maintain. It answers existential tests (does any document
     contain a node reachable by this path?) more precisely than the
     label-only :class:`ElementIndex`, including simple descendant
-    patterns (suffix matching).
+    patterns (suffix matching), and records the prefix labels of the
+    nodes standing at each path.
     """
 
     def __init__(self) -> None:
-        self._postings: dict[tuple[str, ...], set[str]] = {}
+        self._postings: dict[tuple[str, ...], dict[str, list[PrefixLabel]]] = {}
 
-    def add_document(self, name: str, document: XMLDocument) -> None:
-        for node in document.nodes():
-            if node.kind is NodeKind.TEXT:
+    def add_document(self, name: str, binary: BinaryXMLDocument) -> None:
+        for index in range(len(binary)):
+            if binary.kinds[index] == KIND_TEXT:
                 continue
-            key = tuple(node.path_labels())
-            self._postings.setdefault(key, set()).add(name)
+            key = binary.path_labels(index)
+            self._postings.setdefault(key, {}).setdefault(name, []).append(
+                binary.labels[index]
+            )
 
     def remove_document(self, name: str) -> None:
         for postings in self._postings.values():
-            postings.discard(name)
+            postings.pop(name, None)
 
     def known_paths(self) -> list[tuple[str, ...]]:
         return list(self._postings)
 
     def lookup_exact(self, labels: tuple[str, ...]) -> set[str]:
         """Documents containing a node at exactly this root-to-node path."""
-        return set(self._postings.get(labels, set()))
+        return set(self._postings.get(labels, {}))
+
+    def lookup_exact_nodes(
+        self, labels: tuple[str, ...]
+    ) -> dict[str, list[PrefixLabel]]:
+        """Per-document prefix labels of the nodes at this exact path."""
+        return {
+            name: list(found)
+            for name, found in self._postings.get(labels, {}).items()
+        }
 
     def lookup_suffix(self, labels: tuple[str, ...]) -> set[str]:
         """Documents containing a node whose path *ends with* ``labels``.
@@ -160,7 +214,7 @@ class PathIndex:
         size = len(labels)
         for key, postings in self._postings.items():
             if len(key) >= size and key[-size:] == labels:
-                result |= postings
+                result |= set(postings)
         return result
 
 
@@ -183,17 +237,14 @@ class RangeIndex:
         self._all: dict[str, list[tuple[str, str]]] = {}
         self._sorted = True
 
-    def add_document(self, name: str, document: XMLDocument) -> None:
-        for node in document.nodes():
-            if node.kind is not NodeKind.ELEMENT:
+    def add_document(self, name: str, binary: BinaryXMLDocument) -> None:
+        for index in range(len(binary)):
+            if binary.kinds[index] != KIND_ELEMENT:
                 continue
-            texts = [
-                c.value or "" for c in node.children if c.kind is NodeKind.TEXT
-            ]
-            if not texts:
+            raw = _immediate_text(binary, index)
+            if raw is None:
                 continue
-            label = node.label or ""
-            raw = "".join(texts)
+            label = binary.name_of(index) or ""
             self._all.setdefault(label, []).append((raw, name))
             try:
                 self._numeric.setdefault(label, []).append((float(raw), name))
@@ -268,12 +319,17 @@ class ElementIndex:
     def __init__(self) -> None:
         self._postings: dict[str, set[str]] = {}
 
-    def add_document(self, name: str, document: XMLDocument) -> None:
-        for node in document.nodes():
-            if node.kind is NodeKind.ELEMENT:
-                self._postings.setdefault(node.label or "", set()).add(name)
-            elif node.kind is NodeKind.ATTRIBUTE:
-                self._postings.setdefault("@" + (node.label or ""), set()).add(name)
+    def add_document(self, name: str, binary: BinaryXMLDocument) -> None:
+        for index in range(len(binary)):
+            kind = binary.kinds[index]
+            if kind == KIND_ELEMENT:
+                self._postings.setdefault(
+                    binary.name_of(index) or "", set()
+                ).add(name)
+            elif kind == KIND_ATTRIBUTE:
+                self._postings.setdefault(
+                    "@" + (binary.name_of(index) or ""), set()
+                ).add(name)
 
     def remove_document(self, name: str) -> None:
         for postings in self._postings.values():

@@ -38,10 +38,18 @@ class Planner:
         self,
         collection: StoredCollection,
         predicate: Optional[Predicate],
+        use_indexes: Optional[bool] = None,
     ) -> tuple[list[str], int]:
-        """(candidate document names, number of index lookups performed)."""
+        """(candidate document names, number of index lookups performed).
+
+        ``use_indexes`` overrides the planner default for one call — the
+        per-query knob coordinators use to force the paper-faithful
+        scan-everything path (or an index probe) regardless of how the
+        site was configured.
+        """
         all_names = collection.names()
-        if not self.use_indexes or predicate is None:
+        enabled = self.use_indexes if use_indexes is None else use_indexes
+        if not enabled or predicate is None:
             return all_names, 0
         self._lookups = 0
         candidates = self._candidates_for(collection, predicate)

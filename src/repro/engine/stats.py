@@ -27,6 +27,13 @@ class EngineStats:
     documents_scanned: int = 0
     documents_pruned: int = 0
     index_lookups: int = 0
+    #: Documents materialized from the binary node table instead of a
+    #: text parse (a subset of ``documents_parsed``, which counts every
+    #: materialization from storage regardless of path).
+    binary_decodes: int = 0
+    #: Index-candidate documents discarded by exact predicate evaluation
+    #: over the binary encoding *before* any DOM was built.
+    label_pruned: int = 0
     #: Parsed-document LRU cache hits (documents served without a re-parse).
     cache_hits: int = 0
     parse_seconds: float = 0.0
@@ -90,6 +97,8 @@ class QueryResult:
     documents_pruned: int
     cache_hits: int = 0
     simulated_overhead_seconds: float = 0.0
+    binary_decodes: int = 0
+    label_pruned: int = 0
     stats: EngineStats = field(repr=False, default_factory=EngineStats)
 
     @property

@@ -7,16 +7,29 @@ for each XML tree", §5). Storing bytes also forces every layer above to
 round-trip through real serialization, so reconstruction annotations and
 fragment metadata are honest.
 
+Each document additionally carries a compact **binary node table**
+(:class:`~repro.datamodel.binary.BinaryXMLDocument`), built once at
+publish time over the collection's shared string pool. Indexes ingest
+the table directly, predicate verification runs over it without a DOM,
+and materialization decodes it instead of re-tokenizing text — the raw
+bytes remain the canonical wire/serialization form.
+
 Optional disk persistence keeps each collection in a directory of
-``.xml`` files plus a small metadata file, surviving engine restarts.
+``.xml`` files (plus ``<name>.xml.pxb`` node tables and one
+``_pool.bin`` string pool) and a small metadata file, surviving engine
+restarts without reparsing. Stores written before the binary encoding
+existed — bare ``.xml`` files — load fine: the table is rebuilt by a
+one-time parse.
 """
 
 from __future__ import annotations
 
 import json
+import struct
 from pathlib import Path
 from typing import Iterable, Optional
 
+from repro.datamodel.binary import BinaryXMLDocument, StringPool
 from repro.datamodel.document import XMLDocument
 from repro.engine.indexes import (
     ElementIndex,
@@ -31,14 +44,26 @@ from repro.xmltext.serializer import serialize
 
 
 class StoredDocument:
-    """One serialized document plus its catalog metadata."""
+    """One serialized document plus its catalog metadata.
 
-    __slots__ = ("name", "data", "origin")
+    ``binary`` is the preorder node table over the owning collection's
+    string pool; :meth:`StoredCollection.put` fills it in when the
+    caller didn't (e.g. a store loaded from bare ``.xml`` files).
+    """
 
-    def __init__(self, name: str, data: bytes, origin: Optional[str] = None):
+    __slots__ = ("name", "data", "origin", "binary")
+
+    def __init__(
+        self,
+        name: str,
+        data: bytes,
+        origin: Optional[str] = None,
+        binary: Optional[BinaryXMLDocument] = None,
+    ):
         self.name = name
         self.data = data
         self.origin = origin or name
+        self.binary = binary
 
     @property
     def size(self) -> int:
@@ -48,8 +73,9 @@ class StoredDocument:
 class StoredCollection:
     """A named set of stored documents with their indexes."""
 
-    def __init__(self, name: str):
+    def __init__(self, name: str, pool: Optional[StringPool] = None):
         self.name = name
+        self.pool = pool if pool is not None else StringPool()
         self._documents: dict[str, StoredDocument] = {}
         self.fulltext = FullTextIndex()
         self.values = ValueIndex()
@@ -59,23 +85,30 @@ class StoredCollection:
 
     # ------------------------------------------------------------------
     def put(self, stored: StoredDocument, document: Optional[XMLDocument] = None) -> None:
-        """Insert (or replace) a document; indexes update from the tree.
+        """Insert (or replace) a document; indexes update from its table.
 
+        The binary node table is built here — once, at publish time —
+        unless the record already carries one (a persistence reload).
         ``document`` is the parsed tree when the caller already has it
-        (avoids a redundant parse at load time, like eXist indexing during
-        ingestion); otherwise the store parses once to index.
+        (avoids a redundant parse, like eXist indexing during ingestion);
+        otherwise, and only when no table came along, the store parses
+        once to encode.
         """
         if stored.name in self._documents:
             self.remove(stored.name)
         self._documents[stored.name] = stored
-        tree = document if document is not None else parse_xml(
-            stored.data.decode("utf-8"), name=stored.name
-        )
-        self.fulltext.add_document(stored.name, tree)
-        self.values.add_document(stored.name, tree)
-        self.elements.add_document(stored.name, tree)
-        self.ranges.add_document(stored.name, tree)
-        self.paths.add_document(stored.name, tree)
+        binary = stored.binary
+        if binary is None:
+            tree = document if document is not None else parse_xml(
+                stored.data.decode("utf-8"), name=stored.name
+            )
+            binary = BinaryXMLDocument.encode(tree, self.pool)
+            stored.binary = binary
+        self.fulltext.add_document(stored.name, binary)
+        self.values.add_document(stored.name, binary)
+        self.elements.add_document(stored.name, binary)
+        self.ranges.add_document(stored.name, binary)
+        self.paths.add_document(stored.name, binary)
 
     def remove(self, name: str) -> None:
         if name not in self._documents:
@@ -182,8 +215,13 @@ class DocumentStore:
         stored = StoredDocument(name=name, data=data, origin=origin)
         collection.put(stored, document=tree)
         if self._storage_dir is not None:
-            path = self._storage_dir / collection_name / name
-            path.write_bytes(data)
+            directory = self._storage_dir / collection_name
+            (directory / name).write_bytes(data)
+            assert stored.binary is not None  # put() always encodes
+            (directory / (name + ".pxb")).write_bytes(stored.binary.to_bytes())
+            # The pool is append-only, so rewriting it after each store
+            # keeps every previously written table decodable.
+            (directory / "_pool.bin").write_bytes(collection.pool.to_bytes())
             self._write_metadata(collection_name)
         return stored
 
@@ -193,9 +231,10 @@ class DocumentStore:
     def remove_document(self, collection_name: str, name: str) -> None:
         self.collection(collection_name).remove(name)
         if self._storage_dir is not None:
-            path = self._storage_dir / collection_name / name
-            if path.exists():
-                path.unlink()
+            directory = self._storage_dir / collection_name
+            for path in (directory / name, directory / (name + ".pxb")):
+                if path.exists():
+                    path.unlink()
             self._write_metadata(collection_name)
 
     # ------------------------------------------------------------------
@@ -214,11 +253,22 @@ class DocumentStore:
         self._metadata_path(collection_name).write_text(json.dumps(meta))
 
     def _load_from_disk(self) -> None:
+        """Rebuild collections binary-first: when a ``.pxb`` node table
+        and the pool are on disk, reload decodes them and never touches
+        the XML text; documents missing a table (pre-binary stores, or a
+        table that fails to decode) fall back to a one-time parse."""
         assert self._storage_dir is not None
         for directory in sorted(self._storage_dir.iterdir()):
             if not directory.is_dir():
                 continue
-            collection = StoredCollection(directory.name)
+            pool: Optional[StringPool] = None
+            pool_path = directory / "_pool.bin"
+            if pool_path.exists():
+                try:
+                    pool = StringPool.from_bytes(pool_path.read_bytes())
+                except (ValueError, struct.error, UnicodeDecodeError):
+                    pool = None
+            collection = StoredCollection(directory.name, pool=pool)
             self._collections[directory.name] = collection
             meta_path = directory / "_meta.json"
             meta = (
@@ -226,7 +276,19 @@ class DocumentStore:
             )
             for path in sorted(directory.glob("*.xml")):
                 origin = meta.get(path.name, {}).get("origin")
+                binary: Optional[BinaryXMLDocument] = None
+                table_path = directory / (path.name + ".pxb")
+                if pool is not None and table_path.exists():
+                    try:
+                        binary = BinaryXMLDocument.from_bytes(
+                            table_path.read_bytes(), collection.pool
+                        )
+                    except (ValueError, struct.error):
+                        binary = None
                 stored = StoredDocument(
-                    name=path.name, data=path.read_bytes(), origin=origin
+                    name=path.name,
+                    data=path.read_bytes(),
+                    origin=origin,
+                    binary=binary,
                 )
                 collection.put(stored)

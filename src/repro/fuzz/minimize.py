@@ -41,6 +41,7 @@ def minimize_spec(
     modes: Optional[tuple] = None,
     kill_site: bool = False,
     migrate: bool = False,
+    indexes: bool = False,
 ) -> CaseOutcome:
     """Shrink ``spec`` greedily while it keeps failing the same way.
 
@@ -61,7 +62,8 @@ def minimize_spec(
             candidate = replace(best_spec, query_index=failing[0])
             attempts += 1
             reproduced = _reproduces(
-                candidate, fingerprint, partix_factory, modes, kill_site, migrate
+                candidate, fingerprint, partix_factory, modes, kill_site,
+                migrate, indexes,
             )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
@@ -74,7 +76,8 @@ def minimize_spec(
                 break
             attempts += 1
             reproduced = _reproduces(
-                candidate, fingerprint, partix_factory, modes, kill_site, migrate
+                candidate, fingerprint, partix_factory, modes, kill_site,
+                migrate, indexes,
             )
             if reproduced is not None:
                 best_spec, best_outcome = candidate, reproduced
@@ -90,6 +93,7 @@ def _reproduces(
     modes: Optional[tuple] = None,
     kill_site: bool = False,
     migrate: bool = False,
+    indexes: bool = False,
 ) -> Optional[CaseOutcome]:
     try:
         if modes is None:
@@ -98,6 +102,7 @@ def _reproduces(
                 partix_factory=partix_factory,
                 kill_site=kill_site,
                 migrate=migrate,
+                indexes=indexes,
             )
         else:
             outcome = run_case(
@@ -106,6 +111,7 @@ def _reproduces(
                 modes=modes,
                 kill_site=kill_site,
                 migrate=migrate,
+                indexes=indexes,
             )
     except Exception:  # noqa: BLE001 — a crashing shrink is just rejected
         return None

@@ -80,7 +80,7 @@ ADVERSARIAL_CHUNK_BYTES = 7
 class Mismatch:
     """One oracle violation observed while running a case."""
 
-    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error" | "failover" | "migrate"
+    kind: str  # "answer" | "mode" | "plan" | "correctness" | "error" | "failover" | "migrate" | "index"
     detail: str
     query_index: Optional[int] = None
     query: Optional[str] = None
@@ -155,8 +155,17 @@ def run_case(
     modes: Sequence[str] = EXECUTION_MODES,
     kill_site: bool = False,
     migrate: bool = False,
+    indexes: bool = False,
 ) -> CaseOutcome:
     """Generate (unless given) and differentially execute one case.
+
+    ``indexes`` is the index-pushdown oracle: every compared query is
+    additionally run twice per mode with the per-query index override
+    forced on and forced off (``Partix.execute(use_indexes=...)``), and
+    the three answers — index probes everywhere, full scans everywhere,
+    and the plan's own per-lane choice — must be byte-identical (same
+    plan, same lane order, so not even concat interleaving may differ).
+    A divergence is reported as a mismatch of kind ``index``.
 
     ``partix_factory`` lets tests swap in a middleware with a tampered
     dispatcher — that is how the injected-bug acceptance test proves the
@@ -267,11 +276,11 @@ def run_case(
         if any(mode.transport == "tcp" for mode in parsed_modes):
             partix.start_tcp()
         if migrate:
-            _run_migrate_case(partix, case, outcome, modes)
+            _run_migrate_case(partix, case, outcome, modes, indexes=indexes)
             return outcome
         if not kill_site:
             for index, query in case.active_queries:
-                _run_query(partix, index, query, outcome, modes)
+                _run_query(partix, index, query, outcome, modes, indexes=indexes)
             return outcome
 
         tcp_modes = [
@@ -284,7 +293,7 @@ def run_case(
         # legitimately skip its fragment for some queries).
         victim_targeted = False
         for index, query in case.active_queries:
-            results = _run_query(partix, index, query, outcome, modes)
+            results = _run_query(partix, index, query, outcome, modes, indexes=indexes)
             for mode in tcp_modes:
                 result = results.get(mode)
                 if result is not None and result.plan is not None and any(
@@ -303,7 +312,7 @@ def run_case(
         # the centralized baseline through the mirror replica.
         failovers = 0
         for index, query in case.active_queries:
-            results = _run_query(partix, index, query, outcome, modes)
+            results = _run_query(partix, index, query, outcome, modes, indexes=indexes)
             failovers += sum(
                 results[mode].failover_count
                 for mode in tcp_modes
@@ -336,6 +345,7 @@ def _run_migrate_case(
     case: GeneratedCase,
     outcome: CaseOutcome,
     modes: Sequence[str],
+    indexes: bool = False,
 ) -> None:
     """Two differential passes with a live migration fired in between."""
     from repro.plan.cache import PlanCache
@@ -348,7 +358,7 @@ def _run_migrate_case(
     version_before = catalog.version
 
     for index, query in case.active_queries:
-        _run_query(partix, index, query, outcome, modes)
+        _run_query(partix, index, query, outcome, modes, indexes=indexes)
     first_pass = outcome.queries_run
 
     report = _fire_migration(partix, case, outcome)
@@ -373,7 +383,7 @@ def _run_migrate_case(
         return
 
     for index, query in case.active_queries:
-        _run_query(partix, index, query, outcome, modes)
+        _run_query(partix, index, query, outcome, modes, indexes=indexes)
     outcome.notes.append(
         f"queries compared on catalog v{version_before}: {first_pass},"
         f" on v{catalog.version}: {outcome.queries_run - first_pass}"
@@ -432,6 +442,7 @@ def _run_query(
     query: str,
     outcome: CaseOutcome,
     modes: Sequence[str],
+    indexes: bool = False,
 ) -> dict[str, PartixResult]:
     """Run one query through every configuration; returns the successful
     fragmented results keyed by mode (empty on error paths)."""
@@ -525,7 +536,71 @@ def _run_query(
                 query=query,
             )
         )
+    if indexes:
+        _check_index_differential(
+            partix, query, by_mode, outcome, index, modes
+        )
     return results_by_mode
+
+
+def _check_index_differential(
+    partix: Partix,
+    query: str,
+    by_mode: dict,
+    outcome: CaseOutcome,
+    index: int,
+    modes: Sequence[str],
+) -> None:
+    """The index-pushdown oracle: per mode, the same query re-run with
+    the per-query index override forced on and forced off must both
+    reproduce the default run's answer byte-for-byte. The override
+    leaves the plan (and so the lane order) untouched — only each
+    site's access path flips — so even multi-fragment concat answers
+    may not differ by a byte. An index probe returning an unsound
+    candidate set, or label verification pruning a matching document,
+    shows up here as a mismatch of kind ``index``.
+    """
+    for mode in modes:
+        if mode not in by_mode:
+            continue
+        default_text = by_mode[mode]
+        for forced in (True, False):
+            text, error = _attempt(
+                lambda mode=mode, forced=forced: partix.execute(
+                    query,
+                    collection="Cfuzz",
+                    execution_mode=mode,
+                    use_indexes=forced,
+                ).result_text
+            )
+            outcome.comparisons += 1
+            label = "on" if forced else "off"
+            if error is not None:
+                outcome.mismatches.append(
+                    Mismatch(
+                        kind="index",
+                        detail=(
+                            f"mode {mode!r} with indexes forced {label}"
+                            f" raised {error!r} although the default run"
+                            " answered"
+                        ),
+                        query_index=index,
+                        query=query,
+                    )
+                )
+            elif text != default_text:
+                outcome.mismatches.append(
+                    Mismatch(
+                        kind="index",
+                        detail=(
+                            f"mode {mode!r} answers differ with indexes"
+                            f" forced {label};"
+                            f" {_diff_snippet(default_text, text)}"
+                        ),
+                        query_index=index,
+                        query=query,
+                    )
+                )
 
 
 def _check_plan_equivalence(
@@ -647,6 +722,7 @@ def run_fuzz(
     modes: Sequence[str] = EXECUTION_MODES,
     kill_site: bool = False,
     migrate: bool = False,
+    indexes: bool = False,
 ) -> dict:
     """Run the full differential session; returns a JSON-able summary.
 
@@ -654,7 +730,8 @@ def run_fuzz(
     collected (each one is expensive: it triggers minimization and a
     written reproducer when ``repro_dir`` is set). ``kill_site`` runs
     every case through the failover oracle, ``migrate`` through the
-    online-rebalancing oracle (see :func:`run_case`).
+    online-rebalancing oracle, ``indexes`` through the index-pushdown
+    oracle (see :func:`run_case`).
     """
     summary: dict = {
         "seed": seed,
@@ -662,6 +739,7 @@ def run_fuzz(
         "execution_modes": list(modes),
         "kill_site": kill_site,
         "migrate": migrate,
+        "indexes": indexes,
         "migrations_completed": 0,
         "cases": 0,
         "queries_run": 0,
@@ -682,6 +760,7 @@ def run_fuzz(
             modes=modes,
             kill_site=kill_site,
             migrate=migrate,
+            indexes=indexes,
         )
         if migrate and not any(
             m.kind == "migrate" for m in outcome.mismatches
@@ -708,6 +787,7 @@ def run_fuzz(
                     modes=modes,
                     kill_site=kill_site,
                     migrate=migrate,
+                    indexes=indexes,
                 )
                 if minimize
                 else outcome

@@ -264,6 +264,7 @@ class SiteClient:
         extra_predicate: Optional["Predicate"] = None,
         read_timeout: Optional[float] = None,
         debug_sleep_seconds: Optional[float] = None,
+        use_indexes: Optional[bool] = None,
     ) -> tuple[QueryResult, int, int]:
         """Run a query remotely; returns ``(result, sent, received)``.
 
@@ -279,6 +280,8 @@ class SiteClient:
             payload["extra_predicate"] = predicate_to_dict(extra_predicate)
         if debug_sleep_seconds:
             payload["debug_sleep_seconds"] = debug_sleep_seconds
+        if use_indexes is not None:
+            payload["use_indexes"] = use_indexes
         reply, sent, received = self.call(FrameType.EXECUTE, payload, read_timeout)
         if reply.type is not FrameType.RESULT:
             raise TransportError(f"EXECUTE answered with {reply.type.name}")
@@ -311,6 +314,7 @@ class SiteClient:
         extra_predicate: Optional["Predicate"] = None,
         on_chunk=None,
         read_timeout: Optional[float] = None,
+        use_indexes: Optional[bool] = None,
     ) -> tuple[QueryResult, int, int]:
         """Run a query remotely in streaming mode.
 
@@ -329,6 +333,8 @@ class SiteClient:
             from repro.partix.serialization import predicate_to_dict
 
             payload["extra_predicate"] = predicate_to_dict(extra_predicate)
+        if use_indexes is not None:
+            payload["use_indexes"] = use_indexes
         rid = self._next_request_id()
         sock = self._borrow()
         timeout = read_timeout if read_timeout is not None else self.read_timeout
@@ -483,11 +489,13 @@ class RemoteSiteDriver(PartixDriver):
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional["Predicate"] = None,
+        use_indexes: Optional[bool] = None,
     ) -> QueryResult:
         result, _, _ = self.client.execute(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
+            use_indexes=use_indexes,
         )
         return result
 
@@ -552,12 +560,14 @@ class TcpTransport(Transport):
                 default_collection=default_collection,
                 on_chunk=on_chunk,
                 read_timeout=timeout,
+                use_indexes=subquery.use_indexes,
             )
         else:
             result, sent, received = client.execute(
                 subquery.query,
                 default_collection=default_collection,
                 read_timeout=timeout,
+                use_indexes=subquery.use_indexes,
             )
         return SubQueryExecution(
             site=subquery.site,

@@ -252,6 +252,7 @@ class _SiteHandler(socketserver.BaseRequestHandler):
             payload["query"],
             default_collection=payload.get("default_collection"),
             extra_predicate=predicate,
+            use_indexes=payload.get("use_indexes"),
         )
         owner._count_query()
         self._reply(sock, rid, FrameType.RESULT, _result_payload(result))
@@ -277,6 +278,7 @@ class _SiteHandler(socketserver.BaseRequestHandler):
             payload["query"],
             default_collection=payload.get("default_collection"),
             extra_predicate=predicate,
+            use_indexes=payload.get("use_indexes"),
         )
         chunk_bytes = self.chunk_bytes
         buffer = bytearray()

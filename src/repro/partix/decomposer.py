@@ -50,6 +50,7 @@ from repro.plan.cost import CostModel
 from repro.plan.logical import (
     Compose,
     FragmentScan,
+    IndexScan,
     IdJoin,
     LogicalPlan,
     MergeAggregate,
@@ -143,6 +144,7 @@ class QueryDecomposer:
         catalog: DistributionCatalog,
         cost_model: Optional[CostModel] = None,
         site_health=None,
+        use_indexes: bool = False,
     ):
         self.catalog = catalog
         self.cost_model = (
@@ -151,6 +153,11 @@ class QueryDecomposer:
         #: Optional shared :class:`~repro.cluster.health.SiteHealth`
         #: tracker: lowering avoids scan candidates at ejected sites.
         self.site_health = site_health
+        #: When on, scans of predicated queries are emitted as
+        #: :class:`IndexScan` leaves — *eligible* for index access;
+        #: lowering still prices both paths. Off by default: the
+        #: paper-faithful plans contain only full ``FragmentScan``s.
+        self.use_indexes = use_indexes
 
     # ------------------------------------------------------------------
     def decompose(
@@ -216,12 +223,25 @@ class QueryDecomposer:
             notes=tuple(notes),
         )
 
+    def _scan_class(self, predicate) -> tuple[type, Optional[str]]:
+        """(leaf class, predicate annotation) for an answer-purpose scan.
+
+        Index-eligible leaves exist only when the decomposer-level knob
+        is on *and* the query carries a pruning predicate an index could
+        serve; everything else stays a plain full scan (and un-annotated,
+        keeping ``use_indexes=False`` plans rendering exactly as before).
+        """
+        if self.use_indexes and predicate is not None:
+            return IndexScan, str(predicate)
+        return FragmentScan, None
+
     def _rename_scan(
         self,
         collection: str,
         fragment_name: str,
         shipped: Expr,
         selectivity: float,
+        predicate=None,
     ) -> FragmentScan:
         """One scan with a renamed-query candidate per replica."""
         candidates = tuple(
@@ -236,10 +256,12 @@ class QueryDecomposer:
             )
             for entry in self.catalog.replicas(collection, fragment_name)
         )
-        return FragmentScan(
+        scan_class, annotation = self._scan_class(predicate)
+        return scan_class(
             fragment=fragment_name,
             candidates=candidates,
             selectivity=selectivity,
+            predicate=annotation,
         )
 
     def _resolve_collection(
@@ -291,7 +313,13 @@ class QueryDecomposer:
         shipped = self._shippable_ast(expr, analysis)
         selectivity = analysis.selectivity_hint()
         scans = [
-            self._rename_scan(collection, fragment.name, shipped, selectivity)
+            self._rename_scan(
+                collection,
+                fragment.name,
+                shipped,
+                selectivity,
+                predicate=analysis.predicate,
+            )
             for fragment in relevant
         ]
         self._note_order_by(expr, len(scans), notes)
@@ -391,6 +419,7 @@ class QueryDecomposer:
                     fragment.name,
                     rewritten,
                     analysis.selectivity_hint(),
+                    predicate=analysis.predicate,
                 )
                 return self._assemble(
                     collection,
@@ -589,11 +618,13 @@ class QueryDecomposer:
                         query=unparse(renamed),
                     )
                 )
+            scan_class, annotation = self._scan_class(analysis.predicate)
             scans.append(
-                FragmentScan(
+                scan_class(
                     fragment=fragment.name,
                     candidates=tuple(candidates),
                     selectivity=selectivity,
+                    predicate=annotation,
                 )
             )
         self._note_order_by(expr, len(scans), notes)
@@ -622,7 +653,11 @@ class QueryDecomposer:
         shipped = self._shippable_ast(expr, analysis)
         notes.append(f"query confined to remainder fragment {fragment.name}")
         scan = self._rename_scan(
-            collection, fragment.name, shipped, analysis.selectivity_hint()
+            collection,
+            fragment.name,
+            shipped,
+            analysis.selectivity_hint(),
+            predicate=analysis.predicate,
         )
         return self._assemble(
             collection,

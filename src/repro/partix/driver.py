@@ -44,8 +44,14 @@ class PartixDriver(abc.ABC):
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ) -> QueryResult:
-        """Run an XQuery and return its result + execution metrics."""
+        """Run an XQuery and return its result + execution metrics.
+
+        ``use_indexes`` overrides the DBMS's index configuration for this
+        one query (``None`` leaves the node's own setting in charge) —
+        how an ``index-scan`` plan lane reaches the executing site.
+        """
 
     @abc.abstractmethod
     def document_count(self, collection: str) -> int:
@@ -84,6 +90,7 @@ class PartixDriver(abc.ABC):
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ):
         """Run an XQuery as a stream of serialized result pieces.
 
@@ -99,6 +106,7 @@ class PartixDriver(abc.ABC):
                 query,
                 default_collection=default_collection,
                 extra_predicate=extra_predicate,
+                use_indexes=use_indexes,
             )
         )
 
@@ -138,11 +146,13 @@ class MiniXDriver(PartixDriver):
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ) -> QueryResult:
         return self.engine.execute(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
+            use_indexes=use_indexes,
         )
 
     def execute_iter(
@@ -150,11 +160,13 @@ class MiniXDriver(PartixDriver):
         query: str,
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
+        use_indexes: Optional[bool] = None,
     ):
         return self.engine.execute_iter(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
+            use_indexes=use_indexes,
         )
 
     def document_count(self, collection: str) -> int:

@@ -183,6 +183,25 @@ class PartixResult:
         ]
 
 
+def _cluster_uses_indexes(cluster: Cluster) -> bool:
+    """Infer index eligibility from the cluster's site configurations.
+
+    True only when *every* site exposes a local engine whose planner
+    runs with document indexes on. Sites without an introspectable
+    engine (remote drivers) count as off — the conservative answer,
+    since index-scan lanes would silently degrade to full scans there.
+    """
+    sites = cluster.sites()
+    if not sites:
+        return False
+    for site in sites:
+        engine = getattr(site.driver, "engine", None)
+        planner = getattr(engine, "planner", None)
+        if planner is None or not getattr(planner, "use_indexes", False):
+            return False
+    return True
+
+
 class Partix:
     """Coordinator for distributed XQuery over fragmented repositories."""
 
@@ -195,8 +214,19 @@ class Partix:
         dispatcher: Optional[ParallelDispatcher] = None,
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         plan_cache: Optional[PlanCache] = None,
+        use_indexes: Optional[bool] = None,
     ):
         self.cluster = cluster
+        #: Are fragment scans *eligible* for the index access path?
+        #: ``None`` (the default) infers it from the cluster: eligible
+        #: only when every site's engine runs with document indexes on,
+        #: so a paper-faithful cluster (indexes off) plans pure
+        #: ``FragmentScan`` trees exactly as before. Eligibility is not
+        #: commitment — lowering still prices both access paths per
+        #: fragment and picks the cheaper one.
+        if use_indexes is None:
+            use_indexes = _cluster_uses_indexes(cluster)
+        self.use_indexes = use_indexes
         #: Optional LRU of logical plans keyed on (query, collection,
         #: catalog version). ``None`` (the default) plans every query
         #: from scratch; the coordinator service passes a shared cache so
@@ -242,6 +272,7 @@ class Partix:
             self.distribution_catalog,
             cost_model=self.cost_model,
             site_health=self.site_health,
+            use_indexes=self.use_indexes,
         )
         self.composer = ResultComposer()
         self.plan_executor = PlanExecutor(self.composer)
@@ -299,6 +330,7 @@ class Partix:
         dispatcher: Optional[ParallelDispatcher] = None,
         streaming: bool = False,
         deadline_seconds: Optional[float] = None,
+        use_indexes: Optional[bool] = None,
     ) -> PartixResult:
         """Run a query over the fragmented repository.
 
@@ -327,6 +359,14 @@ class Partix:
         run in parallel, so it bounds the round's wall time through the
         PR 6 shared-budget machinery). The coordinator threads each
         client's remaining deadline through here.
+
+        ``use_indexes`` is a per-query index override: every dispatched
+        sub-query carries it to the executing site, overriding that
+        site's own configuration (``False`` = paper-faithful full
+        scans everywhere, ``True`` = force index probes). ``None``
+        leaves the plan's own per-lane access-path decisions in charge.
+        The differential fuzz oracle uses this to run the same plan
+        with indexes on and off and assert byte-identical answers.
         """
         mode = ExecutionMode.parse(execution_mode, streaming=streaming)
         if plan is None:
@@ -335,6 +375,8 @@ class Partix:
             streaming=mode.streaming,
             chunk_bytes=self.chunk_bytes if mode.streaming else None,
         )
+        if use_indexes is not None:
+            plan = plan.with_lane_indexes(use_indexes)
         notes = list(plan.notes)
         active = dispatcher if dispatcher is not None else self.dispatcher
         executed = self.plan_executor.run(

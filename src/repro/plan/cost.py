@@ -42,6 +42,13 @@ CONCAT_SECONDS_PER_BYTE = 1e-9
 MERGE_SECONDS_PER_PARTIAL = 1e-5
 JOIN_SECONDS_PER_BYTE = 1e-7
 
+#: Fixed cost of probing a site's indexes for one sub-query (lookups +
+#: binary-table predicate verification of the candidates). Index access
+#: then materializes only the estimated matching documents, so the
+#: break-even against a full scan sits at a few documents per fragment
+#: at typical predicate selectivity.
+INDEX_LOOKUP_SECONDS = 0.004
+
 
 @dataclass(frozen=True)
 class CostEstimate:
@@ -111,8 +118,16 @@ class CostModel:
         purpose: str = "answer",
         selectivity: float = 1.0,
         pushdown: Optional[str] = None,
+        access: str = "scan",  # "scan" | "index"
     ) -> CostEstimate:
-        """Cost of scanning one fragment replica with one sub-query."""
+        """Cost of running one sub-query at one fragment replica.
+
+        ``access="scan"`` materializes every document of the fragment;
+        ``access="index"`` pays :data:`INDEX_LOOKUP_SECONDS` up front and
+        then materializes only the estimated matching documents (the
+        selectivity fraction, at least one) — the trade lowering prices
+        per replica to choose the cheaper path.
+        """
         stats = self.fragment_statistics(collection, fragment, site)
         documents = stats.documents if stats is not None else DEFAULT_DOCUMENTS
         fragment_bytes = stats.bytes if stats is not None else DEFAULT_FRAGMENT_BYTES
@@ -125,10 +140,20 @@ class CostModel:
                 SCALAR_RESULT_BYTES, int(fragment_bytes * selectivity)
             )
         query_bytes = len(query.encode("utf-8"))
-        cpu = (
-            documents * self.seconds_per_document
-            + fragment_bytes * self.seconds_per_byte
-        )
+        if access == "index":
+            touched = max(1, int(documents * selectivity))
+            touched_bytes = max(1, int(fragment_bytes * selectivity))
+            cpu = (
+                INDEX_LOOKUP_SECONDS
+                + touched * self.seconds_per_document
+                + touched_bytes * self.seconds_per_byte
+            )
+            documents = touched
+        else:
+            cpu = (
+                documents * self.seconds_per_document
+                + fragment_bytes * self.seconds_per_byte
+            )
         net = self.network.transfer_seconds(query_bytes) + (
             self.network.transfer_seconds(result_bytes)
         )

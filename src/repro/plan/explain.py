@@ -32,13 +32,15 @@ def _estimate_text(op: str, estimate: Optional[CostEstimate]) -> str:
 
 def _node_label(node: PlanNode) -> str:
     detail = node.detail
-    if node.op == "scan":
+    if node.op in ("scan", "index-scan"):
         label = (
-            f"scan {detail.get('fragment')}"
+            f"{node.op} {detail.get('fragment')}"
             f" @ {detail.get('site')}/{detail.get('collection')}"
         )
         if detail.get("purpose") == "fetch":
             label += " purpose=fetch"
+        if detail.get("predicate"):
+            label += f" pred={detail.get('predicate')}"
         candidates = detail.get("candidates", 1)
         if candidates > 1:
             label += f" candidates={candidates}"

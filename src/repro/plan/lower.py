@@ -32,6 +32,7 @@ from repro.plan.logical import (
     Compose,
     FragmentScan,
     IdJoin,
+    IndexScan,
     LogicalPlan,
     MergeAggregate,
     PartialAggregate,
@@ -75,29 +76,46 @@ class _LaneScheduler:
         return eligible
 
     def assign(self, scan: FragmentScan, pushdown: Optional[str]):
+        """Pick (candidate, estimate, access) for ``scan``.
+
+        An :class:`IndexScan` leaf is priced under both access paths at
+        every eligible replica — the index path competes on equal terms
+        and wins only where the lookup cost amortizes over skipped
+        documents, so one plan can mix ``index`` and ``scan`` lanes.
+        Access ties break toward ``scan`` (tuple order below), keeping
+        plans deterministic.
+        """
+        accesses = ("scan", "index") if isinstance(scan, IndexScan) else ("scan",)
         best = None
         for position, candidate in self._eligible(scan):
-            estimate = self.model.scan_estimate(
-                self.collection,
-                scan.fragment,
-                candidate.site,
-                candidate.query,
-                purpose=scan.purpose,
-                selectivity=scan.selectivity,
-                pushdown=pushdown,
-            )
-            projected = (
-                self.busy.get(candidate.site, 0.0) + estimate.total_seconds
-            )
-            key = (projected, self.counts.get(candidate.site, 0), position)
-            if best is None or key < best[0]:
-                best = (key, candidate, estimate)
-        _, candidate, estimate = best
+            for access in accesses:
+                estimate = self.model.scan_estimate(
+                    self.collection,
+                    scan.fragment,
+                    candidate.site,
+                    candidate.query,
+                    purpose=scan.purpose,
+                    selectivity=scan.selectivity,
+                    pushdown=pushdown,
+                    access=access,
+                )
+                projected = (
+                    self.busy.get(candidate.site, 0.0) + estimate.total_seconds
+                )
+                key = (
+                    projected,
+                    self.counts.get(candidate.site, 0),
+                    position,
+                    accesses.index(access),
+                )
+                if best is None or key < best[0]:
+                    best = (key, candidate, estimate, access)
+        _, candidate, estimate, access = best
         self.busy[candidate.site] = (
             self.busy.get(candidate.site, 0.0) + estimate.total_seconds
         )
         self.counts[candidate.site] = self.counts.get(candidate.site, 0) + 1
-        return candidate, estimate
+        return candidate, estimate, access
 
 
 def lower(
@@ -118,7 +136,7 @@ def lower(
     lanes: list = []
 
     def scan_node(scan: FragmentScan, pushdown: Optional[str]) -> PlanNode:
-        candidate, estimate = scheduler.assign(scan, pushdown)
+        candidate, estimate, access = scheduler.assign(scan, pushdown)
         index = len(lanes)
         node_id = f"scan{index}"
         subquery = SubQuery(
@@ -136,6 +154,10 @@ def lower(
                 for other in scan.candidates
                 if other.site != candidate.site
             ),
+            # Only an index lane overrides the site's own setting; a scan
+            # lane leaves None so a site configured with indexes on keeps
+            # behaving as configured.
+            use_indexes=True if access == "index" else None,
         )
         lanes.append(
             Lane(
@@ -146,17 +168,20 @@ def lower(
                 candidates=len(scan.candidates),
             )
         )
+        detail = {
+            "fragment": scan.fragment,
+            "site": candidate.site,
+            "collection": candidate.stored_collection,
+            "purpose": scan.purpose,
+            "selectivity": scan.selectivity,
+            "candidates": len(scan.candidates),
+        }
+        if scan.predicate is not None:
+            detail["predicate"] = scan.predicate
         return PlanNode(
-            op="scan",
+            op="index-scan" if access == "index" else "scan",
             node_id=node_id,
-            detail={
-                "fragment": scan.fragment,
-                "site": candidate.site,
-                "collection": candidate.stored_collection,
-                "purpose": scan.purpose,
-                "selectivity": scan.selectivity,
-                "candidates": len(scan.candidates),
-            },
+            detail=detail,
             estimate=estimate,
         )
 
@@ -249,7 +274,7 @@ def lower_annotated(
     candidate; lowering only contributes the tree shape and estimates.
     """
     scans = tuple(
-        FragmentScan(
+        (IndexScan if subquery.use_indexes else FragmentScan)(
             fragment=subquery.fragment,
             candidates=(
                 ScanCandidate(

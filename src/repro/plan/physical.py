@@ -10,7 +10,7 @@ aliases its old ``DecomposedQuery`` name to this class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional
 
 from repro.plan.cost import CostEstimate
@@ -119,6 +119,41 @@ class PhysicalPlan:
             notes=self.notes,
             streaming=streaming,
             chunk_bytes=chunk_bytes,
+        )
+
+    def with_lane_indexes(self, use_indexes: bool) -> "PhysicalPlan":
+        """This plan with every lane forced to ``use_indexes``.
+
+        The per-query override of ``Partix.execute(use_indexes=...)``:
+        lowering's access-path choice (and the rendered tree) stay as
+        planned, but each dispatched sub-query carries an explicit index
+        setting that overrides the executing site's own configuration —
+        ``False`` yields a paper-faithful full scan even at sites whose
+        engines default to index pruning, ``True`` forces the probe
+        everywhere. The node tree is shared; only lanes are rebuilt.
+        """
+        if all(
+            lane.subquery.use_indexes == use_indexes for lane in self.lanes
+        ):
+            return self
+        lanes = [
+            Lane(
+                index=lane.index,
+                node_id=lane.node_id,
+                subquery=replace(lane.subquery, use_indexes=use_indexes),
+                estimate=lane.estimate,
+                candidates=lane.candidates,
+            )
+            for lane in self.lanes
+        ]
+        return PhysicalPlan(
+            collection=self.collection,
+            root=self.root,
+            lanes=lanes,
+            composition=self.composition,
+            notes=self.notes,
+            streaming=self.streaming,
+            chunk_bytes=self.chunk_bytes,
         )
 
     # ------------------------------------------------------------------

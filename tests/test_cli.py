@@ -9,7 +9,7 @@ class TestCli:
     def test_figures_registry(self):
         assert set(FIGURES) == {
             "7a", "7b", "7c", "7d", "headline", "modes", "transport",
-            "streaming", "serving", "plans", "rebalance",
+            "streaming", "serving", "plans", "rebalance", "pushdown",
         }
 
     def test_runs_modes_figure(self, capsys):

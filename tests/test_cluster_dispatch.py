@@ -68,7 +68,10 @@ class StubDriver(PartixDriver):
     def collection_bytes(self, collection):
         return 0
 
-    def execute(self, query, default_collection=None, extra_predicate=None):
+    def execute(
+        self, query, default_collection=None, extra_predicate=None,
+        use_indexes=None,
+    ):
         with self._lock:
             self.calls.append(query)
             self.active += 1

@@ -125,11 +125,17 @@ class TestFailureInjection:
     def test_malformed_stored_document_surfaces_clearly(self):
         engine = XMLEngine("f")
         engine.create_collection("c")
-        engine.store.collection("c").put(
+        stored = (
             __import__("repro.engine.store", fromlist=["StoredDocument"])
-            .StoredDocument("bad.xml", b"<a><unclosed></a>"),
+            .StoredDocument("bad.xml", b"<a><unclosed></a>")
+        )
+        engine.store.collection("c").put(
+            stored,
             document=doc(elem("placeholder")),  # skip ingest-time parse
         )
+        # Drop the binary table so access takes the text-parse fallback
+        # (the situation of an old on-disk store holding corrupt bytes).
+        stored.binary = None
         with pytest.raises(XMLSyntaxError):
             engine.execute('collection("c")/a')
 
