@@ -598,18 +598,23 @@ PAPER_DOC_OVERHEAD = 0.0025
 
 
 def _make_cluster(
-    fragment_sites: int, use_indexes: bool, per_document_overhead: float
+    fragment_sites: int,
+    use_indexes: bool,
+    per_document_overhead: float,
+    shard_workers: int = 0,
 ) -> Cluster:
     cluster = Cluster.with_sites(
         fragment_sites,
         use_indexes=use_indexes,
         per_document_overhead=per_document_overhead,
+        shard_workers=shard_workers,
     )
     cluster.add(
         Site(
             CENTRAL_SITE,
             use_indexes=use_indexes,
             per_document_overhead=per_document_overhead,
+            shard_workers=shard_workers,
         )
     )
     return cluster
@@ -624,16 +629,21 @@ def build_items_scenario(
     network: Optional[NetworkModel] = None,
     use_indexes: bool = False,
     per_document_overhead: float = PAPER_DOC_OVERHEAD,
+    shard_workers: int = 0,
 ) -> Scenario:
     """ItemsSHor (kind='small') / ItemsLHor (kind='large'), Fig. 7a/7b.
 
     ``use_indexes`` defaults to off for paper fidelity (see
     ``Cluster.with_sites``); the ablation benchmark flips it on.
+    ``shard_workers`` sizes every site's intra-site worker pool (the
+    ``parallel`` figure runs ItemsLHor sharded).
     """
     point = scaling.scaled_point(paper_mb, scale)
     count = scaling.items_count_for(point.target_bytes, kind)
     collection = build_items_collection(count, kind=kind, seed=seed)
-    cluster = _make_cluster(fragment_count, use_indexes, per_document_overhead)
+    cluster = _make_cluster(
+        fragment_count, use_indexes, per_document_overhead, shard_workers
+    )
     partix = Partix(cluster, network=network)
     fragmentation = items_horizontal_fragmentation(fragment_count)
     partix.publish(collection, fragmentation)

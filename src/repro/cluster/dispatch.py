@@ -151,6 +151,7 @@ class InProcessTransport(Transport):
             subquery.query,
             default_collection=default_collection,
             use_indexes=subquery.use_indexes,
+            parallel_degree=subquery.parallel_degree,
         )
         if on_chunk is not None:
             # Chunk emulation: slice the serialized answer into the same

@@ -33,6 +33,7 @@ class Site:
         driver: Optional["PartixDriver"] = None,
         use_indexes: bool = True,
         per_document_overhead: float = 0.0,
+        shard_workers: int = 0,
     ):
         self.name = name
         if driver is None:
@@ -45,6 +46,7 @@ class Site:
                     name,
                     use_indexes=use_indexes,
                     per_document_overhead=per_document_overhead,
+                    shard_workers=shard_workers,
                 )
             )
         self.driver = driver
@@ -55,13 +57,16 @@ class Site:
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> QueryResult:
-        # The override travels only when set — mirroring the wire
+        # The overrides travel only when set — mirroring the wire
         # protocol, and keeping duck-typed driver substitutes with the
         # historical three-argument signature working on plain lanes.
         kwargs = {}
         if use_indexes is not None:
             kwargs["use_indexes"] = use_indexes
+        if parallel_degree is not None:
+            kwargs["parallel_degree"] = parallel_degree
         return self.driver.execute(
             query,
             default_collection=default_collection,
@@ -88,6 +93,7 @@ class Cluster:
         prefix: str = "site",
         use_indexes: bool = True,
         per_document_overhead: float = 0.0,
+        shard_workers: int = 0,
     ) -> "Cluster":
         """A cluster of ``count`` fresh in-memory MiniX sites.
 
@@ -95,13 +101,15 @@ class Cluster:
         site — the paper-faithful benchmarks run with it off: eXist (2005)
         evaluated generic XQuery predicates by iterating every document of
         the queried collection. ``per_document_overhead`` is the simulated
-        per-document access cost (see ``XMLEngine``).
+        per-document access cost (see ``XMLEngine``); ``shard_workers``
+        sizes each site's intra-site worker pool (0 = serial).
         """
         return cls(
             Site(
                 f"{prefix}{index}",
                 use_indexes=use_indexes,
                 per_document_overhead=per_document_overhead,
+                shard_workers=shard_workers,
             )
             for index in range(count)
         )

@@ -62,13 +62,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--fragments", type=int, default=4, help="demo fragment count"
     )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        help="per-site worker pool for intra-site sharded scans (0 = serial)",
+    )
     args = parser.parse_args(argv)
 
     from repro.bench.scenarios import build_items_scenario
 
     print("building demo repository...", flush=True)
     scenario = build_items_scenario(
-        "small", paper_mb=1, fragment_count=args.fragments, scale=args.scale
+        "small",
+        paper_mb=1,
+        fragment_count=args.fragments,
+        scale=args.scale,
+        shard_workers=args.shard_workers,
     )
     coordinator = Coordinator(
         scenario.partix,

@@ -24,14 +24,28 @@ ablation benchmark flips it on to quantify the difference.
 
 from __future__ import annotations
 
+import multiprocessing
 import threading
 import time
 from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
 from typing import Optional, Union
 
 from repro.datamodel.document import XMLDocument
 from repro.datamodel.tree import XMLNode
 from repro.engine.planner import Planner
+from repro.engine.shards import (
+    ShardDocument,
+    ShardScript,
+    ShardTask,
+    fold_shard_results,
+    forget_fork_snapshot,
+    new_fork_token,
+    partition_candidates,
+    register_fork_snapshot,
+    run_shard,
+    shard_script,
+)
 from repro.engine.stats import EngineStats, QueryResult
 from repro.engine.store import DocumentStore, StoredDocument
 from repro.errors import (
@@ -82,6 +96,15 @@ class XMLEngine:
         paper-faithful benchmark scenarios set a calibrated value. The
         amount added is tracked separately in
         ``stats.simulated_overhead_seconds``.
+    shard_workers:
+        Size of the engine's shard worker pool (0 = intra-site
+        parallelism disabled). A query only runs sharded when an
+        executing call also passes ``parallel_degree`` ≥ 2 — the plan's
+        decision, or an explicit per-query override — *and* the query is
+        provably shardable (see :mod:`repro.engine.shards`); everything
+        else silently runs serial, so answers are byte-identical at
+        every degree. The process pool is created lazily on the first
+        sharded execution.
     """
 
     def __init__(
@@ -93,6 +116,7 @@ class XMLEngine:
         use_indexes: bool = True,
         label_pushdown: bool = True,
         per_document_overhead: float = 0.0,
+        shard_workers: int = 0,
     ):
         self.name = name
         self.store = DocumentStore(storage_dir=storage_dir)
@@ -101,6 +125,7 @@ class XMLEngine:
         self.label_pushdown = label_pushdown
         self.cache_parsed = cache_parsed
         self.per_document_overhead = per_document_overhead
+        self.shard_workers = max(0, int(shard_workers))
         self._cache: OrderedDict[tuple[str, str], XMLDocument] = OrderedDict()
         self._cache_size = cache_size
         # Concurrency: queries may run on several threads against one
@@ -109,6 +134,10 @@ class XMLEngine:
         # and the parsed-document LRU is guarded by its own lock.
         self._stats_lock = threading.Lock()
         self._cache_lock = threading.Lock()
+        self._shard_pool: Optional[ProcessPoolExecutor] = None
+        self._shard_pool_lock = threading.Lock()
+        self._fork_token: Optional[int] = None
+        self._fork_snapshot: Optional[dict] = None
 
     # ------------------------------------------------------------------
     # Data definition / manipulation
@@ -226,14 +255,246 @@ class XMLEngine:
             self.stats.absorb(delta)
 
     # ------------------------------------------------------------------
+    # Shard worker pool (intra-site parallelism)
+    # ------------------------------------------------------------------
+    def _shard_executor(self) -> ProcessPoolExecutor:
+        """The lazily created per-engine process pool (fork-preferring,
+        like the TCP site-server spawner: workers inherit the imported
+        modules instead of re-importing under spawn).
+
+        On fork platforms a snapshot of every stored binary table is
+        registered *before* the fork, so workers inherit the tables
+        copy-on-write — a task over already-stored documents ships only
+        their names. Under spawn there is nothing to inherit and every
+        task carries explicit table bytes.
+        """
+        with self._shard_pool_lock:
+            if self._shard_pool is None:
+                context = None
+                if "fork" in multiprocessing.get_all_start_methods():
+                    context = multiprocessing.get_context("fork")
+                if context is not None:
+                    snapshot = {}
+                    for collection_name in self.store.collection_names():
+                        collection = self.store.collection(collection_name)
+                        for doc_name in collection.names():
+                            stored = collection.get(doc_name)
+                            if stored.binary is not None:
+                                snapshot[
+                                    (collection_name, doc_name)
+                                ] = stored.binary
+                    self._fork_token = new_fork_token()
+                    self._fork_snapshot = snapshot
+                    register_fork_snapshot(self._fork_token, snapshot)
+                self._shard_pool = ProcessPoolExecutor(
+                    max_workers=max(1, self.shard_workers),
+                    mp_context=context,
+                )
+            return self._shard_pool
+
+    def close(self) -> None:
+        """Release the shard worker pool (idempotent)."""
+        with self._shard_pool_lock:
+            pool, self._shard_pool = self._shard_pool, None
+            forget_fork_snapshot(self._fork_token)
+            self._fork_token = None
+            self._fork_snapshot = None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __del__(self):  # pragma: no cover - best-effort cleanup
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
     # Query execution
     # ------------------------------------------------------------------
+    def scan_candidates(
+        self,
+        collection_name: str,
+        predicate: Optional[Predicate],
+        stats: EngineStats,
+        use_indexes: Optional[bool] = None,
+    ) -> list[str]:
+        """The pipeline's **scan/prune** stage: candidate documents of a
+        collection under the (combined) pruning predicate, in store
+        order, with every pruning counter charged to ``stats``.
+
+        Shared by the serial path (`_EngineProvider.collection_roots`
+        materializes each survivor) and the sharded path (survivors are
+        partitioned into shards instead) — one code path, one set of
+        counters, so per-shard stats can sum exactly to a serial run.
+        """
+        collection = self.store.collection(collection_name)
+        candidates, lookups = self.planner.candidate_documents(
+            collection, predicate, use_indexes=use_indexes
+        )
+        stats.index_lookups += lookups
+        indexing = (
+            self.planner.use_indexes if use_indexes is None else use_indexes
+        )
+        if indexing and self.label_pushdown and predicate is not None:
+            candidates = self._verify_on_binary(
+                collection, predicate, candidates, stats
+            )
+        stats.documents_scanned += len(candidates)
+        stats.documents_pruned += len(collection) - len(candidates)
+        return candidates
+
+    def _verify_on_binary(
+        self,
+        collection,
+        predicate: Predicate,
+        candidates: list[str],
+        stats: EngineStats,
+    ) -> list[str]:
+        """Exact pushdown: evaluate the predicate over each candidate's
+        binary node table and drop definite non-matches before any DOM is
+        built. Sound because extracted predicates are *necessary*
+        conditions (planner invariant) and the binary evaluation mirrors
+        DOM evaluation exactly; undecidable atoms (``None``) keep the
+        document, as does a record with no table."""
+        from repro.paths.predicates import evaluate_on_binary
+
+        verified: list[str] = []
+        for doc_name in candidates:
+            binary = collection.get(doc_name).binary
+            if binary is not None and evaluate_on_binary(
+                predicate, binary
+            ) is False:
+                stats.label_pruned += 1
+                continue
+            verified.append(doc_name)
+        return verified
+
+    def _shard_plan(
+        self,
+        query: Union[str, Expr],
+        expr: Expr,
+        analysis,
+        default_collection: Optional[str],
+        parallel_degree: Optional[int],
+    ) -> Optional[tuple[ShardScript, str]]:
+        """Decide whether this execution runs sharded.
+
+        Returns ``(script, collection_name)`` when every gate passes:
+        a degree ≥ 2 was requested, the engine has a worker pool
+        configured, the query arrived as text (the wire form — shards
+        re-parse it in the workers), the query is statically shardable,
+        and its one collection resolves here. Any other case returns
+        None and the serial path runs, keeping behaviour — answers and
+        errors — identical at every requested degree.
+        """
+        if parallel_degree is None or parallel_degree <= 1:
+            return None
+        if self.shard_workers <= 0 or not isinstance(query, str):
+            return None
+        if multiprocessing.current_process().daemon:
+            # A daemonic process (a spawned TCP site server) cannot have
+            # children, so no worker pool can exist here — decline and
+            # run serial, the same answer either way.
+            return None
+        script = shard_script(expr)
+        if script is None:
+            return None
+        names = set(analysis.collections)
+        if len(names) != 1:
+            return None
+        collection_name = names.pop() or default_collection
+        if collection_name is None or not self.store.has_collection(
+            collection_name
+        ):
+            return None
+        return script, collection_name
+
+    def _evaluate_sharded(
+        self,
+        query: str,
+        script: ShardScript,
+        collection_name: str,
+        candidates: list[str],
+        degree: int,
+        delta: EngineStats,
+    ) -> tuple[list, str, float]:
+        """The pipeline's sharded **evaluate → fold** stages: partition
+        the pruned candidates, evaluate each shard in the worker pool on
+        its binary node tables, absorb the per-shard stats, and fold the
+        partials in shard order.
+
+        The third return value is the *parallel* simulated-overhead
+        share: shards accrue the per-document access overhead
+        concurrently, so the query's elapsed time advances by the
+        slowest shard's overhead, while the ``simulated_overhead_seconds``
+        counter in ``delta`` still sums every shard's charge exactly (the
+        work done does not shrink because it ran in parallel)."""
+        # Create (or reuse) the pool first: the fork snapshot it
+        # registers decides which documents can ship as names only.
+        executor = self._shard_executor()
+        collection = self.store.collection(collection_name)
+        snapshot = self._fork_snapshot or {}
+        pool_bytes = None
+        tasks = []
+        for shard in partition_candidates(candidates, degree):
+            documents = []
+            for doc_name in shard:
+                stored = collection.get(doc_name)
+                # Identity, not equality: only the exact object the
+                # workers inherited at fork time may ship by name; a
+                # document re-stored since then ships its bytes.
+                inherited = (
+                    snapshot.get((collection_name, doc_name))
+                    is stored.binary
+                )
+                if not inherited and pool_bytes is None:
+                    pool_bytes = collection.pool.to_bytes()
+                documents.append(
+                    ShardDocument(
+                        name=stored.name,
+                        origin=stored.origin,
+                        table=None if inherited else stored.binary.to_bytes(),
+                        size=stored.size,
+                    )
+                )
+            tasks.append(
+                ShardTask(
+                    query=query,
+                    script=script,
+                    pool=None,
+                    documents=documents,
+                    per_document_overhead=self.per_document_overhead,
+                    token=self._fork_token or 0,
+                    collection=collection_name,
+                    cache_documents=self.cache_parsed,
+                )
+            )
+        if pool_bytes is not None:
+            for task in tasks:
+                task.pool = pool_bytes
+        eval_started = time.perf_counter()
+        futures = [executor.submit(run_shard, task) for task in tasks]
+        results = [future.result() for future in futures]
+        for result in results:
+            delta.absorb(EngineStats(**result.stats))
+        items, result_text = fold_shard_results(script, results)
+        delta.evaluation_seconds += time.perf_counter() - eval_started
+        parallel_overhead = max(
+            (
+                result.stats.get("simulated_overhead_seconds", 0.0)
+                for result in results
+            ),
+            default=0.0,
+        )
+        return items, result_text, parallel_overhead
+
     def execute(
         self,
         query: Union[str, Expr],
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> QueryResult:
         """Execute a query and return its :class:`QueryResult`.
 
@@ -243,7 +504,16 @@ class XMLEngine:
         match documents satisfying a fragment's μ). ``use_indexes``
         overrides the engine's index setting for this query only — the
         knob an ``IndexScan`` plan leaf turns on at a site whose default
-        is the paper-faithful full scan.
+        is the paper-faithful full scan. ``parallel_degree`` ≥ 2 asks
+        for sharded evaluation across the engine's worker pool (a
+        request, not a command — see :meth:`_shard_plan`); the answer is
+        byte-identical either way.
+
+        Execution is an explicit site-local operator pipeline:
+        **scan/prune** (:meth:`scan_candidates`) → **evaluate** (serial
+        in-process, or per-shard in the worker pool) → **fold** (merge
+        shard partials in shard order; the serial path's fold is the
+        identity).
         """
         started = time.perf_counter()
         # Per-query accumulator: every counter this query touches lands
@@ -262,6 +532,49 @@ class XMLEngine:
                 if predicate is None
                 else And((predicate, extra_predicate))
             )
+        sharded = self._shard_plan(
+            query, expr, analysis, default_collection, parallel_degree
+        )
+        if sharded is not None:
+            script, collection_name = sharded
+            # Scan/prune runs once, in the parent — the very same stage
+            # (and counters) the serial provider uses.
+            candidates = self.scan_candidates(
+                collection_name, predicate, delta, use_indexes=use_indexes
+            )
+            degree = min(parallel_degree, self.shard_workers, len(candidates))
+            if degree >= 2:
+                overhead_before = delta.simulated_overhead_seconds
+                items, result_text, parallel_overhead = self._evaluate_sharded(
+                    query, script, collection_name, candidates, degree, delta
+                )
+                delta.queries_executed += 1
+                elapsed = time.perf_counter() - started
+                self._commit_stats(delta)
+                with self._stats_lock:
+                    cumulative = self.stats.snapshot()
+                return QueryResult(
+                    items=items,
+                    result_text=result_text,
+                    result_bytes=len(result_text.encode("utf-8")),
+                    elapsed_seconds=(
+                        elapsed + overhead_before + parallel_overhead
+                    ),
+                    parse_seconds=delta.parse_seconds,
+                    documents_parsed=delta.documents_parsed,
+                    bytes_parsed=delta.bytes_parsed,
+                    documents_scanned=delta.documents_scanned,
+                    documents_pruned=delta.documents_pruned,
+                    cache_hits=delta.cache_hits,
+                    simulated_overhead_seconds=delta.simulated_overhead_seconds,
+                    binary_decodes=delta.binary_decodes,
+                    label_pruned=delta.label_pruned,
+                    stats=cumulative,
+                )
+            # Too few candidates to amortize a shard: pre-charge nothing
+            # extra — the provider below re-runs scan/prune against a
+            # fresh accumulator so counters are charged exactly once.
+            delta = EngineStats()
         provider = _EngineProvider(
             self, default_collection, predicate, delta, use_indexes
         )
@@ -297,6 +610,7 @@ class XMLEngine:
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> "StreamedExecution":
         """Execute a query as a stream of per-item serialized pieces.
 
@@ -305,7 +619,21 @@ class XMLEngine:
         instead of being joined into one monolithic string — a consumer
         (the streaming site server) can put each piece on the wire while
         the next one is still being serialized.
+
+        A sharded request (``parallel_degree`` ≥ 2) evaluates through
+        :meth:`execute` — shard partials fold into the final text, which
+        streams as one piece. The stream contract is unchanged: the
+        ``"\\n"``-join of the pieces is exactly the serialized answer.
         """
+        if parallel_degree is not None and parallel_degree > 1:
+            result = self.execute(
+                query,
+                default_collection=default_collection,
+                extra_predicate=extra_predicate,
+                use_indexes=use_indexes,
+                parallel_degree=parallel_degree,
+            )
+            return StreamedExecution.from_result(self, result)
         started = time.perf_counter()
         delta = EngineStats()
         expr = parse_query(query) if isinstance(query, str) else query
@@ -396,46 +724,20 @@ class _EngineProvider:
         if not self._engine.store.has_collection(collection_name):
             raise StorageError(f"no collection named {collection_name!r}")
         engine = self._engine
-        collection = engine.store.collection(collection_name)
-        candidates, lookups = engine.planner.candidate_documents(
-            collection, self._predicate, use_indexes=self._use_indexes
+        # The shared scan/prune stage, then materialize each survivor —
+        # the serial "evaluate" stage loads DOMs in-process.
+        candidates = engine.scan_candidates(
+            collection_name,
+            self._predicate,
+            self._stats,
+            use_indexes=self._use_indexes,
         )
-        self._stats.index_lookups += lookups
-        indexing = (
-            engine.planner.use_indexes
-            if self._use_indexes is None
-            else self._use_indexes
-        )
-        if indexing and engine.label_pushdown and self._predicate is not None:
-            candidates = self._verify_on_binary(collection, candidates)
-        self._stats.documents_scanned += len(candidates)
-        self._stats.documents_pruned += len(collection) - len(candidates)
         return [
             engine.load_parsed(
                 collection_name, doc_name, stats=self._stats
             ).root
             for doc_name in candidates
         ]
-
-    def _verify_on_binary(self, collection, candidates: list[str]) -> list[str]:
-        """Exact pushdown: evaluate the predicate over each candidate's
-        binary node table and drop definite non-matches before any DOM is
-        built. Sound because extracted predicates are *necessary*
-        conditions (planner invariant) and the binary evaluation mirrors
-        DOM evaluation exactly; undecidable atoms (``None``) keep the
-        document, as does a record with no table."""
-        from repro.paths.predicates import evaluate_on_binary
-
-        verified: list[str] = []
-        for doc_name in candidates:
-            binary = collection.get(doc_name).binary
-            if binary is not None and evaluate_on_binary(
-                self._predicate, binary
-            ) is False:
-                self._stats.label_pruned += 1
-                continue
-            verified.append(doc_name)
-        return verified
 
     def document_root(self, name: str) -> Optional[XMLNode]:
         for collection_name in self._engine.store.collection_names():
@@ -476,8 +778,46 @@ class StreamedExecution:
         self._started = started
         self.items = items
         self.result: Optional[QueryResult] = None
+        self._prefolded: Optional[QueryResult] = None
+
+    @classmethod
+    def from_result(
+        cls, engine: XMLEngine, result: QueryResult
+    ) -> "StreamedExecution":
+        """Wrap an already-folded (sharded) result as a stream.
+
+        The folded answer text travels as a single piece — the
+        ``"\\n"``-join contract holds trivially, and the final
+        :class:`QueryResult` is the sharded execution's own (its stats
+        were already committed by :meth:`XMLEngine.execute`)."""
+        stream = cls(engine, result.items, EngineStats(), 0.0)
+        stream._prefolded = result
+        return stream
 
     def __iter__(self):
+        if self._prefolded is not None:
+            prefolded = self._prefolded
+            if prefolded.result_text:
+                yield prefolded.result_text
+            self.result = QueryResult(
+                items=prefolded.items,
+                result_text="",
+                result_bytes=len(prefolded.result_text.encode("utf-8")),
+                elapsed_seconds=prefolded.elapsed_seconds,
+                parse_seconds=prefolded.parse_seconds,
+                documents_parsed=prefolded.documents_parsed,
+                bytes_parsed=prefolded.bytes_parsed,
+                documents_scanned=prefolded.documents_scanned,
+                documents_pruned=prefolded.documents_pruned,
+                cache_hits=prefolded.cache_hits,
+                simulated_overhead_seconds=(
+                    prefolded.simulated_overhead_seconds
+                ),
+                binary_decodes=prefolded.binary_decodes,
+                label_pruned=prefolded.label_pruned,
+                stats=prefolded.stats,
+            )
+            return
         streamed_bytes = 0
         for index, item in enumerate(self.items):
             if isinstance(item, XMLNode):

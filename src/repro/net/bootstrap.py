@@ -72,6 +72,7 @@ def engine_config_of(site: "Site") -> dict:
         "use_indexes": engine.planner.use_indexes,
         "per_document_overhead": engine.per_document_overhead,
         "cache_parsed": engine.cache_parsed,
+        "shard_workers": engine.shard_workers,
     }
 
 

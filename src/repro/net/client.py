@@ -265,6 +265,7 @@ class SiteClient:
         read_timeout: Optional[float] = None,
         debug_sleep_seconds: Optional[float] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> tuple[QueryResult, int, int]:
         """Run a query remotely; returns ``(result, sent, received)``.
 
@@ -282,6 +283,8 @@ class SiteClient:
             payload["debug_sleep_seconds"] = debug_sleep_seconds
         if use_indexes is not None:
             payload["use_indexes"] = use_indexes
+        if parallel_degree is not None:
+            payload["parallel_degree"] = parallel_degree
         reply, sent, received = self.call(FrameType.EXECUTE, payload, read_timeout)
         if reply.type is not FrameType.RESULT:
             raise TransportError(f"EXECUTE answered with {reply.type.name}")
@@ -302,6 +305,8 @@ class SiteClient:
                 simulated_overhead_seconds=data.get(
                     "simulated_overhead_seconds", 0.0
                 ),
+                binary_decodes=data.get("binary_decodes", 0),
+                label_pruned=data.get("label_pruned", 0),
             ),
             sent,
             received,
@@ -315,6 +320,7 @@ class SiteClient:
         on_chunk=None,
         read_timeout: Optional[float] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> tuple[QueryResult, int, int]:
         """Run a query remotely in streaming mode.
 
@@ -335,6 +341,8 @@ class SiteClient:
             payload["extra_predicate"] = predicate_to_dict(extra_predicate)
         if use_indexes is not None:
             payload["use_indexes"] = use_indexes
+        if parallel_degree is not None:
+            payload["parallel_degree"] = parallel_degree
         rid = self._next_request_id()
         sock = self._borrow()
         timeout = read_timeout if read_timeout is not None else self.read_timeout
@@ -407,6 +415,8 @@ class SiteClient:
                 simulated_overhead_seconds=data.get(
                     "simulated_overhead_seconds", 0.0
                 ),
+                binary_decodes=data.get("binary_decodes", 0),
+                label_pruned=data.get("label_pruned", 0),
             ),
             sent,
             received_total,
@@ -490,12 +500,14 @@ class RemoteSiteDriver(PartixDriver):
         default_collection: Optional[str] = None,
         extra_predicate: Optional["Predicate"] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> QueryResult:
         result, _, _ = self.client.execute(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
             use_indexes=use_indexes,
+            parallel_degree=parallel_degree,
         )
         return result
 
@@ -561,6 +573,7 @@ class TcpTransport(Transport):
                 on_chunk=on_chunk,
                 read_timeout=timeout,
                 use_indexes=subquery.use_indexes,
+                parallel_degree=subquery.parallel_degree,
             )
         else:
             result, sent, received = client.execute(
@@ -568,6 +581,7 @@ class TcpTransport(Transport):
                 default_collection=default_collection,
                 read_timeout=timeout,
                 use_indexes=subquery.use_indexes,
+                parallel_degree=subquery.parallel_degree,
             )
         return SubQueryExecution(
             site=subquery.site,

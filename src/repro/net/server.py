@@ -59,6 +59,8 @@ def _result_payload(result) -> dict:
         "bytes_parsed": result.bytes_parsed,
         "documents_scanned": result.documents_scanned,
         "documents_pruned": result.documents_pruned,
+        "binary_decodes": result.binary_decodes,
+        "label_pruned": result.label_pruned,
         "cache_hits": result.cache_hits,
         "simulated_overhead_seconds": result.simulated_overhead_seconds,
     }
@@ -253,6 +255,7 @@ class _SiteHandler(socketserver.BaseRequestHandler):
             default_collection=payload.get("default_collection"),
             extra_predicate=predicate,
             use_indexes=payload.get("use_indexes"),
+            parallel_degree=payload.get("parallel_degree"),
         )
         owner._count_query()
         self._reply(sock, rid, FrameType.RESULT, _result_payload(result))
@@ -279,6 +282,7 @@ class _SiteHandler(socketserver.BaseRequestHandler):
             default_collection=payload.get("default_collection"),
             extra_predicate=predicate,
             use_indexes=payload.get("use_indexes"),
+            parallel_degree=payload.get("parallel_degree"),
         )
         chunk_bytes = self.chunk_bytes
         buffer = bytearray()
@@ -469,6 +473,12 @@ def main(argv: Optional[list[str]] = None) -> int:
         default=0.0,
         help="simulated per-document access cost in seconds",
     )
+    parser.add_argument(
+        "--shard-workers",
+        type=int,
+        default=0,
+        help="intra-site worker pool size for sharded evaluation (0 = serial)",
+    )
     options = parser.parse_args(argv)
 
     from repro.engine.database import XMLEngine
@@ -479,6 +489,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         cache_parsed=options.cache_parsed,
         use_indexes=not options.no_indexes,
         per_document_overhead=options.per_document_overhead,
+        shard_workers=options.shard_workers,
     )
     server = SiteServer(
         MiniXDriver(engine), site=options.site, host=options.host, port=options.port

@@ -45,12 +45,17 @@ class PartixDriver(abc.ABC):
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> QueryResult:
         """Run an XQuery and return its result + execution metrics.
 
         ``use_indexes`` overrides the DBMS's index configuration for this
         one query (``None`` leaves the node's own setting in charge) —
         how an ``index-scan`` plan lane reaches the executing site.
+        ``parallel_degree`` ≥ 2 asks the node to evaluate the query
+        sharded across that many local workers — a request the node may
+        decline (no pool, non-shardable query); answers are
+        byte-identical either way.
         """
 
     @abc.abstractmethod
@@ -91,6 +96,7 @@ class PartixDriver(abc.ABC):
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ):
         """Run an XQuery as a stream of serialized result pieces.
 
@@ -107,6 +113,7 @@ class PartixDriver(abc.ABC):
                 default_collection=default_collection,
                 extra_predicate=extra_predicate,
                 use_indexes=use_indexes,
+                parallel_degree=parallel_degree,
             )
         )
 
@@ -147,12 +154,14 @@ class MiniXDriver(PartixDriver):
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ) -> QueryResult:
         return self.engine.execute(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
             use_indexes=use_indexes,
+            parallel_degree=parallel_degree,
         )
 
     def execute_iter(
@@ -161,12 +170,14 @@ class MiniXDriver(PartixDriver):
         default_collection: Optional[str] = None,
         extra_predicate: Optional[Predicate] = None,
         use_indexes: Optional[bool] = None,
+        parallel_degree: Optional[int] = None,
     ):
         return self.engine.execute_iter(
             query,
             default_collection=default_collection,
             extra_predicate=extra_predicate,
             use_indexes=use_indexes,
+            parallel_degree=parallel_degree,
         )
 
     def document_count(self, collection: str) -> int:

@@ -183,6 +183,27 @@ class PartixResult:
         ]
 
 
+def _cluster_shard_workers(cluster: Cluster) -> int:
+    """Infer the intra-site worker pool size from the cluster's sites.
+
+    The minimum across every site's introspectable engine — lowering
+    must never stamp a degree some site cannot honor (it would silently
+    serialize there, skewing the lane estimates). Sites without an
+    engine (remote drivers) count as 0: the conservative answer.
+    """
+    sites = cluster.sites()
+    if not sites:
+        return 0
+    workers = None
+    for site in sites:
+        engine = getattr(site.driver, "engine", None)
+        if engine is None:
+            return 0
+        site_workers = int(getattr(engine, "shard_workers", 0))
+        workers = site_workers if workers is None else min(workers, site_workers)
+    return workers or 0
+
+
 def _cluster_uses_indexes(cluster: Cluster) -> bool:
     """Infer index eligibility from the cluster's site configurations.
 
@@ -215,8 +236,18 @@ class Partix:
         chunk_bytes: int = DEFAULT_CHUNK_BYTES,
         plan_cache: Optional[PlanCache] = None,
         use_indexes: Optional[bool] = None,
+        shard_workers: Optional[int] = None,
     ):
         self.cluster = cluster
+        #: Intra-site shard worker pool size lowering may assume at every
+        #: site. ``None`` (the default) infers it as the minimum over the
+        #: cluster's engines (0 when any site has no introspectable
+        #: engine), so a plain cluster plans serial lanes exactly as
+        #: before. Like index eligibility, this is a ceiling, not a
+        #: commitment — lowering prices serial vs sharded per fragment.
+        if shard_workers is None:
+            shard_workers = _cluster_shard_workers(cluster)
+        self.shard_workers = max(0, int(shard_workers))
         #: Are fragment scans *eligible* for the index access path?
         #: ``None`` (the default) infers it from the cluster: eligible
         #: only when every site's engine runs with document indexes on,
@@ -267,7 +298,11 @@ class Partix:
         #: Cost model fed by the catalog's fragment statistics and this
         #: instance's network model; lowering uses it for site selection
         #: and the per-node estimates shown by ``explain``.
-        self.cost_model = CostModel(self.distribution_catalog, self.network)
+        self.cost_model = CostModel(
+            self.distribution_catalog,
+            self.network,
+            shard_workers=self.shard_workers,
+        )
         self.decomposer = QueryDecomposer(
             self.distribution_catalog,
             cost_model=self.cost_model,
@@ -331,6 +366,7 @@ class Partix:
         streaming: bool = False,
         deadline_seconds: Optional[float] = None,
         use_indexes: Optional[bool] = None,
+        shard_degree: Optional[int] = None,
     ) -> PartixResult:
         """Run a query over the fragmented repository.
 
@@ -367,6 +403,13 @@ class Partix:
         leaves the plan's own per-lane access-path decisions in charge.
         The differential fuzz oracle uses this to run the same plan
         with indexes on and off and assert byte-identical answers.
+
+        ``shard_degree`` is the analogous per-query intra-site override:
+        ≥ 2 asks every executing site to shard its sub-query across that
+        many workers, 1 (or less) forces serial evaluation everywhere.
+        ``None`` leaves lowering's per-lane degree decisions in charge.
+        The fuzz ``--shards`` oracle runs the same plan forced-serial and
+        forced-sharded and asserts byte-identical answers.
         """
         mode = ExecutionMode.parse(execution_mode, streaming=streaming)
         if plan is None:
@@ -377,6 +420,8 @@ class Partix:
         )
         if use_indexes is not None:
             plan = plan.with_lane_indexes(use_indexes)
+        if shard_degree is not None:
+            plan = plan.with_lane_degree(shard_degree)
         notes = list(plan.notes)
         active = dispatcher if dispatcher is not None else self.dispatcher
         executed = self.plan_executor.run(

@@ -10,6 +10,7 @@ class TestCli:
         assert set(FIGURES) == {
             "7a", "7b", "7c", "7d", "headline", "modes", "transport",
             "streaming", "serving", "plans", "rebalance", "pushdown",
+            "parallel",
         }
 
     def test_runs_modes_figure(self, capsys):
